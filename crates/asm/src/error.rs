@@ -1,0 +1,49 @@
+//! Assembler error type.
+
+use std::fmt;
+
+/// An assembly error, with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number (0 for whole-program errors such as
+    /// undefined labels detected at link time).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl AsmError {
+    /// Creates an error at `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        AsmError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = AsmError::new(7, "unknown mnemonic `bogus`");
+        assert_eq!(e.to_string(), "line 7: unknown mnemonic `bogus`");
+    }
+
+    #[test]
+    fn line_zero_is_global() {
+        let e = AsmError::new(0, "undefined label `x`");
+        assert_eq!(e.to_string(), "assembly error: undefined label `x`");
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end assembler programs: realistic hand-written sources that
+//! exercise the full directive/pseudo-instruction surface and verify
+//! results through functional execution.
+
+use ds_asm::assemble;
+use ds_cpu::FuncCore;
+use ds_mem::MemImage;
+
+fn run(src: &str) -> (FuncCore, MemImage, ds_asm::Program) {
+    let prog = assemble(src).expect("assembles");
+    let mut mem = MemImage::new();
+    prog.load(&mut mem);
+    let mut cpu = FuncCore::with_stack(prog.entry, prog.stack_top);
+    cpu.run(&mut mem, 10_000_000).expect("executes");
+    assert!(cpu.halted(), "did not halt");
+    (cpu, mem, prog)
+}
+
+#[test]
+fn string_length_and_reverse() {
+    let (_, mem, prog) = run(r#"
+        .data
+        msg:    .asciiz "datascalar"
+        out:    .space 16
+        .text
+        # strlen
+        main:   la   t0, msg
+                li   t1, 0
+        len:    lbu  t2, 0(t0)
+                beqz t2, rev
+                addi t0, t0, 1
+                addi t1, t1, 1
+                j    len
+        # reverse copy
+        rev:    la   t0, msg
+                la   t3, out
+                add  t4, t3, t1        # out + len
+                sb   zero, 0(t4)       # terminator
+        loop:   beqz t1, done
+                addi t1, t1, -1
+                add  t5, t0, t1
+                lbu  t6, 0(t5)
+                sb   t6, 0(t3)
+                addi t3, t3, 1
+                j    loop
+        done:   halt
+    "#);
+    let out = prog.symbol("out").unwrap();
+    let got: Vec<u8> = (0..10).map(|i| mem.read_u8(out + i)).collect();
+    assert_eq!(&got, b"ralacsatad");
+}
+
+#[test]
+fn jump_table_dispatch() {
+    let (cpu, _, _) = run(r#"
+        .data
+        table:  .word case0, case1, case2
+        .text
+        main:   li   s0, 0        # accumulator
+                li   s1, 2        # selector: run case2, case1, case0
+        next:   la   t0, table
+                slli t1, s1, 3
+                add  t0, t0, t1
+                ld   t2, 0(t0)
+                jalr ra, t2
+                addi s1, s1, -1
+                bgez s1, next
+                halt
+        case0:  addi s0, s0, 1
+                ret
+        case1:  addi s0, s0, 10
+                ret
+        case2:  addi s0, s0, 100
+                ret
+    "#);
+    assert_eq!(cpu.ireg(ds_isa::reg::S0), 111);
+}
+
+#[test]
+fn bubble_sort_in_assembly() {
+    let (_, mem, prog) = run(r#"
+        .equ N, 8
+        .data
+        arr:    .word 7, 2, 9, 1, 8, 3, 6, 4
+        .text
+        main:   li   s0, N
+        outer:  addi s0, s0, -1
+                blez s0, done
+                la   t0, arr
+                mv   t1, s0
+        inner:  ld   t2, 0(t0)
+                ld   t3, 8(t0)
+                ble  t2, t3, noswap
+                sd   t3, 0(t0)
+                sd   t2, 8(t0)
+        noswap: addi t0, t0, 8
+                addi t1, t1, -1
+                bnez t1, inner
+                j    outer
+        done:   halt
+    "#);
+    let arr = prog.symbol("arr").unwrap();
+    let got: Vec<u64> = (0..8).map(|i| mem.read_u64(arr + 8 * i)).collect();
+    assert_eq!(got, vec![1, 2, 3, 4, 6, 7, 8, 9]);
+}
+
+#[test]
+fn fp_dot_product_with_conversion() {
+    let (cpu, _, _) = run(r#"
+        .data
+        xs: .double 1.5, 2.5, 3.5
+        ys: .double 2.0, 4.0, 8.0
+        .text
+        main:   la   t0, xs
+                la   t1, ys
+                li   t2, 3
+                fcvt.d.w f0, zero      # acc = 0.0
+        loop:   fld  f1, 0(t0)
+                fld  f2, 0(t1)
+                fmul f1, f1, f2
+                fadd f0, f0, f1
+                addi t0, t0, 8
+                addi t1, t1, 8
+                addi t2, t2, -1
+                bnez t2, loop
+                fcvt.w.d v0, f0
+                halt
+    "#);
+    assert_eq!(cpu.ireg(ds_isa::reg::V0), 41); // 3 + 10 + 28
+}
+
+#[test]
+fn stack_discipline_with_nested_calls() {
+    let (cpu, _, _) = run(r#"
+        .text
+        main:   li   a0, 5
+                call square_plus_one
+                mv   s0, v0           # 26
+                li   a0, 3
+                call square_plus_one
+                add  s0, s0, v0       # 26 + 10
+                halt
+        square_plus_one:
+                addi sp, sp, -8
+                sd   ra, 0(sp)
+                call square
+                addi v0, v0, 1
+                ld   ra, 0(sp)
+                addi sp, sp, 8
+                ret
+        square: mul  v0, a0, a0
+                ret
+    "#);
+    assert_eq!(cpu.ireg(ds_isa::reg::S0), 36);
+}
+
+#[test]
+fn data_directives_mix() {
+    let (_, mem, prog) = run(r#"
+        .data
+        bytes:  .byte 1, 2, 255
+        halves: .half 1000, 0x7fff
+        words:  .word32 70000, 0xdeadbeef
+        big:    .word 0x1122334455667788
+        pad:    .align 16
+        aligned:.word 42
+        .text
+        main:   halt
+    "#);
+    let b = prog.symbol("bytes").unwrap();
+    assert_eq!(mem.read_u8(b + 2), 255);
+    let h = prog.symbol("halves").unwrap();
+    assert_eq!(mem.read_u16(h + 2), 0x7fff);
+    let w = prog.symbol("words").unwrap();
+    assert_eq!(mem.read_u32(w + 4), 0xdead_beef);
+    let big = prog.symbol("big").unwrap();
+    assert_eq!(mem.read_u64(big), 0x1122_3344_5566_7788);
+    assert_eq!(prog.symbol("aligned").unwrap() % 16, 0);
+}

@@ -1,0 +1,28 @@
+//! Criterion bench for the Figure 7 pipeline: one five-system IPC
+//! comparison row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ds_bench::{figure7_row, run_datascalar, run_traditional, Budget};
+use ds_workloads::by_name;
+use std::hint::black_box;
+
+fn bench_figure7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7_ipc");
+    group.sample_size(10);
+    group.bench_function("compress_full_row", |b| {
+        let w = by_name("compress").expect("registered");
+        b.iter(|| black_box(figure7_row(&w, Budget::quick())))
+    });
+    group.bench_function("go_datascalar_x2", |b| {
+        let w = by_name("go").expect("registered");
+        b.iter(|| black_box(run_datascalar(&w, 2, Budget::quick())))
+    });
+    group.bench_function("go_traditional_half", |b| {
+        let w = by_name("go").expect("registered");
+        b.iter(|| black_box(run_traditional(&w, 2, Budget::quick())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure7);
+criterion_main!(benches);

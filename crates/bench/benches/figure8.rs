@@ -1,0 +1,27 @@
+//! Criterion bench for the Figure 8 pipeline: one sensitivity sweep
+//! point (all five systems at one knob setting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ds_bench::sweep::{sweep_point, Knob};
+use ds_bench::Budget;
+use ds_workloads::by_name;
+use std::hint::black_box;
+
+fn bench_figure8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure8_sensitivity");
+    group.sample_size(10);
+    let w = by_name("go").expect("registered");
+    for (label, knob) in [
+        ("bus_divisor_20", Knob::BusClock(20)),
+        ("dcache_4k", Knob::CacheSize(4096)),
+        ("ruu_64", Knob::RuuEntries(64)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(sweep_point(&w, knob, Budget::quick())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure8);
+criterion_main!(benches);

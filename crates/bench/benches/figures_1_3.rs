@@ -1,0 +1,25 @@
+//! Criterion bench for the Figure 1 (MMM timeline) and Figure 3
+//! (crossing-count) models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ds_core::{datathread, mmm};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_1_and_3");
+    group.bench_function("mmm_long_reference_string", |b| {
+        let owners: Vec<usize> = (0..10_000).map(|i| (i / 7) % 4).collect();
+        b.iter(|| black_box(mmm::simulate(black_box(&owners), 2)))
+    });
+    group.bench_function("chain_crossings", |b| {
+        let owners: Vec<usize> = (0..10_000).map(|i| (i / 3) % 4).collect();
+        b.iter(|| {
+            let c = datathread::compare_chain(black_box(&owners), 0);
+            black_box(c)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

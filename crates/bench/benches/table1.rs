@@ -1,0 +1,28 @@
+//! Criterion bench for the Table 1 pipeline: ESP traffic measurement
+//! (functional cache simulation) per benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ds_trace::{measure_traffic, TrafficConfig};
+use ds_workloads::{by_name, Scale};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_traffic");
+    group.sample_size(10);
+    for name in ["compress", "mgrid", "li"] {
+        let w = by_name(name).expect("registered");
+        let prog = (w.build)(Scale::Tiny);
+        let config = TrafficConfig { max_insts: 200_000, ..Default::default() };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = measure_traffic(black_box(&prog), &config);
+                assert!(r.transactions_eliminated() >= 0.5 - 1e-9);
+                black_box(r)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

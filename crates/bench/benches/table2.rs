@@ -1,0 +1,41 @@
+//! Criterion bench for the Table 2 pipeline: page profiling,
+//! replication selection, and datathread measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ds_mem::{PageTableBuilder, Segment};
+use ds_trace::{
+    measure_datathreads, select_hot_pages, DatathreadConfig, PageProfile,
+};
+use ds_workloads::{by_name, Scale};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_datathreads");
+    group.sample_size(10);
+    for name in ["compress", "swim"] {
+        let w = by_name(name).expect("registered");
+        let prog = (w.build)(Scale::Tiny);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let profile = PageProfile::collect(&prog, 4096, 150_000);
+                let hot = select_hot_pages(&profile, 16, 4.0);
+                let mut ptb = PageTableBuilder::new(4096, 4);
+                for (s, e, seg) in prog.regions() {
+                    ptb.add_region(s, e, seg);
+                }
+                ptb.replicate_segment(Segment::Text);
+                for &vpn in &hot {
+                    ptb.replicate_page_of(vpn * 4096);
+                }
+                ptb.distribute_round_robin(1);
+                let pt = ptb.build();
+                let cfg = DatathreadConfig { max_insts: 150_000, ..Default::default() };
+                black_box(measure_datathreads(&prog, &pt, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

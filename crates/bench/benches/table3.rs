@@ -1,0 +1,26 @@
+//! Criterion bench for the Table 3 pipeline: a two-node DataScalar
+//! timing run with broadcast/BSHR statistics collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ds_bench::{run_datascalar, Budget};
+use ds_workloads::by_name;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_broadcast");
+    group.sample_size(10);
+    for name in ["compress", "wave5"] {
+        let w = by_name(name).expect("registered");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run_datascalar(black_box(&w), 2, Budget::quick());
+                assert!(r.committed > 0);
+                black_box(r)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation: D-cache write policy under ESP.
+//!
+//! §4.2: "we believe that this write [-no-allocate] policy is superior
+//! to write-allocate in an ESP-based system (with a write-allocate
+//! protocol, a write miss requires sending an inter-processor message,
+//! only to overwrite the received data)". This harness measures both
+//! policies on the two-node DataScalar machine.
+
+use ds_bench::{baseline_config, Budget};
+use ds_core::DsSystem;
+use ds_mem::WritePolicy;
+use ds_stats::{ratio, Table};
+use ds_workloads::figure7_set;
+
+fn main() {
+    let budget = Budget::from_args();
+    println!("Ablation: write-no-allocate vs write-allocate (DataScalar x2)");
+    println!();
+    let mut t = Table::new(&[
+        "benchmark",
+        "no-alloc IPC",
+        "alloc IPC",
+        "no-alloc bcasts",
+        "alloc bcasts",
+    ]);
+    for w in figure7_set() {
+        let prog = (w.build)(budget.scale);
+        let run = |policy: WritePolicy| {
+            let mut config = baseline_config(2, budget.max_insts);
+            config.dcache.write_policy = policy;
+            let mut sys = DsSystem::new(config, &prog);
+            sys.run().expect("runs")
+        };
+        let noalloc = run(WritePolicy::WriteBackNoAllocate);
+        let alloc = run(WritePolicy::WriteBackAllocate);
+        t.row(&[
+            w.name.to_string(),
+            ratio(noalloc.ipc()),
+            ratio(alloc.ipc()),
+            noalloc.bus.broadcasts.to_string(),
+            alloc.bus.broadcasts.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("write-allocate turns every store miss into a broadcast whose data");
+    println!("is immediately overwritten — the paper's argument for no-allocate");
+}

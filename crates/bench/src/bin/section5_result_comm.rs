@@ -1,0 +1,50 @@
+//! §5.1: result communication — an upper-bound evaluation.
+//!
+//! The paper describes (without evaluating) letting a node run a
+//! private computation and broadcast only the result. This harness
+//! bounds the technique's benefit: collapsing every same-owner run of
+//! communicated misses to a single result broadcast.
+
+use ds_bench::Budget;
+use ds_mem::{PageTableBuilder, Segment};
+use ds_stats::{percent, ratio, Table};
+use ds_trace::{measure_result_comm, ResultCommConfig};
+use ds_workloads::table1_set;
+
+const NODES: usize = 4;
+const PAGE: u64 = 4096;
+
+fn main() {
+    let budget = Budget::from_args();
+    println!("Section 5.1: result-communication upper bound ({NODES} nodes)");
+    println!();
+    let mut t = Table::new(&[
+        "benchmark",
+        "operand bcasts",
+        "result bcasts",
+        "mean run",
+        "max savings",
+    ]);
+    for w in table1_set() {
+        let prog = (w.build)(budget.scale);
+        let mut ptb = PageTableBuilder::new(PAGE, NODES);
+        for (s, e, seg) in prog.regions() {
+            ptb.add_region(s, e, seg);
+        }
+        ptb.replicate_segment(Segment::Text);
+        ptb.distribute_round_robin(1);
+        let pt = ptb.build();
+        let config = ResultCommConfig { max_insts: budget.max_insts * 10, ..Default::default() };
+        let r = measure_result_comm(&prog, &pt, &config);
+        t.row(&[
+            w.name.to_string(),
+            r.operand_broadcasts.to_string(),
+            r.result_broadcasts.to_string(),
+            ratio(r.mean_run()),
+            percent(r.max_savings()),
+        ]);
+    }
+    println!("{t}");
+    println!("an upper bound: it assumes every same-owner run is a private");
+    println!("computation whose operands are dead once the result is known");
+}

@@ -1,0 +1,42 @@
+//! Table 1: off-chip data traffic reduced by ESP.
+//!
+//! For each of the fourteen SPEC95-analog benchmarks, simulates the
+//! paper's 64 KiB two-way write-allocate write-back L1 and reports the
+//! fraction of off-chip traffic ESP eliminates, in bytes and in
+//! transactions (the paper's two rows). Pass `--quick` for a reduced
+//! instruction budget.
+
+use ds_bench::Budget;
+use ds_stats::{percent, Table};
+use ds_trace::{measure_traffic, TrafficConfig};
+use ds_workloads::table1_set;
+
+fn main() {
+    let budget = Budget::from_args();
+    println!("Table 1: off-chip data traffic reduced by ESP");
+    println!(
+        "(64 KiB 2-way write-allocate write-back L1, {} instructions max)",
+        budget.max_insts * 10
+    );
+    println!();
+    let mut t = Table::new(&["benchmark", "traffic (bytes)", "transactions", "fills", "writebacks"]);
+    let config = TrafficConfig {
+        // Trace experiments are functional-only, so afford 10x the
+        // timing budget.
+        max_insts: budget.max_insts * 10,
+        ..Default::default()
+    };
+    for w in table1_set() {
+        let prog = (w.build)(budget.scale);
+        let r = measure_traffic(&prog, &config);
+        t.row(&[
+            w.name.to_string(),
+            percent(r.bytes_eliminated()),
+            percent(r.transactions_eliminated()),
+            r.fills.to_string(),
+            r.writebacks.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("paper: traffic 25-50% eliminated; transactions 50-75% (never below 50%)");
+}

@@ -1,0 +1,100 @@
+//! Table 2: approximate datathread measurements for a four-processor
+//! system.
+//!
+//! For each benchmark: profile page accesses, replicate the most
+//! heavily accessed pages (plus the text segment), distribute the
+//! remaining communicated pages round-robin at the block size the
+//! paper's rule picks, and measure mean datathread lengths over all /
+//! text / data misses plus the mean replicated-run length.
+
+use ds_bench::Budget;
+use ds_mem::PageTableBuilder;
+use ds_stats::Table;
+use ds_trace::datathread::pick_block_pages;
+use ds_trace::{measure_datathreads, select_hot_pages, DatathreadConfig, PageProfile};
+use ds_workloads::table1_set;
+
+const NODES: usize = 4;
+
+/// "-" when no runs of that kind were observed (e.g. all text
+/// replicated, so no text miss ever starts or breaks a thread).
+fn fmt_mean(mean: f64, runs: u64) -> String {
+    if runs == 0 {
+        "-".to_string()
+    } else {
+        format!("{mean:.1}")
+    }
+}
+const PAGE: u64 = 4096;
+
+fn main() {
+    let budget = Budget::from_args();
+    let max_insts = budget.max_insts * 10;
+    println!("Table 2: approximate datathread measurements ({NODES} nodes, {PAGE}-byte pages)");
+    println!();
+    let mut t = Table::new(&[
+        "benchmark",
+        "dist (KB)",
+        "repl pages",
+        "text",
+        "global",
+        "heap",
+        "stack",
+        "all",
+        "text-dt",
+        "data-dt",
+        "repl-run",
+    ]);
+    for w in table1_set() {
+        let prog = (w.build)(budget.scale);
+        // Profile and replicate the most heavily accessed pages (§3.2),
+        // capped at a third of the declared pages so no segment is
+        // wholly contained at one node.
+        let profile = PageProfile::collect(&prog, PAGE, max_insts);
+        let declared: u64 = prog
+            .regions()
+            .iter()
+            .map(|(s, e, _)| (e - s).div_ceil(PAGE))
+            .sum();
+        let replicated =
+            select_hot_pages(
+            &profile,
+            // Replication budget: half the declared pages, capped at a
+            // 128 KiB per-node capacity allowance.
+            (declared / 2).clamp(1, 32) as usize,
+            4.0,
+        );
+        let block = pick_block_pages(&prog, PAGE, NODES);
+
+        let mut ptb = PageTableBuilder::new(PAGE, NODES);
+        for (s, e, seg) in prog.regions() {
+            ptb.add_region(s, e, seg);
+        }
+        for &vpn in &replicated {
+            ptb.replicate_page_of(vpn * PAGE);
+        }
+        ptb.distribute_round_robin(block);
+        let pt = ptb.build();
+        let per_seg = pt.replicated_per_segment();
+
+        let config = DatathreadConfig { max_insts, ..Default::default() };
+        let r = measure_datathreads(&prog, &pt, &config);
+        t.row(&[
+            w.name.to_string(),
+            (block * PAGE / 1024).to_string(),
+            per_seg.iter().sum::<usize>().to_string(),
+            per_seg[0].to_string(),
+            per_seg[1].to_string(),
+            per_seg[2].to_string(),
+            per_seg[3].to_string(),
+            fmt_mean(r.all, r.all_runs),
+            fmt_mean(r.text, r.text_runs),
+            fmt_mean(r.data, r.data_runs),
+            format!("{:.1}", r.replicated),
+        ]);
+    }
+    println!("{t}");
+    println!("paper: text datathreads > 10 everywhere (often 100s-1000s);");
+    println!("       FP data datathreads short (< 10 for swim/applu/turb3d/mgrid/hydro2d);");
+    println!("       integer codes longer (3 to > 100)");
+}

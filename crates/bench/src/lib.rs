@@ -1,0 +1,151 @@
+//! Experiment harness regenerating every table and figure of the
+//! DataScalar paper.
+//!
+//! Each binary in `src/bin/` prints one table or figure:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `figure1_mmm` | Figure 1 — synchronous-ESP MMM timeline |
+//! | `figure3_chain` | Figure 3 — serialized off-chip crossings |
+//! | `table1_traffic` | Table 1 — ESP traffic reduction |
+//! | `table2_datathreads` | Table 2 — datathread lengths, 4 nodes |
+//! | `figure7_ipc` | Figure 7 — IPC across five systems |
+//! | `figure8_sensitivity` | Figure 8 — go/compress sensitivity sweeps |
+//! | `table3_broadcast` | Table 3 — broadcast/BSHR statistics |
+//!
+//! The shared runners live here so Criterion benches, integration tests
+//! and the binaries measure exactly the same way. Run a binary with
+//! `--quick` for a reduced instruction budget.
+
+use ds_core::{DsConfig, DsSystem, PerfectSystem, RunResult, TraditionalConfig, TraditionalSystem};
+use ds_workloads::{Scale, Workload};
+
+pub mod sweep;
+
+/// Instruction budget for timing experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum instructions committed per run.
+    pub max_insts: u64,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl Budget {
+    /// The full experiment budget (the paper ran 100M instructions; our
+    /// kernels reach steady state far sooner).
+    pub fn full() -> Self {
+        Budget { max_insts: 400_000, scale: Scale::Small }
+    }
+
+    /// A fast budget for smoke tests and Criterion.
+    pub fn quick() -> Self {
+        Budget { max_insts: 40_000, scale: Scale::Tiny }
+    }
+
+    /// Parses `--quick` from argv.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Self::quick()
+        } else {
+            Self::full()
+        }
+    }
+}
+
+/// The Figure 7 baseline configuration for an `n`-node machine.
+pub fn baseline_config(nodes: usize, max_insts: u64) -> DsConfig {
+    let mut c = DsConfig::with_nodes(nodes);
+    c.max_insts = Some(max_insts);
+    c
+}
+
+/// IPC of the DataScalar system with `nodes` nodes.
+pub fn run_datascalar(w: &Workload, nodes: usize, budget: Budget) -> RunResult {
+    let prog = (w.build)(budget.scale);
+    let config = baseline_config(nodes, budget.max_insts);
+    let mut sys = DsSystem::new(config, &prog);
+    sys.run().expect("workload executes")
+}
+
+/// IPC of the traditional system with a `1/nodes` on-chip share.
+pub fn run_traditional(w: &Workload, nodes: usize, budget: Budget) -> RunResult {
+    let prog = (w.build)(budget.scale);
+    let config = TraditionalConfig { base: baseline_config(nodes, budget.max_insts) };
+    let mut sys = TraditionalSystem::new(&config, &prog);
+    sys.run().expect("workload executes")
+}
+
+/// IPC of the perfect-data-cache upper bound.
+pub fn run_perfect(w: &Workload, budget: Budget) -> RunResult {
+    let prog = (w.build)(budget.scale);
+    let config = baseline_config(1, budget.max_insts);
+    let mut sys = PerfectSystem::new(&config, &prog);
+    sys.run().expect("workload executes")
+}
+
+/// One Figure 7 group: the five bars for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Figure7Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Perfect-data-cache IPC.
+    pub perfect: f64,
+    /// 2-node DataScalar IPC.
+    pub ds2: f64,
+    /// 4-node DataScalar IPC.
+    pub ds4: f64,
+    /// Traditional, 1/2 memory on-chip.
+    pub trad_half: f64,
+    /// Traditional, 1/4 memory on-chip.
+    pub trad_quarter: f64,
+}
+
+/// Runs all five systems of Figure 7 for one benchmark.
+pub fn figure7_row(w: &Workload, budget: Budget) -> Figure7Row {
+    Figure7Row {
+        name: w.name.to_string(),
+        perfect: run_perfect(w, budget).ipc(),
+        ds2: run_datascalar(w, 2, budget).ipc(),
+        ds4: run_datascalar(w, 4, budget).ipc(),
+        trad_half: run_traditional(w, 2, budget).ipc(),
+        trad_quarter: run_traditional(w, 4, budget).ipc(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_workloads::by_name;
+
+    #[test]
+    fn figure7_shape_for_compress() {
+        // The paper's headline: compress on DataScalar approaches the
+        // perfect cache and clearly beats the traditional system
+        // (stores never go off-chip).
+        let w = by_name("compress").unwrap();
+        let row = figure7_row(&w, Budget::quick());
+        assert!(row.perfect >= row.ds2 * 0.95, "perfect must bound DataScalar");
+        assert!(
+            row.ds2 > row.trad_half,
+            "DataScalar x2 ({:.2}) must beat traditional 1/2 ({:.2}) on compress",
+            row.ds2,
+            row.trad_half
+        );
+        assert!(
+            row.ds4 > row.trad_quarter,
+            "DataScalar x4 ({:.2}) must beat traditional 1/4 ({:.2}) on compress",
+            row.ds4,
+            row.trad_quarter
+        );
+    }
+
+    #[test]
+    fn traditional_degrades_with_less_onchip_memory() {
+        let w = by_name("go").unwrap();
+        let b = Budget::quick();
+        let half = run_traditional(&w, 2, b).ipc();
+        let quarter = run_traditional(&w, 4, b).ipc();
+        assert!(quarter <= half * 1.05, "1/4 on-chip should not beat 1/2");
+    }
+}

@@ -1,0 +1,271 @@
+//! Broadcast Status Holding Registers.
+//!
+//! The BSHR (§4.2, Figure 5) is the structure through which a node
+//! receives broadcasts. It holds, per line address:
+//!
+//! * an outstanding **wait** — local loads that missed on a remote,
+//!   communicated line and are blocked until the owner's broadcast
+//!   arrives;
+//! * **buffered arrivals** — broadcasts that landed before any local
+//!   load asked for them (the owner ran ahead; when the local load
+//!   finally issues it "effectively sees an on-chip hit");
+//! * **pending squashes** — posted by the correspondence protocol when
+//!   a commit-time false hit means the owner's reparative broadcast
+//!   must be consumed and dropped.
+
+use crate::Cycle;
+use ds_cpu::RuuTag;
+use std::collections::{HashMap, VecDeque};
+
+/// What [`Bshr::on_arrival`] did with a broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Arrival {
+    /// Consumed by a pending squash (reparative broadcast for a line
+    /// this node falsely hit on).
+    Squashed,
+    /// Satisfied an outstanding wait; the listed loads may complete at
+    /// the given cycle.
+    Completed(Vec<(RuuTag, Cycle)>),
+    /// No local load wanted it yet; buffered.
+    Buffered,
+}
+
+/// BSHR statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BshrStats {
+    /// Remote loads that found their data already buffered (the
+    /// paper's "data found in BSHR" — evidence of datathreading).
+    pub found_buffered: u64,
+    /// Waits allocated (remote loads that had to block).
+    pub waits_allocated: u64,
+    /// Arrivals consumed by squashes.
+    pub squashed_arrivals: u64,
+    /// Squashes posted (by the correspondence protocol at commit).
+    pub squashes_posted: u64,
+    /// Broadcasts received, total.
+    pub arrivals: u64,
+    /// Arrivals accepted while at capacity (modelling flow-control
+    /// retries; counted, not dropped).
+    pub overflows: u64,
+    /// High-water mark of occupied entries.
+    pub max_occupancy: usize,
+}
+
+/// One node's broadcast-receiving structure.
+#[derive(Debug, Clone)]
+pub struct Bshr {
+    entries: usize,
+    access_cycles: u64,
+    /// line -> loads waiting for that line.
+    waits: HashMap<u64, Vec<RuuTag>>,
+    /// line -> arrival cycles of unconsumed broadcasts.
+    buffered: HashMap<u64, VecDeque<Cycle>>,
+    /// line -> number of arrivals to squash on sight.
+    pending_squashes: HashMap<u64, u32>,
+    buffered_count: usize,
+    stats: BshrStats,
+}
+
+impl Bshr {
+    /// An empty BSHR with `entries` capacity and the given access
+    /// latency.
+    pub fn new(entries: usize, access_cycles: u64) -> Self {
+        Bshr {
+            entries,
+            access_cycles,
+            waits: HashMap::new(),
+            buffered: HashMap::new(),
+            pending_squashes: HashMap::new(),
+            buffered_count: 0,
+            stats: BshrStats::default(),
+        }
+    }
+
+    /// Access latency in cycles.
+    pub fn access_cycles(&self) -> u64 {
+        self.access_cycles
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &BshrStats {
+        &self.stats
+    }
+
+    /// Entries currently occupied (waits + buffered arrivals).
+    pub fn occupancy(&self) -> usize {
+        self.waits.len() + self.buffered_count
+    }
+
+    fn note_occupancy(&mut self) {
+        let occ = self.occupancy();
+        if occ > self.stats.max_occupancy {
+            self.stats.max_occupancy = occ;
+        }
+        if occ > self.entries {
+            self.stats.overflows += 1;
+        }
+    }
+
+    /// A remote load missed at issue. If the broadcast already arrived,
+    /// consumes it and returns the cycle the data is available;
+    /// otherwise allocates (or joins) a wait and returns `None`.
+    pub fn request(&mut self, line: u64, tag: RuuTag, now: Cycle) -> Option<Cycle> {
+        if let Some(q) = self.buffered.get_mut(&line) {
+            q.pop_front();
+            if q.is_empty() {
+                self.buffered.remove(&line);
+            }
+            self.buffered_count -= 1;
+            self.stats.found_buffered += 1;
+            return Some(now + self.access_cycles);
+        }
+        let w = self.waits.entry(line).or_default();
+        if w.is_empty() {
+            self.stats.waits_allocated += 1;
+        }
+        w.push(tag);
+        self.note_occupancy();
+        None
+    }
+
+    /// Adds another blocked load to an existing wait.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no wait is outstanding for `line` (callers join via
+    /// the DCUB, which tracks pending lines).
+    pub fn join_wait(&mut self, line: u64, tag: RuuTag) {
+        self.waits
+            .get_mut(&line)
+            .expect("join_wait requires an outstanding wait")
+            .push(tag);
+    }
+
+    /// True if a wait is outstanding for `line`.
+    pub fn has_wait(&self, line: u64) -> bool {
+        self.waits.contains_key(&line)
+    }
+
+    /// The correspondence protocol detected a commit-time false hit:
+    /// the owner's (reparative) broadcast for `line` must be consumed
+    /// and dropped.
+    pub fn post_squash(&mut self, line: u64) {
+        self.stats.squashes_posted += 1;
+        if let Some(q) = self.buffered.get_mut(&line) {
+            q.pop_front();
+            if q.is_empty() {
+                self.buffered.remove(&line);
+            }
+            self.buffered_count -= 1;
+            self.stats.squashed_arrivals += 1;
+        } else {
+            *self.pending_squashes.entry(line).or_insert(0) += 1;
+        }
+    }
+
+    /// A broadcast for `line` arrived at `now`.
+    pub fn on_arrival(&mut self, line: u64, now: Cycle) -> Arrival {
+        self.stats.arrivals += 1;
+        if let Some(n) = self.pending_squashes.get_mut(&line) {
+            *n -= 1;
+            if *n == 0 {
+                self.pending_squashes.remove(&line);
+            }
+            self.stats.squashed_arrivals += 1;
+            return Arrival::Squashed;
+        }
+        if let Some(waiters) = self.waits.remove(&line) {
+            let ready = now + self.access_cycles;
+            return Arrival::Completed(waiters.into_iter().map(|t| (t, ready)).collect());
+        }
+        self.buffered.entry(line).or_default().push_back(now);
+        self.buffered_count += 1;
+        self.note_occupancy();
+        Arrival::Buffered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_then_arrival_completes() {
+        let mut b = Bshr::new(8, 2);
+        assert_eq!(b.request(0x100, 7, 10), None);
+        b.join_wait(0x100, 9);
+        match b.on_arrival(0x100, 50) {
+            Arrival::Completed(v) => assert_eq!(v, vec![(7, 52), (9, 52)]),
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(b.occupancy(), 0);
+        assert_eq!(b.stats().waits_allocated, 1);
+    }
+
+    #[test]
+    fn arrival_before_request_is_buffered() {
+        let mut b = Bshr::new(8, 2);
+        assert_eq!(b.on_arrival(0x200, 30), Arrival::Buffered);
+        assert_eq!(b.occupancy(), 1);
+        assert_eq!(b.request(0x200, 1, 100), Some(102));
+        assert_eq!(b.stats().found_buffered, 1);
+        assert_eq!(b.occupancy(), 0);
+    }
+
+    #[test]
+    fn squash_consumes_buffered_arrival() {
+        let mut b = Bshr::new(8, 2);
+        b.on_arrival(0x300, 5);
+        b.post_squash(0x300);
+        assert_eq!(b.stats().squashed_arrivals, 1);
+        assert_eq!(b.occupancy(), 0);
+        // The next request must NOT see stale data.
+        assert_eq!(b.request(0x300, 1, 10), None);
+    }
+
+    #[test]
+    fn squash_before_arrival_is_pending() {
+        let mut b = Bshr::new(8, 2);
+        b.post_squash(0x400);
+        assert_eq!(b.on_arrival(0x400, 9), Arrival::Squashed);
+        assert_eq!(b.stats().squashed_arrivals, 1);
+        // Next arrival behaves normally.
+        assert_eq!(b.on_arrival(0x400, 10), Arrival::Buffered);
+    }
+
+    #[test]
+    fn per_line_fifo_of_buffered_arrivals() {
+        let mut b = Bshr::new(8, 0);
+        b.on_arrival(0x500, 1);
+        b.on_arrival(0x500, 2);
+        assert_eq!(b.request(0x500, 1, 10), Some(10));
+        assert_eq!(b.request(0x500, 2, 11), Some(11));
+        assert_eq!(b.occupancy(), 0);
+    }
+
+    #[test]
+    fn overflow_is_counted_not_dropped() {
+        let mut b = Bshr::new(1, 2);
+        b.on_arrival(0x0, 1);
+        b.on_arrival(0x40, 2);
+        assert_eq!(b.stats().overflows, 1);
+        assert_eq!(b.occupancy(), 2);
+        assert!(b.request(0x40, 1, 5).is_some(), "data still retrievable");
+    }
+
+    #[test]
+    fn max_occupancy_tracks_high_water() {
+        let mut b = Bshr::new(8, 2);
+        b.on_arrival(0x0, 1);
+        b.on_arrival(0x40, 1);
+        b.request(0x0, 1, 2);
+        assert_eq!(b.stats().max_occupancy, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outstanding wait")]
+    fn join_without_wait_panics() {
+        let mut b = Bshr::new(8, 2);
+        b.join_wait(0x1, 1);
+    }
+}

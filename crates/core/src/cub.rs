@@ -1,0 +1,126 @@
+//! The Data Commit Update Buffer (DCUB).
+//!
+//! Under the correspondence protocol (§4.1), cache tags are updated
+//! only at commit. Between a line's fetch (at some load's issue) and
+//! its installation (at the episode's first canonical miss commit), the
+//! line lives in the DCUB: loads that issue in that window are serviced
+//! by the DCUB entry rather than generating a second miss — which is
+//! also how **false misses** are normalised to one miss per
+//! line-residency episode ("any sequence of accesses to the same line
+//! will generate only one miss").
+
+use crate::Cycle;
+use std::collections::HashMap;
+
+/// State of one in-flight line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DcubEntry {
+    /// When the data is (or will be) available locally; `None` while a
+    /// remote broadcast is still outstanding.
+    pub ready_at: Option<Cycle>,
+    /// Owner side: whether an (early) broadcast has been sent for this
+    /// episode.
+    pub broadcast_sent: bool,
+}
+
+/// The DCUB of one node.
+#[derive(Debug, Clone, Default)]
+pub struct Dcub {
+    lines: HashMap<u64, DcubEntry>,
+    /// High-water mark of simultaneous entries.
+    max_occupancy: usize,
+}
+
+impl Dcub {
+    /// An empty DCUB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entry for `line`, if one is in flight.
+    pub fn get(&self, line: u64) -> Option<&DcubEntry> {
+        self.lines.get(&line)
+    }
+
+    /// Registers a fetched line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already in flight (callers must merge via
+    /// [`Dcub::get`] first).
+    pub fn insert(&mut self, line: u64, ready_at: Option<Cycle>, broadcast_sent: bool) {
+        let prev = self.lines.insert(line, DcubEntry { ready_at, broadcast_sent });
+        assert!(prev.is_none(), "line {line:#x} already in flight");
+        self.max_occupancy = self.max_occupancy.max(self.lines.len());
+    }
+
+    /// Marks a pending line's data as available at `ready`.
+    pub fn mark_ready(&mut self, line: u64, ready: Cycle) {
+        if let Some(e) = self.lines.get_mut(&line) {
+            if e.ready_at.is_none() {
+                e.ready_at = Some(ready);
+            }
+        }
+    }
+
+    /// Removes the entry at the episode's installation commit.
+    pub fn remove(&mut self, line: u64) -> Option<DcubEntry> {
+        self.lines.remove(&line)
+    }
+
+    /// Entries currently in flight.
+    pub fn occupancy(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// High-water mark of simultaneous entries.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut d = Dcub::new();
+        d.insert(0x100, Some(42), true);
+        assert_eq!(d.get(0x100), Some(&DcubEntry { ready_at: Some(42), broadcast_sent: true }));
+        assert_eq!(d.remove(0x100).unwrap().ready_at, Some(42));
+        assert_eq!(d.get(0x100), None);
+    }
+
+    #[test]
+    fn mark_ready_fills_pending_only() {
+        let mut d = Dcub::new();
+        d.insert(0x100, None, false);
+        d.mark_ready(0x100, 99);
+        assert_eq!(d.get(0x100).unwrap().ready_at, Some(99));
+        // Already-ready entries keep their original time.
+        d.mark_ready(0x100, 200);
+        assert_eq!(d.get(0x100).unwrap().ready_at, Some(99));
+        // Unknown lines are ignored.
+        d.mark_ready(0x999, 1);
+        assert_eq!(d.get(0x999), None);
+    }
+
+    #[test]
+    fn occupancy_high_water() {
+        let mut d = Dcub::new();
+        d.insert(0x0, Some(1), false);
+        d.insert(0x40, Some(1), false);
+        d.remove(0x0);
+        assert_eq!(d.occupancy(), 1);
+        assert_eq!(d.max_occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn double_insert_panics() {
+        let mut d = Dcub::new();
+        d.insert(0x100, None, false);
+        d.insert(0x100, None, false);
+    }
+}

@@ -1,0 +1,126 @@
+//! Datathreads and serialized off-chip crossings (Figure 3).
+//!
+//! A *datathread* is a maximal run of consecutive dependent operands
+//! resident at one node. A DataScalar node that owns a whole run can
+//! fetch all of it without leaving the chip and pipeline the broadcasts
+//! — one serialized off-chip delay per run, with a further delay at
+//! each *thread migration* (consecutive operands at different nodes).
+//! A traditional system pays two serialized crossings (request +
+//! response) for every operand not resident on the processor chip.
+
+use ds_mem::NodeId;
+
+/// Serialized off-chip delays a DataScalar machine incurs for a chain
+/// of **dependent** operands placed at `owners[i]`.
+///
+/// Each maximal same-owner run contributes one serialized broadcast
+/// delay (the run's broadcasts pipeline behind it); each owner change
+/// is a datathread migration.
+///
+/// # Examples
+///
+/// ```
+/// // Figure 3: x1..x3 on node 0, x4 on node 1 -> 2 serialized delays.
+/// assert_eq!(ds_core::datathread::datascalar_crossings(&[0, 0, 0, 1]), 2);
+/// ```
+pub fn datascalar_crossings(owners: &[NodeId]) -> u64 {
+    if owners.is_empty() {
+        return 0;
+    }
+    1 + owners.windows(2).filter(|w| w[0] != w[1]).count() as u64
+}
+
+/// Serialized off-chip delays a traditional system incurs for the same
+/// chain, where `local[i]` says whether operand `i` happens to reside
+/// in the on-chip fraction of memory.
+///
+/// Every remote operand costs a request and a response, serialized by
+/// the dependence chain.
+///
+/// # Examples
+///
+/// ```
+/// // Figure 3: all four operands off-chip -> 8 serialized delays.
+/// assert_eq!(ds_core::datathread::traditional_crossings(&[false; 4]), 8);
+/// ```
+pub fn traditional_crossings(local: &[bool]) -> u64 {
+    2 * local.iter().filter(|&&l| !l).count() as u64
+}
+
+/// Mean datathread length of a dependent chain (mean same-owner run
+/// length).
+pub fn mean_thread_length(owners: &[NodeId]) -> f64 {
+    if owners.is_empty() {
+        return 0.0;
+    }
+    let runs = datascalar_crossings(owners);
+    owners.len() as f64 / runs as f64
+}
+
+/// Compares the two systems on a chain of dependent operands placed at
+/// `owners`, under the paper's Figure 3 assumption that the traditional
+/// system's on-chip fraction is node `home`'s share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainComparison {
+    /// DataScalar serialized off-chip delays.
+    pub datascalar: u64,
+    /// Traditional serialized off-chip delays.
+    pub traditional: u64,
+}
+
+/// Evaluates [`ChainComparison`] for a chain placed at `owners`, with
+/// the traditional processor chip holding node `home`'s share.
+pub fn compare_chain(owners: &[NodeId], home: NodeId) -> ChainComparison {
+    let local: Vec<bool> = owners.iter().map(|&o| o == home).collect();
+    ChainComparison {
+        datascalar: datascalar_crossings(owners),
+        traditional: traditional_crossings(&local),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_exact_numbers() {
+        // x1, x2, x3 on one chip; x4 on another. Traditional system's
+        // on-chip quarter holds none of them.
+        let owners = [0usize, 0, 0, 1];
+        let c = compare_chain(&owners, 3);
+        assert_eq!(c.datascalar, 2, "pipelined run + one migration");
+        assert_eq!(c.traditional, 8, "request+response per operand");
+    }
+
+    #[test]
+    fn all_local_chain() {
+        assert_eq!(datascalar_crossings(&[2, 2, 2]), 1);
+        assert_eq!(traditional_crossings(&[true, true, true]), 0);
+    }
+
+    #[test]
+    fn alternating_chain_is_worst_case() {
+        let owners = [0usize, 1, 0, 1];
+        assert_eq!(datascalar_crossings(&owners), 4);
+        assert_eq!(mean_thread_length(&owners), 1.0);
+    }
+
+    #[test]
+    fn empty_chain() {
+        assert_eq!(datascalar_crossings(&[]), 0);
+        assert_eq!(traditional_crossings(&[]), 0);
+        assert_eq!(mean_thread_length(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_thread_length_of_runs() {
+        let owners = [0usize, 0, 0, 0, 1, 1, 2, 2];
+        assert_eq!(datascalar_crossings(&owners), 3);
+        assert!((mean_thread_length(&owners) - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traditional_counts_only_remote() {
+        assert_eq!(traditional_crossings(&[true, false, true, false]), 4);
+    }
+}

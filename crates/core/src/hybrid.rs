@@ -1,0 +1,154 @@
+//! Hybrid parallel / DataScalar execution (§5.2).
+//!
+//! The paper argues DataScalar is "a memory system optimization, not a
+//! substitute for parallel processing": when coarse-grain parallelism
+//! exists the machine should run as a parallel processor (the hardware
+//! is already there), and fall back to SPSD execution for the serial
+//! sections — "the SPSD execution model may be a good way to reduce the
+//! execution time spent in serialized code, thus improving
+//! scalability".
+//!
+//! This module quantifies that argument with an Amdahl-style model: a
+//! program with parallel fraction `p` on `n` nodes, where the serial
+//! fraction runs either on one conventional node (pure parallel
+//! machine) or under DataScalar with a measured serial-section speedup
+//! `s` (hybrid machine).
+
+/// Speedup of a pure parallel machine on `n` nodes for parallel
+/// fraction `p` (classic Amdahl).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let s = ds_core::hybrid::parallel_speedup(0.9, 8);
+/// assert!((s - 1.0 / (0.1 + 0.9 / 8.0)).abs() < 1e-12);
+/// ```
+pub fn parallel_speedup(p: f64, n: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "parallel fraction must be in [0,1]");
+    assert!(n > 0, "need at least one node");
+    1.0 / ((1.0 - p) + p / n as f64)
+}
+
+/// Speedup of the hybrid machine: parallel sections partitioned over
+/// `n` nodes, serial sections run SPSD with DataScalar serial speedup
+/// `s` (measured, e.g., as the Figure 7 DataScalar/traditional IPC
+/// ratio).
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0,1]`, `n == 0`, or `s <= 0`.
+pub fn hybrid_speedup(p: f64, n: usize, s: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "parallel fraction must be in [0,1]");
+    assert!(n > 0, "need at least one node");
+    assert!(s > 0.0, "serial speedup must be positive");
+    1.0 / ((1.0 - p) / s + p / n as f64)
+}
+
+/// The node count beyond which adding hardware stops paying under the
+/// cost-effectiveness rule of Wood & Hill as cited in §4.4: the system
+/// is cost-effective while speedup exceeds costup. With processor cost
+/// a fraction `c` of a node (memory dominating), the costup of `n`
+/// nodes over one is `1 + (n-1)·c`.
+///
+/// Returns the largest `n ≤ max_nodes` that is cost-effective for the
+/// hybrid machine, or `None` if none is.
+pub fn max_cost_effective_nodes(p: f64, s: f64, c: f64, max_nodes: usize) -> Option<usize> {
+    assert!((0.0..=1.0).contains(&c), "cost fraction must be in [0,1]");
+    (2..=max_nodes)
+        .take_while(|&n| {
+            let costup = 1.0 + (n as f64 - 1.0) * c;
+            hybrid_speedup(p, n, s) > costup
+        })
+        .last()
+}
+
+/// One row of the §5.2 scalability comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridPoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Pure parallel speedup.
+    pub parallel: f64,
+    /// Hybrid (parallel + SPSD serial sections) speedup.
+    pub hybrid: f64,
+}
+
+/// Sweeps node counts for a given parallel fraction and serial-section
+/// DataScalar speedup.
+pub fn sweep(p: f64, s: f64, node_counts: &[usize]) -> Vec<HybridPoint> {
+    node_counts
+        .iter()
+        .map(|&n| HybridPoint {
+            nodes: n,
+            parallel: parallel_speedup(p, n),
+            hybrid: hybrid_speedup(p, n, s),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_limits() {
+        assert_eq!(parallel_speedup(0.0, 64), 1.0, "fully serial never speeds up");
+        assert!((parallel_speedup(1.0, 64) - 64.0).abs() < 1e-12);
+        // Serial fraction caps the asymptote.
+        assert!(parallel_speedup(0.9, 1_000_000) < 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn hybrid_beats_pure_parallel_when_serial_speedup_exceeds_one() {
+        for &n in &[2usize, 4, 8, 32] {
+            let pure = parallel_speedup(0.8, n);
+            let hybrid = hybrid_speedup(0.8, n, 1.5);
+            assert!(hybrid > pure, "n={n}: {hybrid} <= {pure}");
+        }
+    }
+
+    #[test]
+    fn hybrid_with_unit_serial_speedup_is_amdahl() {
+        for &n in &[1usize, 2, 16] {
+            assert!((hybrid_speedup(0.7, n, 1.0) - parallel_speedup(0.7, n)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hybrid_asymptote_is_s_over_serial_fraction() {
+        // As n -> inf, hybrid speedup -> s / (1-p).
+        let s = 1.7;
+        let p = 0.9;
+        let v = hybrid_speedup(p, 1_000_000, s);
+        assert!((v - s / (1.0 - p)).abs() < 0.01);
+    }
+
+    #[test]
+    fn cost_effectiveness_grows_with_cheap_processors() {
+        // Cheaper processing logic (smaller c) keeps more nodes
+        // cost-effective — the paper's §4.4 trend.
+        let few = max_cost_effective_nodes(0.8, 1.5, 0.5, 64);
+        let many = max_cost_effective_nodes(0.8, 1.5, 0.05, 64);
+        assert!(many.unwrap_or(0) >= few.unwrap_or(0));
+        assert!(many.unwrap_or(0) >= 8, "nearly-free processors scale far");
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_nodes_for_parallel_codes() {
+        let pts = sweep(0.95, 1.3, &[1, 2, 4, 8, 16]);
+        for w in pts.windows(2) {
+            assert!(w[1].hybrid >= w[0].hybrid);
+            assert!(w[1].parallel >= w[0].parallel);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel fraction")]
+    fn bad_fraction_rejected() {
+        parallel_speedup(1.5, 2);
+    }
+}

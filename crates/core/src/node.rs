@@ -1,0 +1,346 @@
+//! One DataScalar node: out-of-order core + memory side.
+//!
+//! The memory side implements the ESP protocol with cache
+//! correspondence:
+//!
+//! * the **canonical cache** is updated only at commit, so its contents
+//!   are a pure function of the committed prefix — identical at every
+//!   node (the correspondence invariant, asserted in tests);
+//! * issue-time probes consult the (commit-lagged) canonical cache plus
+//!   the DCUB's in-flight lines; a probe miss starts the episode's one
+//!   fetch (local read + early broadcast at the owner, BSHR wait
+//!   elsewhere);
+//! * at commit, the canonical access is replayed; a **false hit** (no
+//!   in-flight episode, yet a commit-order miss) triggers the repair:
+//!   a late (reparative) broadcast at the owner, a BSHR squash at
+//!   non-owners.
+
+use crate::bshr::{Arrival, Bshr};
+use crate::config::DsConfig;
+use crate::cub::Dcub;
+use crate::stats::NodeStats;
+use crate::Cycle;
+use ds_cpu::{ExecRecord, LoadResponse, MemSystem, OooCore, RuuTag, TraceSource};
+use ds_mem::{
+    AccessKind, Cache, CacheOutcome, MainMemory, NodeId, PageClass, PageTable, Tlb, Victim,
+};
+use ds_net::{Message, MsgKind};
+use std::rc::Rc;
+
+/// The memory side of a node (everything in Figure 5 except the CPU
+/// logic).
+#[derive(Debug)]
+pub(crate) struct MemSide {
+    id: NodeId,
+    pt: Rc<PageTable>,
+    canon: Cache,
+    icache: Cache,
+    mem: MainMemory,
+    dcub: Dcub,
+    bshr: Bshr,
+    /// Optional data TLB; misses charge a local page-table walk.
+    dtlb: Option<Tlb>,
+    tlb_walk_cycles: u64,
+    line_bytes: u64,
+    queue_penalty: u64,
+    /// Broadcasts awaiting their data-ready cycle before entering the
+    /// bus queue.
+    outgoing: Vec<(Cycle, Message)>,
+    /// Per-line broadcast sequence numbers (the paper's supplementary
+    /// tags).
+    seq: std::collections::HashMap<u64, u64>,
+    stats: NodeStats,
+}
+
+impl MemSide {
+    fn new(id: NodeId, pt: Rc<PageTable>, config: &DsConfig) -> Self {
+        MemSide {
+            id,
+            pt,
+            canon: Cache::new(config.dcache),
+            icache: Cache::new(config.icache),
+            mem: MainMemory::new(config.memory),
+            dcub: Dcub::new(),
+            bshr: Bshr::new(config.bshr_entries, config.bshr_access_cycles),
+            dtlb: config.tlb.map(Tlb::new),
+            tlb_walk_cycles: config.tlb_walk_cycles,
+            line_bytes: config.dcache.line_bytes,
+            queue_penalty: config.queue_penalty,
+            outgoing: Vec::new(),
+            seq: std::collections::HashMap::new(),
+            stats: NodeStats::default(),
+        }
+    }
+
+    fn push_broadcast(&mut self, line: u64, ready: Cycle) {
+        if self.pt.nodes() == 1 {
+            // No peers: a degenerate single-node machine never
+            // broadcasts.
+            return;
+        }
+        let seq = self.seq.entry(line).or_insert(0);
+        let msg = Message {
+            src: self.id,
+            dest: None,
+            kind: MsgKind::Broadcast,
+            line_addr: line,
+            payload_bytes: self.line_bytes,
+            seq: *seq,
+            enqueued_at: ready,
+        };
+        *seq += 1;
+        self.stats.broadcasts_sent += 1;
+        self.outgoing.push((ready, msg));
+    }
+
+    fn handle_victim(&mut self, victim: Option<Victim>, now: Cycle) {
+        let Some(v) = victim else { return };
+        if !v.dirty {
+            return;
+        }
+        if self.pt.is_local(v.line_addr, self.id) {
+            // Write-back completes in local memory (fire-and-forget:
+            // it occupies a bank but blocks nothing).
+            self.mem.access(v.line_addr, self.line_bytes, now);
+            self.stats.writebacks_local += 1;
+        } else {
+            // ESP: another node owns the line and generates the same
+            // value locally; the write-back is dropped (§3.1).
+            self.stats.writes_dropped += 1;
+        }
+    }
+
+    /// Repairs a commit-time miss that had no in-flight episode: a
+    /// broadcast at the owner, a squash at non-owners. `reparative` is
+    /// true for load false hits (counted as Table 3's late broadcasts)
+    /// and false for write-allocate store fills, which are ordinary
+    /// episode fills that merely happen at commit.
+    fn fill_repair(&mut self, line: u64, now: Cycle, reparative: bool) {
+        match self.pt.classify(line) {
+            PageClass::Replicated => {
+                self.mem.access(line, self.line_bytes, now);
+            }
+            PageClass::Owned(o) if o == self.id => {
+                self.mem.access(line, self.line_bytes, now);
+                if reparative {
+                    self.stats.late_broadcasts += 1;
+                }
+                self.push_broadcast(line, now + self.queue_penalty);
+            }
+            PageClass::Owned(_) => {
+                self.bshr.post_squash(line);
+            }
+        }
+    }
+}
+
+impl MemSystem for MemSide {
+    fn load_issued(&mut self, rec: &ExecRecord, now: Cycle, tag: RuuTag) -> (LoadResponse, bool) {
+        let addr = rec.mem_addr;
+        let line = self.canon.line_addr(addr);
+        self.stats.loads_issued += 1;
+        // Address translation: a D-TLB miss pays a local page-table
+        // walk before the cache can even be indexed.
+        let now = match &mut self.dtlb {
+            Some(tlb) => ds_mem::translate(tlb, addr, now, self.tlb_walk_cycles),
+            None => now,
+        };
+        // 1. Merge with an in-flight episode (false-miss normalisation).
+        if let Some(e) = self.dcub.get(line) {
+            return match e.ready_at {
+                Some(r) => (LoadResponse::Ready(r.max(now + 1)), false),
+                None => {
+                    self.bshr.join_wait(line, tag);
+                    (LoadResponse::Pending, false)
+                }
+            };
+        }
+        // 2. Commit-lagged canonical cache (LRU untouched at issue).
+        if self.canon.probe(addr) {
+            self.stats.issue_hits += 1;
+            return (LoadResponse::Ready(now + 1), true);
+        }
+        // 3. Start the episode's one fetch.
+        match self.pt.classify(addr) {
+            PageClass::Replicated => {
+                self.stats.local_misses += 1;
+                let done = self.mem.access(line, self.line_bytes, now);
+                self.dcub.insert(line, Some(done), false);
+                (LoadResponse::Ready(done), false)
+            }
+            PageClass::Owned(o) if o == self.id => {
+                self.stats.local_misses += 1;
+                let done = self.mem.access(line, self.line_bytes, now);
+                self.push_broadcast(line, done + self.queue_penalty);
+                self.dcub.insert(line, Some(done), true);
+                (LoadResponse::Ready(done), false)
+            }
+            PageClass::Owned(_) => {
+                self.stats.remote_accesses += 1;
+                match self.bshr.request(line, tag, now) {
+                    Some(ready) => {
+                        self.dcub.insert(line, Some(ready), false);
+                        (LoadResponse::Ready(ready), false)
+                    }
+                    None => {
+                        self.dcub.insert(line, None, false);
+                        (LoadResponse::Pending, false)
+                    }
+                }
+            }
+        }
+    }
+
+    fn mem_committed(&mut self, rec: &ExecRecord, issue_hit: Option<bool>, now: Cycle) {
+        let addr = rec.mem_addr;
+        let line = self.canon.line_addr(addr);
+        if rec.is_store() {
+            match self.canon.access(addr, AccessKind::Write) {
+                CacheOutcome::Hit => {}
+                CacheOutcome::Miss { allocated: false, .. } => {
+                    // Write-no-allocate: the store writes through to the
+                    // owner's memory and is dropped everywhere else —
+                    // created values never cross the interconnect (§3.1).
+                    if self.pt.is_local(addr, self.id) {
+                        self.mem.access(addr, rec.mem_bytes, now);
+                        self.stats.writethroughs_local += 1;
+                    } else {
+                        self.stats.writes_dropped += 1;
+                    }
+                }
+                CacheOutcome::Miss { allocated: true, victim } => {
+                    // Write-allocate configurations: the fill behaves
+                    // like a repaired miss.
+                    self.handle_victim(victim, now);
+                    if self.dcub.remove(line).is_none() {
+                        self.fill_repair(line, now, false);
+                    }
+                }
+            }
+            self.stats.stores_committed += 1;
+            self.stats.dcub_max = self.stats.dcub_max.max(self.dcub.max_occupancy());
+            return;
+        }
+        // Load: replay in commit order against the canonical cache.
+        match self.canon.access(addr, AccessKind::Read) {
+            CacheOutcome::Hit => {
+                if issue_hit == Some(false) {
+                    // Miss at issue, hit in commit order: a false miss,
+                    // already normalised by the DCUB merge.
+                    self.stats.false_misses += 1;
+                }
+            }
+            CacheOutcome::Miss { victim, .. } => {
+                self.handle_victim(victim, now);
+                if self.dcub.remove(line).is_some() {
+                    // Normal episode install: the issue-time fetch (and
+                    // any broadcast/wait) pairs with this canonical miss.
+                } else {
+                    // Hit at issue, miss in commit order: false hit.
+                    if issue_hit == Some(true) {
+                        self.stats.false_hits += 1;
+                    }
+                    self.fill_repair(line, now, true);
+                }
+            }
+        }
+        self.stats.dcub_max = self.stats.dcub_max.max(self.dcub.max_occupancy());
+    }
+
+    fn fetch_line(&mut self, pc: u64, now: Cycle) -> Cycle {
+        // Text is replicated at every node (§4.2), so instruction
+        // fetches always complete locally.
+        let line = self.icache.line_addr(pc);
+        match self.icache.access(pc, AccessKind::Read) {
+            CacheOutcome::Hit => now,
+            CacheOutcome::Miss { .. } => self.mem.access(line, self.line_bytes, now),
+        }
+    }
+}
+
+/// One DataScalar node (CPU + memory side of Figure 5).
+#[derive(Debug)]
+pub struct Node {
+    pub(crate) core: OooCore,
+    pub(crate) ms: MemSide,
+}
+
+impl Node {
+    pub(crate) fn new(id: NodeId, pt: Rc<PageTable>, config: &DsConfig) -> Self {
+        Node {
+            core: OooCore::new(config.core, config.icache.line_bytes),
+            ms: MemSide::new(id, pt, config),
+        }
+    }
+
+    /// Advances the node one cycle.
+    pub(crate) fn step(&mut self, trace: &mut TraceSource, now: Cycle) -> Result<(), ds_cpu::ExecError> {
+        self.core.step(&mut self.ms, trace, now)
+    }
+
+    /// Removes and returns broadcasts whose data is ready by `now`.
+    pub(crate) fn drain_outgoing(&mut self, now: Cycle) -> Vec<Message> {
+        let mut due: Vec<(Cycle, Message)> = Vec::new();
+        self.ms.outgoing.retain(|&(ready, msg)| {
+            if ready <= now {
+                due.push((ready, msg));
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|&(ready, msg)| (ready, msg.seq));
+        due.into_iter().map(|(_, m)| m).collect()
+    }
+
+    /// A broadcast arrived from the bus.
+    pub(crate) fn deliver(&mut self, msg: &Message, now: Cycle) {
+        debug_assert_eq!(msg.kind, MsgKind::Broadcast);
+        match self.ms.bshr.on_arrival(msg.line_addr, now) {
+            Arrival::Completed(waiters) => {
+                if let Some(&(_, ready)) = waiters.first() {
+                    self.ms.dcub.mark_ready(msg.line_addr, ready);
+                }
+                for (tag, ready) in waiters {
+                    self.core.complete_load(tag, ready);
+                }
+            }
+            Arrival::Buffered | Arrival::Squashed => {}
+        }
+    }
+
+    /// True once the node has committed the whole program.
+    pub fn is_done(&self) -> bool {
+        self.core.is_done()
+    }
+
+    /// Instructions committed.
+    pub fn committed(&self) -> u64 {
+        self.core.committed()
+    }
+
+    /// This node's trace cursor (for trace trimming).
+    pub(crate) fn fetch_cursor(&self) -> u64 {
+        self.core.fetch_cursor()
+    }
+
+    /// True when no broadcast is waiting for its data-ready cycle.
+    pub(crate) fn outgoing_is_empty(&self) -> bool {
+        self.ms.outgoing.is_empty()
+    }
+
+    /// Snapshot of this node's statistics.
+    pub fn stats(&self) -> NodeStats {
+        let mut s = self.ms.stats;
+        s.bshr = *self.ms.bshr.stats();
+        s.core = *self.core.stats();
+        s.dcub_max = s.dcub_max.max(self.ms.dcub.max_occupancy());
+        s
+    }
+
+    /// The canonical (commit-order) D-cache contents, for
+    /// correspondence checking: sorted `(line, dirty)` pairs.
+    pub fn canonical_cache_lines(&self) -> Vec<(u64, bool)> {
+        self.ms.canon.resident()
+    }
+}

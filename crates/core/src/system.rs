@@ -1,0 +1,479 @@
+//! The complete DataScalar machine.
+
+use crate::config::DsConfig;
+use crate::node::Node;
+use crate::stats::RunResult;
+use crate::Cycle;
+use ds_asm::Program;
+use ds_cpu::{ExecError, FuncCore, TraceSource};
+use ds_mem::{MemImage, PageTable, PageTableBuilder, Segment};
+use ds_net::{Fabric, MsgKind};
+use std::rc::Rc;
+
+/// The DataScalar machine: `N` nodes on a broadcast bus, all running
+/// the same program.
+///
+/// # Examples
+///
+/// See the crate-level examples and `examples/quickstart.rs`.
+#[derive(Debug)]
+pub struct DsSystem {
+    config: DsConfig,
+    nodes: Vec<Node>,
+    bus: Fabric,
+    trace: TraceSource,
+    page_table: Rc<PageTable>,
+    cycles: Cycle,
+    delivered: u64,
+}
+
+impl DsSystem {
+    /// Builds a system for `program` under `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`DsConfig::validate`]).
+    pub fn new(config: DsConfig, program: &Program) -> Self {
+        config.validate();
+        let mut ptb = PageTableBuilder::new(config.page_bytes, config.nodes);
+        for (start, end, seg) in program.regions() {
+            ptb.add_region(start, end, seg);
+        }
+        if config.replicate_text {
+            ptb.replicate_segment(Segment::Text);
+        }
+        for &vpn in &config.replicated_vpns {
+            ptb.replicate_page_of(vpn * config.page_bytes);
+        }
+        ptb.distribute_round_robin(config.dist_block_pages);
+        let page_table = Rc::new(ptb.build());
+
+        let mut mem = MemImage::new();
+        program.load(&mut mem);
+        let trace = TraceSource::new(FuncCore::with_stack(program.entry, program.stack_top), mem);
+
+        let mut bus_cfg = config.bus;
+        bus_cfg.ports = config.nodes;
+        let nodes = (0..config.nodes)
+            .map(|i| Node::new(i, Rc::clone(&page_table), &config))
+            .collect();
+        DsSystem {
+            bus: Fabric::new(config.interconnect, bus_cfg),
+            nodes,
+            trace,
+            page_table,
+            cycles: 0,
+            delivered: 0,
+            config,
+        }
+    }
+
+    /// The page table (replication/ownership map).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Final memory image view (functional state; reflects execution up
+    /// to the furthest point generated).
+    pub fn mem(&self) -> &MemImage {
+        self.trace.mem()
+    }
+
+    /// Runs until every node commits the whole program (or
+    /// `config.max_insts` instructions), returning aggregate results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-execution errors (undecodable
+    /// instructions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node commits for `config.watchdog_cycles`
+    /// consecutive cycles — a correspondence-protocol deadlock, which
+    /// the design rules out; the panic is the tripwire.
+    pub fn run(&mut self) -> Result<RunResult, ExecError> {
+        let max_insts = self.config.max_insts.unwrap_or(u64::MAX);
+        let mut last_progress_cycle = self.cycles;
+        let mut last_total = 0u64;
+        loop {
+            let now = self.cycles;
+            // 1. Every node simulates this cycle (the paper's simulator
+            //    "switches contexts after executing each cycle").
+            for node in &mut self.nodes {
+                node.step(&mut self.trace, now)?;
+            }
+            // 2. Ready broadcasts enter the bus.
+            for node in &mut self.nodes {
+                for msg in node.drain_outgoing(now) {
+                    self.bus.enqueue(msg);
+                }
+            }
+            // 3. The bus advances; completed broadcasts are delivered.
+            for delivery in self.bus.step(now) {
+                debug_assert_eq!(delivery.msg.kind, MsgKind::Broadcast);
+                self.delivered += 1;
+                if let Some(n) = self.config.fault_drop_every {
+                    if self.delivered % n == 0 {
+                        continue; // injected fault: lose the broadcast
+                    }
+                }
+                self.nodes[delivery.dest].deliver(&delivery.msg, now);
+            }
+            self.cycles += 1;
+            // 4. Trim the shared trace behind the slowest node.
+            if now % 1024 == 0 {
+                let min = self.nodes.iter().map(|n| n.fetch_cursor()).min().unwrap_or(0);
+                self.trace.trim(min);
+            }
+            // Termination and the deadlock watchdog.
+            let total: u64 = self.nodes.iter().map(|n| n.committed()).sum();
+            if total != last_total {
+                last_total = total;
+                last_progress_cycle = self.cycles;
+            } else if self.cycles - last_progress_cycle > self.config.watchdog_cycles {
+                panic!(
+                    "DataScalar deadlock: no commit in {} cycles (committed {:?})",
+                    self.config.watchdog_cycles,
+                    self.nodes.iter().map(|n| n.committed()).collect::<Vec<_>>()
+                );
+            }
+            let all_done = self
+                .nodes
+                .iter()
+                .all(|n| n.is_done() || n.committed() >= max_insts);
+            if all_done {
+                break;
+            }
+        }
+        let result = self.result();
+        self.drain_interconnect();
+        Ok(result)
+    }
+
+    /// Delivers every in-flight broadcast after the cores finish, so
+    /// the ESP send/consume ledgers balance (a node can retire its last
+    /// instruction while a reparative broadcast it triggered is still
+    /// queued). Runs outside the timed region — the reported cycle
+    /// count is the completion time.
+    fn drain_interconnect(&mut self) {
+        let mut t = self.cycles;
+        let deadline = t + 100_000_000;
+        loop {
+            for node in &mut self.nodes {
+                for msg in node.drain_outgoing(t) {
+                    self.bus.enqueue(msg);
+                }
+            }
+            for delivery in self.bus.step(t) {
+                self.nodes[delivery.dest].deliver(&delivery.msg, t);
+            }
+            t += 1;
+            let quiescent = self.bus.is_idle()
+                && self.nodes.iter().all(|n| n.outgoing_is_empty());
+            if quiescent {
+                break;
+            }
+            assert!(t < deadline, "interconnect failed to drain");
+        }
+    }
+
+    /// The results accumulated so far.
+    pub fn result(&self) -> RunResult {
+        RunResult {
+            cycles: self.cycles,
+            committed: self.nodes.iter().map(|n| n.committed()).min().unwrap_or(0),
+            nodes: self.nodes.iter().map(|n| n.stats()).collect(),
+            bus: *self.bus.stats(),
+        }
+    }
+
+    /// Checks the cache-correspondence invariant: with all nodes at the
+    /// same committed count, every canonical cache must hold exactly
+    /// the same lines with the same dirty bits.
+    pub fn correspondence_holds(&self) -> bool {
+        let counts: Vec<u64> = self.nodes.iter().map(|n| n.committed()).collect();
+        if counts.windows(2).any(|w| w[0] != w[1]) {
+            // Only comparable at equal commit points.
+            return true;
+        }
+        let reference = self.nodes[0].canonical_cache_lines();
+        self.nodes
+            .iter()
+            .all(|n| n.canonical_cache_lines() == reference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_asm::assemble;
+
+    /// A strided read-sum over an array larger than the D-cache, so
+    /// communicated misses (and broadcasts) definitely occur.
+    fn strided_prog() -> Program {
+        assemble(
+            r#"
+            .data
+            arr: .space 65536
+            .text
+            main:   li   t0, 512
+                    la   t1, arr
+                    li   t2, 0
+            loop:   ld   t3, 0(t1)
+                    add  t2, t2, t3
+                    addi t1, t1, 128
+                    addi t0, t0, -1
+                    bnez t0, loop
+                    halt
+            "#,
+        )
+        .unwrap()
+    }
+
+    /// A pointer chase through a linked list spread over many pages —
+    /// the datathreading workload of §3.2 / Figure 3.
+    fn pointer_chase_prog() -> Program {
+        // Build a list of 256 nodes, each 512 bytes apart, linked
+        // front-to-back, then chase it.
+        assemble(
+            r#"
+            .data
+            nodes: .space 131072
+            .text
+            main:   li   t0, 255
+                    la   t1, nodes
+            build:  addi t2, t1, 512
+                    sd   t2, 0(t1)
+                    mv   t1, t2
+                    addi t0, t0, -1
+                    bnez t0, build
+                    sd   zero, 0(t1)
+                    # chase
+                    la   t1, nodes
+            chase:  ld   t1, 0(t1)
+                    bnez t1, chase
+                    halt
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn run_ds(nodes: usize, prog: &Program) -> (DsSystem, crate::RunResult) {
+        let config = DsConfig::with_nodes(nodes);
+        let mut sys = DsSystem::new(config, prog);
+        let r = sys.run().unwrap();
+        (sys, r)
+    }
+
+    #[test]
+    fn two_node_system_completes_and_corresponds() {
+        let prog = strided_prog();
+        let (sys, r) = run_ds(2, &prog);
+        assert!(r.committed > 2000);
+        assert!(sys.correspondence_holds(), "canonical caches diverged");
+        // Both nodes committed the identical stream.
+        let commits: Vec<u64> = sys.nodes().iter().map(|n| n.committed()).collect();
+        assert_eq!(commits[0], commits[1]);
+    }
+
+    #[test]
+    fn broadcasts_flow_and_requests_never_do() {
+        let prog = strided_prog();
+        let (_, r) = run_ds(2, &prog);
+        assert!(r.bus.broadcasts > 0, "communicated misses must broadcast");
+        assert_eq!(r.bus.requests, 0, "ESP never sends requests");
+        assert_eq!(r.bus.responses, 0);
+        assert_eq!(r.bus.writes, 0, "ESP never sends writes");
+    }
+
+    #[test]
+    fn esp_send_consume_balance() {
+        // Every broadcast is consumed (wait, buffered-then-found, or
+        // squash) at every other node; nothing leaks.
+        let prog = strided_prog();
+        let (sys, r) = run_ds(2, &prog);
+        for (i, n) in r.nodes.iter().enumerate() {
+            let others_sent: u64 = r
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, m)| m.broadcasts_sent)
+                .sum();
+            assert_eq!(
+                n.bshr.arrivals, others_sent,
+                "node {i} must receive every peer broadcast"
+            );
+        }
+        drop(sys);
+    }
+
+    #[test]
+    fn four_node_system_works() {
+        let prog = strided_prog();
+        let (sys, r) = run_ds(4, &prog);
+        assert!(sys.correspondence_holds());
+        assert!(r.bus.broadcasts > 0);
+        assert_eq!(r.nodes.len(), 4);
+    }
+
+    #[test]
+    fn single_node_degenerates_to_uniprocessor() {
+        let prog = strided_prog();
+        let (_, r) = run_ds(1, &prog);
+        assert_eq!(r.bus.broadcasts, 0, "sole owner broadcasts to nobody... ");
+        // (bus has 1 port; broadcasts never enqueue targets) — but the
+        // run must still complete with every page local.
+        assert!(r.committed > 2000);
+        assert_eq!(r.nodes[0].remote_accesses, 0);
+    }
+
+    #[test]
+    fn pointer_chase_exercises_datathreads() {
+        let prog = pointer_chase_prog();
+        let (sys, r) = run_ds(2, &prog);
+        assert!(sys.correspondence_holds());
+        let found: u64 = r.nodes.iter().map(|n| n.bshr.found_buffered).sum();
+        let waits: u64 = r.nodes.iter().map(|n| n.bshr.waits_allocated).sum();
+        assert!(found + waits > 0, "remote chase must use the BSHR");
+    }
+
+    #[test]
+    fn functional_results_are_timing_independent() {
+        // The sum computed by the program must match a pure functional
+        // run regardless of node count.
+        let src = r#"
+            .data
+            arr: .space 16384
+            out: .word 0
+            .text
+            main:   li   t0, 256
+                    la   t1, arr
+                    li   t4, 3
+            fill:   sd   t4, 0(t1)
+                    addi t4, t4, 7
+                    addi t1, t1, 64
+                    addi t0, t0, -1
+                    bnez t0, fill
+                    li   t0, 256
+                    la   t1, arr
+                    li   t2, 0
+            sum:    ld   t3, 0(t1)
+                    add  t2, t2, t3
+                    addi t1, t1, 64
+                    addi t0, t0, -1
+                    bnez t0, sum
+                    la   t5, out
+                    sd   t2, 0(t5)
+                    halt
+        "#;
+        let prog = assemble(src).unwrap();
+        let expected: u64 = (0..256).map(|i| 3 + 7 * i).sum();
+        for nodes in [1, 2, 4] {
+            let (sys, _) = run_ds(nodes, &prog);
+            let out = sys.mem().read_u64(prog.symbol("out").unwrap());
+            assert_eq!(out, expected, "wrong sum with {nodes} nodes");
+        }
+    }
+
+    #[test]
+    fn replicated_pages_never_broadcast() {
+        let prog = strided_prog();
+        let mut config = DsConfig::with_nodes(2);
+        // Replicate every data page the program declares.
+        let (start, end, _) = prog.regions()[1];
+        config.replicated_vpns =
+            (start / config.page_bytes..=(end - 1) / config.page_bytes).collect();
+        let mut sys = DsSystem::new(config, &prog);
+        let r = sys.run().unwrap();
+        assert_eq!(r.bus.broadcasts, 0, "fully replicated data needs no broadcasts");
+        assert!(r.nodes.iter().all(|n| n.remote_accesses == 0));
+    }
+
+    #[test]
+    fn max_insts_caps_the_run() {
+        let prog = strided_prog();
+        let mut config = DsConfig::with_nodes(2);
+        config.max_insts = Some(300);
+        let mut sys = DsSystem::new(config, &prog);
+        let r = sys.run().unwrap();
+        assert!(r.committed >= 300);
+        assert!(r.committed < 1500);
+    }
+
+    #[test]
+    fn ring_interconnect_runs_and_corresponds() {
+        let prog = strided_prog();
+        for nodes in [2usize, 4] {
+            let mut config = DsConfig::with_nodes(nodes);
+            config.interconnect = ds_net::FabricKind::Ring;
+            let mut sys = DsSystem::new(config, &prog);
+            let r = sys.run().unwrap();
+            assert!(r.committed > 2000, "{nodes}-node ring run too short");
+            assert!(sys.correspondence_holds(), "ring broke correspondence");
+            assert!(r.bus.broadcasts > 0);
+            assert_eq!(r.bus.requests, 0);
+        }
+    }
+
+    #[test]
+    fn ring_and_bus_agree_functionally() {
+        let prog = strided_prog();
+        let run_with = |kind: ds_net::FabricKind| {
+            let mut config = DsConfig::with_nodes(2);
+            config.interconnect = kind;
+            let mut sys = DsSystem::new(config, &prog);
+            let r = sys.run().unwrap();
+            (r.committed, r.bus.broadcasts)
+        };
+        let bus = run_with(ds_net::FabricKind::Bus);
+        let ring = run_with(ds_net::FabricKind::Ring);
+        assert_eq!(bus.0, ring.0, "same committed stream");
+        assert_eq!(bus.1, ring.1, "same broadcast count (topology changes timing only)");
+    }
+
+    #[test]
+    #[should_panic(expected = "DataScalar deadlock")]
+    fn watchdog_catches_a_lost_broadcast() {
+        // Fault injection: dropping a broadcast must wedge the waiting
+        // node, and the watchdog must catch it rather than spinning
+        // forever — validating the deadlock tripwire end to end.
+        let prog = strided_prog();
+        let mut config = DsConfig::with_nodes(2);
+        config.fault_drop_every = Some(10);
+        config.watchdog_cycles = 50_000;
+        let mut sys = DsSystem::new(config, &prog);
+        let _ = sys.run();
+    }
+
+    #[test]
+    fn store_heavy_program_sends_no_write_traffic() {
+        // The compress observation (§4.3): stores never go off-chip.
+        let prog = assemble(
+            r#"
+            .data
+            arr: .space 65536
+            .text
+            main:   li   t0, 1024
+                    la   t1, arr
+            loop:   sd   t0, 0(t1)
+                    addi t1, t1, 64
+                    addi t0, t0, -1
+                    bnez t0, loop
+                    halt
+            "#,
+        )
+        .unwrap();
+        let (_, r) = run_ds(2, &prog);
+        assert_eq!(r.bus.writes, 0);
+        let dropped: u64 = r.nodes.iter().map(|n| n.writes_dropped).sum();
+        assert!(dropped > 0, "non-owners drop stores");
+    }
+}

@@ -1,0 +1,452 @@
+//! The traditional comparator system (Figure 6a).
+//!
+//! One IRAM chip holds `1/N` of the program's memory on-chip; the other
+//! `(N-1)/N` lives in memory chips across the same global bus, accessed
+//! with a conventional request/response protocol. Write-backs and
+//! write-throughs to off-chip lines also cross the bus — the traffic
+//! ESP eliminates. To keep the comparison fair (§4.2): the bus is the
+//! same, the cache updates at commit like the DataScalar system, and
+//! the network interface charges the same queue penalty as the
+//! broadcast queue.
+
+use crate::config::DsConfig;
+use crate::cub::Dcub;
+use crate::stats::{NodeStats, RunResult};
+use crate::Cycle;
+use ds_asm::Program;
+use ds_cpu::{
+    ExecError, ExecRecord, FuncCore, LoadResponse, MemSystem, OooCore, RuuTag, TraceSource,
+};
+use ds_mem::{
+    AccessKind, Cache, CacheOutcome, MainMemory, MemImage, PageTable, PageTableBuilder, Segment,
+    Tlb, Victim,
+};
+use ds_net::{Bus, Message, MsgKind};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Configuration of the traditional system.
+#[derive(Debug, Clone)]
+pub struct TraditionalConfig {
+    /// Shared machine parameters (core, caches, memory, bus, page
+    /// size, distribution block). `nodes = N` means `1/N` of memory is
+    /// on-chip — the paper compares an `N`-node DataScalar machine
+    /// against a traditional system with the same on-chip share.
+    pub base: DsConfig,
+}
+
+impl TraditionalConfig {
+    /// A traditional system whose on-chip share matches an `N`-node
+    /// DataScalar machine.
+    pub fn with_onchip_share(n: usize) -> Self {
+        TraditionalConfig { base: DsConfig::with_nodes(n) }
+    }
+}
+
+const CPU_PORT: usize = 0;
+const MEM_PORT: usize = 1;
+
+#[derive(Debug)]
+struct TradMemSide {
+    pt: Rc<PageTable>,
+    canon: Cache,
+    icache: Cache,
+    local_mem: MainMemory,
+    dcub: Dcub,
+    dtlb: Option<Tlb>,
+    tlb_walk_cycles: u64,
+    line_bytes: u64,
+    queue_penalty: u64,
+    /// Loads blocked on an off-chip response, per line.
+    waiting: HashMap<u64, Vec<RuuTag>>,
+    outgoing: Vec<(Cycle, Message)>,
+    seq: u64,
+    stats: NodeStats,
+}
+
+impl TradMemSide {
+    fn send(&mut self, kind: MsgKind, line: u64, payload: u64, ready: Cycle) {
+        self.outgoing.push((
+            ready,
+            Message {
+                src: CPU_PORT,
+                dest: Some(MEM_PORT),
+                kind,
+                line_addr: line,
+                payload_bytes: payload,
+                seq: self.seq,
+                enqueued_at: ready,
+            },
+        ));
+        self.seq += 1;
+    }
+
+    fn handle_victim(&mut self, victim: Option<Victim>, now: Cycle) {
+        let Some(v) = victim else { return };
+        if !v.dirty {
+            return;
+        }
+        if self.pt.is_local(v.line_addr, 0) {
+            self.local_mem.access(v.line_addr, self.line_bytes, now);
+            self.stats.writebacks_local += 1;
+        } else {
+            self.send(MsgKind::WriteBack, v.line_addr, self.line_bytes, now + self.queue_penalty);
+        }
+    }
+
+    /// A commit-time miss with no in-flight episode (false hit): fill
+    /// the canonical cache in the background, paying the traffic but
+    /// not blocking the already-completed load.
+    fn fill_repair(&mut self, line: u64, now: Cycle) {
+        if self.pt.is_local(line, 0) {
+            self.local_mem.access(line, self.line_bytes, now);
+        } else {
+            self.send(MsgKind::Request, line, 0, now + self.queue_penalty);
+        }
+    }
+}
+
+impl MemSystem for TradMemSide {
+    fn load_issued(&mut self, rec: &ExecRecord, now: Cycle, tag: RuuTag) -> (LoadResponse, bool) {
+        let addr = rec.mem_addr;
+        let line = self.canon.line_addr(addr);
+        self.stats.loads_issued += 1;
+        let now = match &mut self.dtlb {
+            Some(tlb) => ds_mem::translate(tlb, addr, now, self.tlb_walk_cycles),
+            None => now,
+        };
+        if let Some(e) = self.dcub.get(line) {
+            return match e.ready_at {
+                Some(r) => (LoadResponse::Ready(r.max(now + 1)), false),
+                None => {
+                    self.waiting.entry(line).or_default().push(tag);
+                    (LoadResponse::Pending, false)
+                }
+            };
+        }
+        if self.canon.probe(addr) {
+            self.stats.issue_hits += 1;
+            return (LoadResponse::Ready(now + 1), true);
+        }
+        if self.pt.is_local(addr, 0) {
+            self.stats.local_misses += 1;
+            let done = self.local_mem.access(line, self.line_bytes, now);
+            self.dcub.insert(line, Some(done), false);
+            (LoadResponse::Ready(done), false)
+        } else {
+            self.stats.remote_accesses += 1;
+            self.send(MsgKind::Request, line, 0, now + self.queue_penalty);
+            self.dcub.insert(line, None, false);
+            self.waiting.entry(line).or_default().push(tag);
+            (LoadResponse::Pending, false)
+        }
+    }
+
+    fn mem_committed(&mut self, rec: &ExecRecord, issue_hit: Option<bool>, now: Cycle) {
+        let addr = rec.mem_addr;
+        let line = self.canon.line_addr(addr);
+        if rec.is_store() {
+            match self.canon.access(addr, AccessKind::Write) {
+                CacheOutcome::Hit => {}
+                CacheOutcome::Miss { allocated: false, .. } => {
+                    if self.pt.is_local(addr, 0) {
+                        self.local_mem.access(addr, rec.mem_bytes, now);
+                        self.stats.writethroughs_local += 1;
+                    } else {
+                        self.send(
+                            MsgKind::WriteThrough,
+                            line,
+                            rec.mem_bytes,
+                            now + self.queue_penalty,
+                        );
+                    }
+                }
+                CacheOutcome::Miss { allocated: true, victim } => {
+                    self.handle_victim(victim, now);
+                    if self.dcub.remove(line).is_none() {
+                        self.fill_repair(line, now);
+                    }
+                }
+            }
+            self.stats.stores_committed += 1;
+            return;
+        }
+        match self.canon.access(addr, AccessKind::Read) {
+            CacheOutcome::Hit => {
+                if issue_hit == Some(false) {
+                    self.stats.false_misses += 1;
+                }
+            }
+            CacheOutcome::Miss { victim, .. } => {
+                self.handle_victim(victim, now);
+                if self.dcub.remove(line).is_none() {
+                    if issue_hit == Some(true) {
+                        self.stats.false_hits += 1;
+                    }
+                    self.fill_repair(line, now);
+                }
+            }
+        }
+    }
+
+    fn fetch_line(&mut self, pc: u64, now: Cycle) -> Cycle {
+        // Text is assumed resident on-chip (the DataScalar machine
+        // replicates it; giving the traditional system the same benefit
+        // keeps the comparison about data).
+        let line = self.icache.line_addr(pc);
+        match self.icache.access(pc, AccessKind::Read) {
+            CacheOutcome::Hit => now,
+            CacheOutcome::Miss { .. } => self.local_mem.access(line, self.line_bytes, now),
+        }
+    }
+}
+
+/// The traditional (request/response) IRAM system.
+#[derive(Debug)]
+pub struct TraditionalSystem {
+    core: OooCore,
+    ms: TradMemSide,
+    bus: Bus,
+    /// Off-chip memory chips behind the bus.
+    remote_mem: MainMemory,
+    /// Responses waiting for their data-ready cycle.
+    pending_responses: Vec<(Cycle, Message)>,
+    trace: TraceSource,
+    cycles: Cycle,
+    max_insts: u64,
+    watchdog_cycles: u64,
+    queue_penalty: u64,
+}
+
+impl TraditionalSystem {
+    /// Builds the system for `program`.
+    pub fn new(config: &TraditionalConfig, program: &Program) -> Self {
+        let base = &config.base;
+        base.validate();
+        // The same round-robin distribution as the DataScalar machine;
+        // "node 0" is the on-chip share.
+        let mut ptb = PageTableBuilder::new(base.page_bytes, base.nodes);
+        for (start, end, seg) in program.regions() {
+            ptb.add_region(start, end, seg);
+        }
+        if base.replicate_text {
+            ptb.replicate_segment(Segment::Text);
+        }
+        ptb.distribute_round_robin(base.dist_block_pages);
+        let pt = Rc::new(ptb.build());
+
+        let mut mem = MemImage::new();
+        program.load(&mut mem);
+        let mut bus_cfg = base.bus;
+        bus_cfg.ports = 2;
+        TraditionalSystem {
+            core: OooCore::new(base.core, base.icache.line_bytes),
+            ms: TradMemSide {
+                pt,
+                canon: Cache::new(base.dcache),
+                icache: Cache::new(base.icache),
+                local_mem: MainMemory::new(base.memory),
+                dcub: Dcub::new(),
+                dtlb: base.tlb.map(Tlb::new),
+                tlb_walk_cycles: base.tlb_walk_cycles,
+                line_bytes: base.dcache.line_bytes,
+                queue_penalty: base.queue_penalty,
+                waiting: HashMap::new(),
+                outgoing: Vec::new(),
+                seq: 0,
+                stats: NodeStats::default(),
+            },
+            bus: Bus::new(bus_cfg),
+            remote_mem: MainMemory::new(base.memory),
+            pending_responses: Vec::new(),
+            trace: TraceSource::new(FuncCore::with_stack(program.entry, program.stack_top), mem),
+            cycles: 0,
+            max_insts: base.max_insts.unwrap_or(u64::MAX),
+            watchdog_cycles: base.watchdog_cycles,
+            queue_penalty: base.queue_penalty,
+        }
+    }
+
+    /// Runs to completion (or the instruction cap).
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-execution errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instruction commits for the configured watchdog
+    /// window (a lost response — must not happen).
+    pub fn run(&mut self) -> Result<RunResult, ExecError> {
+        let mut last_progress = (0u64, 0u64);
+        while !self.core.is_done() && self.core.committed() < self.max_insts {
+            let now = self.cycles;
+            self.core.step(&mut self.ms, &mut self.trace, now)?;
+            // CPU-side messages enter the bus when their data is ready.
+            let mut due: Vec<(Cycle, Message)> = Vec::new();
+            self.ms.outgoing.retain(|&(ready, msg)| {
+                if ready <= now {
+                    due.push((ready, msg));
+                    false
+                } else {
+                    true
+                }
+            });
+            // Memory-side responses too.
+            self.pending_responses.retain(|&(ready, msg)| {
+                if ready <= now {
+                    due.push((ready, msg));
+                    false
+                } else {
+                    true
+                }
+            });
+            due.sort_by_key(|&(ready, msg)| (ready, msg.seq));
+            for (_, msg) in due {
+                self.bus.enqueue(msg);
+            }
+            for d in self.bus.step(now) {
+                self.on_delivery(d.msg, now);
+            }
+            self.cycles += 1;
+            if now % 1024 == 0 {
+                self.trace.trim(self.core.fetch_cursor());
+            }
+            if self.core.committed() != last_progress.0 {
+                last_progress = (self.core.committed(), self.cycles);
+            } else if self.cycles - last_progress.1 > self.watchdog_cycles {
+                panic!(
+                    "traditional system wedged at {} committed instructions",
+                    self.core.committed()
+                );
+            }
+        }
+        Ok(self.result())
+    }
+
+    fn on_delivery(&mut self, msg: Message, now: Cycle) {
+        match msg.kind {
+            MsgKind::Request => {
+                let done = self.remote_mem.access(msg.line_addr, self.ms.line_bytes, now);
+                self.pending_responses.push((
+                    done + self.queue_penalty,
+                    Message {
+                        src: MEM_PORT,
+                        dest: Some(CPU_PORT),
+                        kind: MsgKind::Response,
+                        line_addr: msg.line_addr,
+                        payload_bytes: self.ms.line_bytes,
+                        seq: msg.seq,
+                        enqueued_at: done + self.queue_penalty,
+                    },
+                ));
+            }
+            MsgKind::WriteBack | MsgKind::WriteThrough => {
+                self.remote_mem.access(msg.line_addr, msg.payload_bytes.max(1), now);
+            }
+            MsgKind::Response => {
+                let ready = now + 1;
+                self.ms.dcub.mark_ready(msg.line_addr, ready);
+                if let Some(waiters) = self.ms.waiting.remove(&msg.line_addr) {
+                    for tag in waiters {
+                        self.core.complete_load(tag, ready);
+                    }
+                }
+            }
+            MsgKind::Broadcast => unreachable!("no broadcasts in the traditional system"),
+        }
+    }
+
+    /// The results accumulated so far.
+    pub fn result(&self) -> RunResult {
+        let mut stats = self.ms.stats;
+        stats.core = *self.core.stats();
+        stats.dcub_max = self.ms.dcub.max_occupancy();
+        RunResult {
+            cycles: self.cycles,
+            committed: self.core.committed(),
+            nodes: vec![stats],
+            bus: *self.bus.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_asm::assemble;
+
+    fn strided_prog() -> Program {
+        assemble(
+            r#"
+            .data
+            arr: .space 65536
+            .text
+            main:   li   t0, 512
+                    la   t1, arr
+                    li   t2, 0
+            loop:   ld   t3, 0(t1)
+                    add  t2, t2, t3
+                    addi t1, t1, 128
+                    addi t0, t0, -1
+                    bnez t0, loop
+                    halt
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn runs_and_pays_offchip_latency() {
+        let config = TraditionalConfig::with_onchip_share(2);
+        let mut sys = TraditionalSystem::new(&config, &strided_prog());
+        let r = sys.run().unwrap();
+        assert!(r.committed > 2000);
+        let s = &r.nodes[0];
+        assert!(s.remote_accesses > 0, "half the pages are off-chip");
+        assert!(s.local_misses > 0, "half the pages are on-chip");
+        assert!(r.bus.requests > 0);
+        assert_eq!(r.bus.requests, s.remote_accesses, "one request per remote miss");
+        assert!(r.bus.responses >= r.bus.requests - 5, "responses roughly pair requests");
+        assert_eq!(r.bus.broadcasts, 0);
+    }
+
+    #[test]
+    fn smaller_onchip_share_is_slower() {
+        let mut half = TraditionalSystem::new(&TraditionalConfig::with_onchip_share(2), &strided_prog());
+        let r_half = half.run().unwrap();
+        let mut quarter =
+            TraditionalSystem::new(&TraditionalConfig::with_onchip_share(4), &strided_prog());
+        let r_quarter = quarter.run().unwrap();
+        assert!(
+            r_quarter.ipc() <= r_half.ipc() * 1.02,
+            "1/4 on-chip ({:.3}) should not beat 1/2 on-chip ({:.3})",
+            r_quarter.ipc(),
+            r_half.ipc()
+        );
+    }
+
+    #[test]
+    fn store_misses_write_through_offchip() {
+        let prog = assemble(
+            r#"
+            .data
+            arr: .space 32768
+            .text
+            main:   li   t0, 256
+                    la   t1, arr
+            loop:   sd   t0, 0(t1)
+                    addi t1, t1, 128
+                    addi t0, t0, -1
+                    bnez t0, loop
+                    halt
+            "#,
+        )
+        .unwrap();
+        let config = TraditionalConfig::with_onchip_share(2);
+        let mut sys = TraditionalSystem::new(&config, &prog);
+        let r = sys.run().unwrap();
+        assert!(r.bus.writes > 0, "off-chip store traffic exists");
+        assert!(r.nodes[0].writethroughs_local > 0, "on-chip stores stay local");
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests over the BSHR under random interleavings of
+//! requests, arrivals and squashes: nothing leaks, nothing double
+//! completes, occupancy accounting stays consistent.
+
+use ds_core::bshr::{Arrival, Bshr};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A load requests `line` (tag supplied by index).
+    Request(u64),
+    /// A broadcast for `line` arrives.
+    Arrive(u64),
+    /// The correspondence protocol posts a squash for `line`.
+    Squash(u64),
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (0u64..8, 0u8..3).prop_map(|(line, kind)| {
+        let line = line * 64;
+        match kind {
+            0 => Event::Request(line),
+            1 => Event::Arrive(line),
+            _ => Event::Squash(line),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn no_leaks_no_double_completion(
+        events in prop::collection::vec(event_strategy(), 1..200),
+    ) {
+        let mut bshr = Bshr::new(16, 2);
+        let mut completed: Vec<u64> = Vec::new(); // tags
+        let mut outstanding: HashMap<u64, Vec<u64>> = HashMap::new(); // line -> tags
+        for (i, &ev) in events.iter().enumerate() {
+            let tag = i as u64;
+            let now = i as u64 * 10;
+            match ev {
+                Event::Request(line) => {
+                    // Mirror the node's usage: join an existing wait via
+                    // the entry map, else request.
+                    if outstanding.contains_key(&line) {
+                        bshr.join_wait(line, tag);
+                        outstanding.get_mut(&line).unwrap().push(tag);
+                    } else if bshr.request(line, tag, now).is_none() {
+                        outstanding.insert(line, vec![tag]);
+                    } else {
+                        completed.push(tag); // satisfied from buffer
+                    }
+                }
+                Event::Arrive(line) => match bshr.on_arrival(line, now) {
+                    Arrival::Completed(waiters) => {
+                        let expect = outstanding.remove(&line).unwrap_or_default();
+                        let got: Vec<u64> = waiters.iter().map(|&(t, _)| t).collect();
+                        prop_assert_eq!(&got, &expect, "wrong waiters for line {:#x}", line);
+                        for (t, ready) in waiters {
+                            prop_assert!(ready >= now, "completion in the past");
+                            completed.push(t);
+                        }
+                    }
+                    Arrival::Buffered | Arrival::Squashed => {}
+                },
+                Event::Squash(line) => {
+                    // Squashes must never kill an outstanding wait.
+                    bshr.post_squash(line);
+                    prop_assert!(
+                        !outstanding.contains_key(&line) || bshr.has_wait(line),
+                        "squash destroyed a wait for {:#x}", line
+                    );
+                }
+            }
+        }
+        // Every completion is unique.
+        let mut unique = completed.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), completed.len(), "double completion");
+        // Residual waits are exactly the outstanding map.
+        for line in outstanding.keys() {
+            prop_assert!(bshr.has_wait(*line), "wait for {:#x} vanished", line);
+        }
+    }
+
+    #[test]
+    fn occupancy_never_negative_and_stats_monotone(
+        events in prop::collection::vec(event_strategy(), 1..100),
+    ) {
+        let mut bshr = Bshr::new(4, 1);
+        let mut last_arrivals = 0;
+        let mut have_wait: std::collections::HashSet<u64> = Default::default();
+        for (i, &ev) in events.iter().enumerate() {
+            match ev {
+                Event::Request(line) => {
+                    if have_wait.contains(&line) {
+                        bshr.join_wait(line, i as u64);
+                    } else if bshr.request(line, i as u64, 0).is_none() {
+                        have_wait.insert(line);
+                    }
+                }
+                Event::Arrive(line) => {
+                    if let Arrival::Completed(_) = bshr.on_arrival(line, 0) {
+                        have_wait.remove(&line);
+                    }
+                }
+                Event::Squash(line) => bshr.post_squash(line),
+            }
+            let s = bshr.stats();
+            prop_assert!(s.arrivals >= last_arrivals);
+            last_arrivals = s.arrivals;
+            prop_assert!(bshr.occupancy() <= events.len());
+            prop_assert!(s.max_occupancy >= bshr.occupancy());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests over the synchronous-ESP MMM model and the Figure 3
+//! crossing arithmetic.
+
+use ds_core::{datathread, mmm};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mmm_cycle_accounting_is_exact(
+        owners in prop::collection::vec(0usize..4, 1..200),
+        penalty in 0u64..10,
+    ) {
+        let t = mmm::simulate(&owners, penalty);
+        // Total cycles = one per word + penalty per lead change.
+        prop_assert_eq!(
+            t.total_cycles(),
+            owners.len() as u64 + t.lead_changes * penalty
+        );
+        // Runs partition the reference string.
+        prop_assert_eq!(t.runs.iter().sum::<u64>(), owners.len() as u64);
+        // Lead changes = runs - 1.
+        prop_assert_eq!(t.lead_changes, t.runs.len() as u64 - 1);
+        // Receive times strictly increase.
+        prop_assert!(t.receive_at.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn mmm_mean_run_matches_definition(
+        owners in prop::collection::vec(0usize..3, 1..100),
+    ) {
+        let t = mmm::simulate(&owners, 2);
+        let mean = owners.len() as f64 / t.runs.len() as f64;
+        prop_assert!((t.mean_run() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn datascalar_crossings_equal_mmm_runs(
+        owners in prop::collection::vec(0usize..4, 1..200),
+    ) {
+        // The Figure 3 crossing count and the MMM run count are the
+        // same quantity seen from two angles.
+        let t = mmm::simulate(&owners, 2);
+        prop_assert_eq!(
+            datathread::datascalar_crossings(&owners),
+            t.runs.len() as u64
+        );
+    }
+
+    #[test]
+    fn traditional_crossings_bound_datascalar_for_all_remote_chains(
+        owners in prop::collection::vec(1usize..4, 1..100),
+    ) {
+        // With no operand local to the requester (home = 0, owners >= 1),
+        // the traditional system pays 2 per operand; DataScalar pays at
+        // most one per operand (alternation) and at least one total.
+        let c = datathread::compare_chain(&owners, 0);
+        prop_assert!(c.datascalar >= 1);
+        prop_assert!(c.datascalar <= owners.len() as u64);
+        prop_assert_eq!(c.traditional, 2 * owners.len() as u64);
+        prop_assert!(c.datascalar <= c.traditional);
+    }
+
+    #[test]
+    fn more_penalty_never_speeds_the_mmm_up(
+        owners in prop::collection::vec(0usize..4, 1..100),
+        p in 0u64..6,
+    ) {
+        let fast = mmm::simulate(&owners, p);
+        let slow = mmm::simulate(&owners, p + 3);
+        prop_assert!(slow.total_cycles() >= fast.total_cycles());
+    }
+}

@@ -1,0 +1,1025 @@
+//! The out-of-order timing core.
+//!
+//! Modeled on SimpleScalar's `sim-outorder`, which the paper extended
+//! (§3.1, §4.2): a Register Update Unit (RUU) tracks instruction
+//! dependences, a load/store queue prevents loads from bypassing stores
+//! to the same address and forwards store data in a single cycle, and
+//! instructions issue out of order but **commit in program order** —
+//! the property the DataScalar cache-correspondence protocol builds on.
+//!
+//! Values are resolved by the functional core at fetch (the paper
+//! assumes perfect branch prediction, so the fetch stream is the
+//! architected path); this module models *when* things happen, not
+//! *what* they compute. All memory timing is delegated to a
+//! [`MemSystem`] implementation.
+
+use crate::branch::{BranchModel, Predictor};
+use crate::exec::{ExecError, ExecRecord};
+use crate::trace::TraceSource;
+use crate::Cycle;
+use ds_isa::{FuClass, Opcode};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+/// Identifies an instruction in flight: its global instruction number.
+pub type RuuTag = u64;
+
+/// The answer a [`MemSystem`] gives to an issued load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadResponse {
+    /// Data will be available at the given cycle (local service).
+    Ready(Cycle),
+    /// Data will arrive later via [`OooCore::complete_load`] (remote
+    /// service — a BSHR wait in a DataScalar node, an off-chip
+    /// request/response in the traditional system).
+    Pending,
+}
+
+/// The memory side of a node, as seen by the core.
+///
+/// Implemented by the DataScalar node, the traditional IRAM system and
+/// the perfect-cache model.
+pub trait MemSystem {
+    /// A load left the load/store queue at `now`. Returns the response
+    /// plus whether the access was a (primary-cache) hit at issue time
+    /// — the paper's per-LSQ-entry hit/miss state used by the
+    /// correspondence protocol (§4.1).
+    fn load_issued(&mut self, rec: &ExecRecord, now: Cycle, tag: RuuTag) -> (LoadResponse, bool);
+
+    /// A memory instruction committed at `now`, in program order.
+    /// `issue_hit` is the issue-time hit/miss for loads (`None` for
+    /// stores, which only touch the cache at commit, §4.2).
+    fn mem_committed(&mut self, rec: &ExecRecord, issue_hit: Option<bool>, now: Cycle);
+
+    /// Instruction fetch needs the line containing `pc`. Returns the
+    /// cycle fetch may proceed (`now` on an I-cache hit).
+    fn fetch_line(&mut self, pc: u64, now: Cycle) -> Cycle;
+}
+
+/// Functional-unit pool sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuPool {
+    /// Integer ALUs (single-cycle, pipelined).
+    pub int_alu: usize,
+    /// Integer multipliers (pipelined).
+    pub int_mul: usize,
+    /// Integer dividers (unpipelined).
+    pub int_div: usize,
+    /// FP adders (pipelined).
+    pub fp_alu: usize,
+    /// FP multipliers (pipelined).
+    pub fp_mul: usize,
+    /// FP dividers (unpipelined).
+    pub fp_div: usize,
+    /// Cache ports for loads and stores.
+    pub mem_ports: usize,
+}
+
+impl Default for FuPool {
+    /// An aggressive 8-wide machine, scaled up from SimpleScalar's
+    /// defaults to match the paper's "processor built about five years
+    /// hence".
+    fn default() -> Self {
+        FuPool { int_alu: 8, int_mul: 2, int_div: 1, fp_alu: 4, fp_mul: 2, fp_div: 1, mem_ports: 4 }
+    }
+}
+
+impl FuPool {
+    fn count(&self, class: FuClass) -> usize {
+        match class {
+            FuClass::IntAlu => self.int_alu,
+            FuClass::IntMul => self.int_mul,
+            FuClass::IntDiv => self.int_div,
+            FuClass::FpAlu => self.fp_alu,
+            FuClass::FpMul => self.fp_mul,
+            FuClass::FpDiv => self.fp_div,
+            FuClass::Mem => self.mem_ports,
+        }
+    }
+
+    fn pipelined(class: FuClass) -> bool {
+        !matches!(class, FuClass::IntDiv | FuClass::FpDiv)
+    }
+}
+
+/// Core configuration — the paper's §4.2 processor by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OooConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Register Update Unit entries (instruction window).
+    pub ruu_entries: usize,
+    /// Load/store queue entries ("half as many entries as the RUU").
+    pub lsq_entries: usize,
+    /// Functional-unit mix.
+    pub fu: FuPool,
+    /// Branch handling (the paper's baseline is perfect prediction).
+    pub branch: BranchModel,
+}
+
+impl Default for OooConfig {
+    fn default() -> Self {
+        OooConfig {
+            fetch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            ruu_entries: 256,
+            lsq_entries: 128,
+            fu: FuPool::default(),
+            branch: BranchModel::Perfect,
+        }
+    }
+}
+
+/// Aggregate core statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OooStats {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Loads committed.
+    pub loads: u64,
+    /// Stores committed.
+    pub stores: u64,
+    /// Loads whose data came from an older in-flight store (LSQ
+    /// forwarding).
+    pub forwarded_loads: u64,
+    /// Cycles fetch was blocked on the I-cache.
+    pub fetch_stall_cycles: u64,
+    /// Fetch attempts blocked by a full RUU.
+    pub ruu_full_stalls: u64,
+    /// Fetch attempts blocked by a full LSQ.
+    pub lsq_full_stalls: u64,
+    /// Conditional branches + indirect jumps fetched.
+    pub branches: u64,
+    /// Mispredicted control transfers (0 under perfect prediction).
+    pub branch_mispredicts: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EState {
+    /// Waiting on `n` producers.
+    Waiting(u32),
+    /// Operands ready, queued for a functional unit.
+    Ready,
+    /// Executing (or waiting for remote data).
+    Issued,
+    /// Result available; may commit when it reaches the head.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct RuuEntry {
+    rec: ExecRecord,
+    state: EState,
+    consumers: Vec<RuuTag>,
+    issue_hit: Option<bool>,
+    /// For loads: the older store that covers this load's bytes, if any.
+    forward_from: Option<RuuTag>,
+}
+
+/// The out-of-order core of one node.
+///
+/// Drive it with one [`OooCore::step`] per cycle; deliver remote load
+/// data with [`OooCore::complete_load`].
+#[derive(Debug)]
+pub struct OooCore {
+    config: OooConfig,
+    /// In-flight window; `window[0]` has tag `base_tag`.
+    window: VecDeque<RuuEntry>,
+    base_tag: RuuTag,
+    next_fetch: RuuTag,
+    fetch_done: bool,
+    fetch_stall_until: Cycle,
+    last_fetch_line: Option<u64>,
+    /// Tags with all operands ready, oldest first.
+    ready: BTreeSet<RuuTag>,
+    /// (completion cycle, tag) min-heap.
+    events: BinaryHeap<Reverse<(Cycle, RuuTag)>>,
+    /// Latest in-flight producer of each integer / fp register.
+    writer_i: [Option<RuuTag>; 32],
+    writer_f: [Option<RuuTag>; 32],
+    /// In-flight stores, program order: (tag, addr, bytes).
+    store_queue: VecDeque<(RuuTag, u64, u64)>,
+    /// Memory operations currently in the window (LSQ occupancy).
+    mem_in_window: usize,
+    /// Per-class unit free times.
+    fu_free: Vec<(FuClass, Vec<Cycle>)>,
+    stats: OooStats,
+    /// Line size used to decide when fetch crosses into a new I-line.
+    fetch_line_bytes: u64,
+    predictor: Predictor,
+    /// A mispredicted control transfer fetch is waiting on.
+    redirect_tag: Option<RuuTag>,
+}
+
+const FU_CLASSES: [FuClass; 7] = [
+    FuClass::IntAlu,
+    FuClass::IntMul,
+    FuClass::IntDiv,
+    FuClass::FpAlu,
+    FuClass::FpMul,
+    FuClass::FpDiv,
+    FuClass::Mem,
+];
+
+impl OooCore {
+    /// Builds an empty core.
+    ///
+    /// `fetch_line_bytes` is the I-cache line size (fetch consults the
+    /// [`MemSystem`] once per line crossed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (zero widths or window
+    /// sizes).
+    pub fn new(config: OooConfig, fetch_line_bytes: u64) -> Self {
+        assert!(config.fetch_width > 0 && config.issue_width > 0 && config.commit_width > 0);
+        assert!(config.ruu_entries > 0 && config.lsq_entries > 0);
+        assert!(fetch_line_bytes.is_power_of_two());
+        let fu_free = FU_CLASSES
+            .iter()
+            .map(|&c| (c, vec![0u64; config.fu.count(c).max(1)]))
+            .collect();
+        OooCore {
+            config,
+            window: VecDeque::with_capacity(config.ruu_entries),
+            base_tag: 0,
+            next_fetch: 0,
+            fetch_done: false,
+            fetch_stall_until: 0,
+            last_fetch_line: None,
+            ready: BTreeSet::new(),
+            events: BinaryHeap::new(),
+            writer_i: [None; 32],
+            writer_f: [None; 32],
+            store_queue: VecDeque::new(),
+            mem_in_window: 0,
+            fu_free,
+            stats: OooStats::default(),
+            fetch_line_bytes,
+            predictor: Predictor::new(config.branch),
+            redirect_tag: None,
+        }
+    }
+
+    /// The core configuration.
+    pub fn config(&self) -> &OooConfig {
+        &self.config
+    }
+
+    /// Committed-instruction statistics.
+    pub fn stats(&self) -> &OooStats {
+        &self.stats
+    }
+
+    /// True once every fetched instruction has committed and the
+    /// program has no more instructions.
+    pub fn is_done(&self) -> bool {
+        self.fetch_done && self.window.is_empty()
+    }
+
+    /// Number of instructions committed so far.
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+
+    /// Instruction number the fetch stage will read next (the node's
+    /// trace cursor; the minimum over nodes bounds trace trimming).
+    pub fn fetch_cursor(&self) -> u64 {
+        self.next_fetch
+    }
+
+    /// Tag of the oldest in-flight instruction (== committed count).
+    pub fn head_tag(&self) -> RuuTag {
+        self.base_tag
+    }
+
+    fn entry_mut(&mut self, tag: RuuTag) -> Option<&mut RuuEntry> {
+        if tag < self.base_tag {
+            return None;
+        }
+        let idx = (tag - self.base_tag) as usize;
+        self.window.get_mut(idx)
+    }
+
+    /// Supplies the completion time for a load previously answered
+    /// [`LoadResponse::Pending`]. Safe to call for already-committed or
+    /// unknown tags (ignored) — a squashed/duplicate arrival must not
+    /// wedge the core.
+    pub fn complete_load(&mut self, tag: RuuTag, available_at: Cycle) {
+        if let Some(e) = self.entry_mut(tag) {
+            if e.state == EState::Issued {
+                self.events.push(Reverse((available_at, tag)));
+            }
+        }
+    }
+
+    /// Advances one cycle: writeback, commit, issue, fetch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-execution errors from the trace source.
+    pub fn step<M: MemSystem + ?Sized>(
+        &mut self,
+        ms: &mut M,
+        trace: &mut TraceSource,
+        now: Cycle,
+    ) -> Result<(), ExecError> {
+        self.writeback(now);
+        self.commit(ms, now);
+        self.issue(ms, now);
+        self.fetch(ms, trace, now)?;
+        Ok(())
+    }
+
+    fn writeback(&mut self, now: Cycle) {
+        while let Some(&Reverse((cycle, tag))) = self.events.peek() {
+            if cycle > now {
+                break;
+            }
+            self.events.pop();
+            let consumers = {
+                let Some(e) = self.entry_mut(tag) else { continue };
+                if e.state == EState::Done {
+                    continue;
+                }
+                e.state = EState::Done;
+                std::mem::take(&mut e.consumers)
+            };
+            if self.redirect_tag == Some(tag) {
+                // The mispredicted transfer resolved: redirect fetch
+                // after the front-end refill penalty.
+                self.redirect_tag = None;
+                self.fetch_stall_until = now + 1 + self.predictor.model().penalty();
+            }
+            for c in consumers {
+                if let Some(e) = self.entry_mut(c) {
+                    if let EState::Waiting(n) = e.state {
+                        let n = n - 1;
+                        e.state = if n == 0 { EState::Ready } else { EState::Waiting(n) };
+                        if n == 0 {
+                            self.ready.insert(c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn commit<M: MemSystem + ?Sized>(&mut self, ms: &mut M, now: Cycle) {
+        for _ in 0..self.config.commit_width {
+            let Some(head) = self.window.front() else { break };
+            if head.state != EState::Done {
+                break;
+            }
+            let e = self.window.pop_front().expect("head exists");
+            let tag = self.base_tag;
+            self.base_tag += 1;
+            let op = e.rec.inst.op;
+            if op.is_mem() {
+                self.mem_in_window -= 1;
+                if op.is_store() {
+                    debug_assert_eq!(self.store_queue.front().map(|s| s.0), Some(tag));
+                    self.store_queue.pop_front();
+                    self.stats.stores += 1;
+                } else {
+                    self.stats.loads += 1;
+                }
+                ms.mem_committed(&e.rec, e.issue_hit, now);
+            }
+            // Retire rename-table pointers to this instruction.
+            for w in self.writer_i.iter_mut().chain(self.writer_f.iter_mut()) {
+                if *w == Some(tag) {
+                    *w = None;
+                }
+            }
+            self.stats.committed += 1;
+        }
+    }
+
+    fn issue<M: MemSystem + ?Sized>(&mut self, ms: &mut M, now: Cycle) {
+        let mut issued = 0;
+        let mut deferred: Vec<RuuTag> = Vec::new();
+        while issued < self.config.issue_width {
+            let Some(&tag) = self.ready.iter().next() else { break };
+            self.ready.remove(&tag);
+            let (op, rec, forward_from) = {
+                let e = self.entry_mut(tag).expect("ready entries are in-window");
+                (e.rec.inst.op, e.rec, e.forward_from)
+            };
+            let class = op.fu_class();
+            // LSQ forwarding bypasses the cache port.
+            let forwarding = op.is_load() && forward_from.is_some();
+            let unit = if forwarding { Some(usize::MAX) } else { self.acquire_fu(class, now) };
+            let Some(unit) = unit else {
+                deferred.push(tag);
+                continue;
+            };
+            let _ = unit;
+            issued += 1;
+            if forwarding {
+                self.stats.forwarded_loads += 1;
+                let e = self.entry_mut(tag).unwrap();
+                e.state = EState::Issued;
+                e.issue_hit = Some(true);
+                self.events.push(Reverse((now + 1, tag)));
+            } else if op.is_load() {
+                let (resp, hit) = ms.load_issued(&rec, now, tag);
+                let e = self.entry_mut(tag).unwrap();
+                e.state = EState::Issued;
+                e.issue_hit = Some(hit);
+                match resp {
+                    LoadResponse::Ready(at) => {
+                        self.events.push(Reverse((at.max(now + 1), tag)));
+                    }
+                    LoadResponse::Pending => {}
+                }
+            } else {
+                let e = self.entry_mut(tag).unwrap();
+                e.state = EState::Issued;
+                let lat = op.latency();
+                self.events.push(Reverse((now + lat, tag)));
+            }
+        }
+        for t in deferred {
+            self.ready.insert(t);
+        }
+    }
+
+    fn acquire_fu(&mut self, class: FuClass, now: Cycle) -> Option<usize> {
+        let (_, units) = self
+            .fu_free
+            .iter_mut()
+            .find(|(c, _)| *c == class)
+            .expect("all classes present");
+        let idx = units.iter().position(|&f| f <= now)?;
+        units[idx] = if FuPool::pipelined(class) {
+            now + 1
+        } else {
+            now + class_latency(class)
+        };
+        Some(idx)
+    }
+
+    fn fetch<M: MemSystem + ?Sized>(
+        &mut self,
+        ms: &mut M,
+        trace: &mut TraceSource,
+        now: Cycle,
+    ) -> Result<(), ExecError> {
+        if self.fetch_done {
+            return Ok(());
+        }
+        if self.fetch_stall_until > now {
+            self.stats.fetch_stall_cycles += 1;
+            return Ok(());
+        }
+        for _ in 0..self.config.fetch_width {
+            if self.window.len() >= self.config.ruu_entries {
+                self.stats.ruu_full_stalls += 1;
+                break;
+            }
+            let rec = match trace.get(self.next_fetch)? {
+                Some(r) => *r,
+                None => {
+                    self.fetch_done = true;
+                    break;
+                }
+            };
+            if rec.inst.op.is_mem() && self.mem_in_window >= self.config.lsq_entries {
+                self.stats.lsq_full_stalls += 1;
+                break;
+            }
+            // I-cache: consult the memory system once per line crossed.
+            let line = rec.pc & !(self.fetch_line_bytes - 1);
+            if self.last_fetch_line != Some(line) {
+                let avail = ms.fetch_line(rec.pc, now);
+                self.last_fetch_line = Some(line);
+                if avail > now {
+                    // The line is being fetched; fetch resumes (and the
+                    // instruction dispatches) when it arrives.
+                    self.fetch_stall_until = avail;
+                    break;
+                }
+            }
+            self.dispatch(rec);
+            self.next_fetch += 1;
+            if rec.inst.op.is_control() {
+                let correct = if rec.inst.op.is_branch() {
+                    self.stats.branches += 1;
+                    self.predictor.predict_conditional(
+                        rec.pc,
+                        rec.taken,
+                        rec.inst.branch_target(rec.pc),
+                    )
+                } else if rec.inst.op == Opcode::Jalr {
+                    self.stats.branches += 1;
+                    self.predictor.predict_indirect(rec.pc, rec.next_pc)
+                } else {
+                    true // direct jumps never mispredict
+                };
+                if !correct {
+                    // Fetch freezes until this transfer resolves; no
+                    // wrong path is issued (the correspondence protocol
+                    // forbids speculative broadcasts, §4.1).
+                    self.stats.branch_mispredicts += 1;
+                    self.redirect_tag = Some(rec.icount);
+                    self.fetch_stall_until = Cycle::MAX;
+                    break;
+                }
+            }
+            if self.fetch_stall_until > now {
+                break;
+            }
+            if rec.inst.op.is_control() && rec.taken {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn dispatch(&mut self, rec: ExecRecord) {
+        let tag = rec.icount;
+        debug_assert_eq!(tag, self.base_tag + self.window.len() as u64);
+        let op = rec.inst.op;
+        // Collect producer dependences.
+        let mut producers: Vec<RuuTag> = Vec::new();
+        for r in int_sources(&rec) {
+            if r != 0 {
+                if let Some(p) = self.writer_i[r as usize] {
+                    producers.push(p);
+                }
+            }
+        }
+        for r in fp_sources(&rec) {
+            if let Some(p) = self.writer_f[r as usize] {
+                producers.push(p);
+            }
+        }
+        // Loads depend on the youngest older overlapping store.
+        let mut forward_from = None;
+        if op.is_load() {
+            let (lo, hi) = (rec.mem_addr, rec.mem_addr + rec.mem_bytes);
+            for &(stag, saddr, sbytes) in self.store_queue.iter().rev() {
+                let (slo, shi) = (saddr, saddr + sbytes);
+                if lo < shi && slo < hi {
+                    producers.push(stag);
+                    if slo <= lo && hi <= shi {
+                        // Store covers the load: forward.
+                        forward_from = Some(stag);
+                    }
+                    break;
+                }
+            }
+        }
+        producers.sort_unstable();
+        producers.dedup();
+        // Only count producers not already done.
+        let mut deps = 0u32;
+        for &p in &producers {
+            if let Some(e) = self.entry_mut(p) {
+                if e.state != EState::Done {
+                    e.consumers.push(tag);
+                    deps += 1;
+                }
+            }
+        }
+        let state = if deps == 0 { EState::Ready } else { EState::Waiting(deps) };
+        if state == EState::Ready {
+            self.ready.insert(tag);
+        }
+        if op.is_mem() {
+            self.mem_in_window += 1;
+            if op.is_store() {
+                self.store_queue.push_back((tag, rec.mem_addr, rec.mem_bytes));
+            }
+        }
+        // Record the rename-table destination.
+        match dest_reg(&rec) {
+            Some((false, r)) if r != 0 => self.writer_i[r as usize] = Some(tag),
+            Some((true, r)) => self.writer_f[r as usize] = Some(tag),
+            _ => {}
+        }
+        self.window.push_back(RuuEntry {
+            rec,
+            state,
+            consumers: Vec::new(),
+            issue_hit: None,
+            forward_from,
+        });
+    }
+}
+
+fn class_latency(class: FuClass) -> Cycle {
+    match class {
+        FuClass::IntDiv | FuClass::FpDiv => 12,
+        _ => 1,
+    }
+}
+
+/// Integer source registers of an executed instruction.
+fn int_sources(rec: &ExecRecord) -> Vec<u8> {
+    use Opcode::*;
+    let i = rec.inst;
+    let mut v = Vec::with_capacity(2);
+    match i.op {
+        Add | Sub | Mul | Div | Rem | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu => {
+            v.push(i.rs);
+            v.push(i.rt);
+        }
+        Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai => v.push(i.rs),
+        Lui | Nop | Halt | Jal => {}
+        Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Fld => v.push(i.rs),
+        Sb | Sh | Sw | Sd => {
+            v.push(i.rs);
+            v.push(i.rd); // store value
+        }
+        Fsd => v.push(i.rs),
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            v.push(i.rs);
+            v.push(i.rt);
+        }
+        Jalr => v.push(i.rs),
+        Fcvtdw => v.push(i.rs),
+        Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fmov | Fneg | Fabs | Feq | Flt | Fle | Fcvtwd => {}
+    }
+    v
+}
+
+/// Floating-point source registers.
+fn fp_sources(rec: &ExecRecord) -> Vec<u8> {
+    use Opcode::*;
+    let i = rec.inst;
+    let mut v = Vec::with_capacity(2);
+    match i.op {
+        Fadd | Fsub | Fmul | Fdiv | Feq | Flt | Fle => {
+            v.push(i.rs);
+            v.push(i.rt);
+        }
+        Fsqrt | Fmov | Fneg | Fabs | Fcvtwd => v.push(i.rs),
+        Fsd => v.push(i.rd), // store value
+        _ => {}
+    }
+    v
+}
+
+/// Destination register: `(is_fp, reg)`.
+fn dest_reg(rec: &ExecRecord) -> Option<(bool, u8)> {
+    let i = rec.inst;
+    let op = i.op;
+    if op.writes_freg() {
+        return Some((true, i.rd));
+    }
+    use Opcode::*;
+    match op {
+        Add | Sub | Mul | Div | Rem | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu
+        | Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai | Lui | Lb | Lbu | Lh | Lhu
+        | Lw | Lwu | Ld | Feq | Flt | Fle | Fcvtwd | Jal | Jalr => Some((false, i.rd)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::FuncCore;
+    use ds_isa::{reg, Inst};
+    use ds_mem::MemImage;
+
+    /// A perfect memory system: 1-cycle loads, instant fetch.
+    struct PerfectMem {
+        loads_seen: u64,
+        commits_seen: u64,
+    }
+
+    impl PerfectMem {
+        fn new() -> Self {
+            PerfectMem { loads_seen: 0, commits_seen: 0 }
+        }
+    }
+
+    impl MemSystem for PerfectMem {
+        fn load_issued(&mut self, _r: &ExecRecord, now: Cycle, _t: RuuTag) -> (LoadResponse, bool) {
+            self.loads_seen += 1;
+            (LoadResponse::Ready(now + 1), true)
+        }
+        fn mem_committed(&mut self, _r: &ExecRecord, _h: Option<bool>, _now: Cycle) {
+            self.commits_seen += 1;
+        }
+        fn fetch_line(&mut self, _pc: u64, now: Cycle) -> Cycle {
+            now
+        }
+    }
+
+    /// Memory that delays every load by a fixed latency via Pending.
+    struct SlowMem {
+        latency: Cycle,
+        pending: Vec<(RuuTag, Cycle)>,
+    }
+
+    impl MemSystem for SlowMem {
+        fn load_issued(&mut self, _r: &ExecRecord, now: Cycle, t: RuuTag) -> (LoadResponse, bool) {
+            self.pending.push((t, now + self.latency));
+            (LoadResponse::Pending, false)
+        }
+        fn mem_committed(&mut self, _r: &ExecRecord, _h: Option<bool>, _now: Cycle) {}
+        fn fetch_line(&mut self, _pc: u64, now: Cycle) -> Cycle {
+            now
+        }
+    }
+
+    fn trace_of(prog: &[Inst]) -> TraceSource {
+        let mut mem = MemImage::new();
+        for (i, inst) in prog.iter().enumerate() {
+            mem.write_u64(0x1000 + 8 * i as u64, inst.encode());
+        }
+        TraceSource::new(FuncCore::new(0x1000), mem)
+    }
+
+    fn run_to_completion<M: MemSystem>(
+        core: &mut OooCore,
+        ms: &mut M,
+        trace: &mut TraceSource,
+        deliver: impl Fn(&mut M, &mut OooCore, Cycle),
+    ) -> Cycle {
+        let mut now = 0;
+        while !core.is_done() {
+            core.step(ms, trace, now).unwrap();
+            deliver(ms, core, now);
+            now += 1;
+            assert!(now < 1_000_000, "runaway simulation");
+        }
+        now
+    }
+
+    #[test]
+    fn straight_line_commits_everything() {
+        let prog: Vec<Inst> = (0..20)
+            .map(|k| Inst::rri(Opcode::Addi, reg::T0, reg::T0, k))
+            .chain([Inst::halt()])
+            .collect();
+        let mut trace = trace_of(&prog);
+        let mut core = OooCore::new(OooConfig::default(), 32);
+        let mut ms = PerfectMem::new();
+        run_to_completion(&mut core, &mut ms, &mut trace, |_, _, _| {});
+        assert_eq!(core.committed(), 21);
+        assert!(core.is_done());
+    }
+
+    #[test]
+    fn dependent_chain_is_serialised() {
+        // 16 dependent addis: cannot finish faster than ~16 cycles.
+        let prog: Vec<Inst> = (0..16)
+            .map(|_| Inst::rri(Opcode::Addi, reg::T0, reg::T0, 1))
+            .chain([Inst::halt()])
+            .collect();
+        let mut trace = trace_of(&prog);
+        let mut core = OooCore::new(OooConfig::default(), 32);
+        let mut ms = PerfectMem::new();
+        let cycles = run_to_completion(&mut core, &mut ms, &mut trace, |_, _, _| {});
+        assert!(cycles >= 16, "dependent chain took {cycles} cycles");
+    }
+
+    #[test]
+    fn independent_ops_exploit_width() {
+        // 64 independent adds on distinct registers: an 8-wide machine
+        // should need far fewer than 64 cycles.
+        let prog: Vec<Inst> = (0..64)
+            .map(|k| Inst::rri(Opcode::Addi, reg::T0 + (k % 8) as u8, reg::ZERO, k))
+            .chain([Inst::halt()])
+            .collect();
+        let mut trace = trace_of(&prog);
+        let mut core = OooCore::new(OooConfig::default(), 32);
+        let mut ms = PerfectMem::new();
+        let cycles = run_to_completion(&mut core, &mut ms, &mut trace, |_, _, _| {});
+        assert!(cycles < 32, "8-wide machine took {cycles} cycles for 64 indep ops");
+    }
+
+    #[test]
+    fn store_to_load_forwarding() {
+        let prog = [
+            Inst::rri(Opcode::Addi, reg::T0, reg::ZERO, 0x4000),
+            Inst::rri(Opcode::Addi, reg::T1, reg::ZERO, 7),
+            Inst::store(Opcode::Sd, reg::T1, reg::T0, 0),
+            Inst::load(Opcode::Ld, reg::T2, reg::T0, 0),
+            Inst::halt(),
+        ];
+        let mut trace = trace_of(&prog);
+        let mut core = OooCore::new(OooConfig::default(), 32);
+        let mut ms = PerfectMem::new();
+        run_to_completion(&mut core, &mut ms, &mut trace, |_, _, _| {});
+        assert_eq!(core.stats().forwarded_loads, 1);
+        assert_eq!(ms.loads_seen, 0, "forwarded load never reaches memory");
+        assert_eq!(ms.commits_seen, 2, "store + load commit via MemSystem");
+    }
+
+    #[test]
+    fn partial_overlap_blocks_but_does_not_forward() {
+        let prog = [
+            Inst::rri(Opcode::Addi, reg::T0, reg::ZERO, 0x4000),
+            Inst::store(Opcode::Sw, reg::T1, reg::T0, 0), // 4 bytes
+            Inst::load(Opcode::Ld, reg::T2, reg::T0, 0),  // 8 bytes
+            Inst::halt(),
+        ];
+        let mut trace = trace_of(&prog);
+        let mut core = OooCore::new(OooConfig::default(), 32);
+        let mut ms = PerfectMem::new();
+        run_to_completion(&mut core, &mut ms, &mut trace, |_, _, _| {});
+        assert_eq!(core.stats().forwarded_loads, 0);
+        assert_eq!(ms.loads_seen, 1, "load goes to memory after the store");
+    }
+
+    #[test]
+    fn pending_loads_complete_via_callback() {
+        let prog = [
+            Inst::rri(Opcode::Addi, reg::T0, reg::ZERO, 0x4000),
+            Inst::load(Opcode::Ld, reg::T1, reg::T0, 0),
+            Inst::rrr(Opcode::Add, reg::T2, reg::T1, reg::T1),
+            Inst::halt(),
+        ];
+        let mut trace = trace_of(&prog);
+        let mut core = OooCore::new(OooConfig::default(), 32);
+        let mut ms = SlowMem { latency: 50, pending: Vec::new() };
+        let cycles = run_to_completion(&mut core, &mut ms, &mut trace, |ms, core, now| {
+            let due: Vec<_> = ms.pending.iter().filter(|&&(_, at)| at <= now).cloned().collect();
+            ms.pending.retain(|&(_, at)| at > now);
+            for (tag, at) in due {
+                core.complete_load(tag, at.max(now + 1));
+            }
+        });
+        assert!(cycles >= 50, "load latency must gate completion, took {cycles}");
+        assert_eq!(core.committed(), 4);
+    }
+
+    #[test]
+    fn in_order_commit_of_mem_ops() {
+        // Two loads to different addresses; even if the second completes
+        // first, commits must arrive in program order.
+        struct OrderCheck {
+            committed: Vec<u64>,
+        }
+        impl MemSystem for OrderCheck {
+            fn load_issued(&mut self, r: &ExecRecord, now: Cycle, _t: RuuTag) -> (LoadResponse, bool) {
+                // First load slow, second fast.
+                let lat = if r.mem_addr == 0x4000 { 30 } else { 1 };
+                (LoadResponse::Ready(now + lat), true)
+            }
+            fn mem_committed(&mut self, r: &ExecRecord, _h: Option<bool>, _now: Cycle) {
+                self.committed.push(r.mem_addr);
+            }
+            fn fetch_line(&mut self, _pc: u64, now: Cycle) -> Cycle {
+                now
+            }
+        }
+        let prog = [
+            Inst::rri(Opcode::Addi, reg::T0, reg::ZERO, 0x4000),
+            Inst::load(Opcode::Ld, reg::T1, reg::T0, 0),
+            Inst::load(Opcode::Ld, reg::T2, reg::T0, 0x100),
+            Inst::halt(),
+        ];
+        let mut trace = trace_of(&prog);
+        let mut core = OooCore::new(OooConfig::default(), 32);
+        let mut ms = OrderCheck { committed: Vec::new() };
+        run_to_completion(&mut core, &mut ms, &mut trace, |_, _, _| {});
+        assert_eq!(ms.committed, vec![0x4000, 0x4100]);
+    }
+
+    #[test]
+    fn window_capacity_limits_runahead() {
+        let mut small = OooConfig::default();
+        small.ruu_entries = 4;
+        small.lsq_entries = 2;
+        let prog: Vec<Inst> = (0..32)
+            .map(|k| Inst::rri(Opcode::Addi, reg::T0 + (k % 4) as u8, reg::ZERO, k))
+            .chain([Inst::halt()])
+            .collect();
+        let mut trace = trace_of(&prog);
+        let mut core = OooCore::new(small, 32);
+        let mut ms = PerfectMem::new();
+        run_to_completion(&mut core, &mut ms, &mut trace, |_, _, _| {});
+        assert!(core.stats().ruu_full_stalls > 0);
+        assert_eq!(core.committed(), 33);
+    }
+
+    #[test]
+    fn icache_stall_blocks_fetch() {
+        struct SlowFetch;
+        impl MemSystem for SlowFetch {
+            fn load_issued(&mut self, _r: &ExecRecord, now: Cycle, _t: RuuTag) -> (LoadResponse, bool) {
+                (LoadResponse::Ready(now + 1), true)
+            }
+            fn mem_committed(&mut self, _r: &ExecRecord, _h: Option<bool>, _now: Cycle) {}
+            fn fetch_line(&mut self, _pc: u64, now: Cycle) -> Cycle {
+                now + 10
+            }
+        }
+        let prog: Vec<Inst> =
+            (0..8).map(|_| Inst::nop()).chain([Inst::halt()]).collect();
+        let mut trace = trace_of(&prog);
+        let mut core = OooCore::new(OooConfig::default(), 32);
+        let mut ms = SlowFetch;
+        let cycles = run_to_completion(&mut core, &mut ms, &mut trace, |_, _, _| {});
+        // 9 instructions over 3 lines (32B lines, 8B insts), each line
+        // costs 10 cycles.
+        assert!(cycles >= 30, "I-miss stalls must accumulate, took {cycles}");
+        assert!(core.stats().fetch_stall_cycles > 0);
+    }
+
+    #[test]
+    fn div_unit_is_unpipelined() {
+        // Two independent divides with one divider: serialised.
+        let prog = [
+            Inst::rri(Opcode::Addi, reg::T0, reg::ZERO, 100),
+            Inst::rri(Opcode::Addi, reg::T1, reg::ZERO, 5),
+            Inst::rrr(Opcode::Div, reg::T2, reg::T0, reg::T1),
+            Inst::rrr(Opcode::Div, reg::T3, reg::T0, reg::T1),
+            Inst::halt(),
+        ];
+        let mut trace = trace_of(&prog);
+        let mut core = OooCore::new(OooConfig::default(), 32);
+        let mut ms = PerfectMem::new();
+        let cycles = run_to_completion(&mut core, &mut ms, &mut trace, |_, _, _| {});
+        assert!(cycles >= 24, "two unpipelined 12-cycle divides, took {cycles}");
+    }
+
+    #[test]
+    fn misprediction_stalls_cost_cycles() {
+        use crate::branch::BranchModel;
+        // A data-dependent alternating branch: the bimodal predictor
+        // gets it wrong constantly, the perfect model never does.
+        let prog: Vec<Inst> = {
+            let mut v = vec![Inst::rri(Opcode::Addi, reg::S0, reg::ZERO, 64)];
+            // if (s0 & 1) skip one instruction, alternating per iteration.
+            v.push(Inst::rri(Opcode::Andi, reg::T0, reg::S0, 1));
+            v.push(Inst::branch(Opcode::Beq, reg::T0, reg::ZERO, 2));
+            v.push(Inst::rri(Opcode::Addi, reg::T1, reg::T1, 1));
+            v.push(Inst::rri(Opcode::Addi, reg::S0, reg::S0, -1));
+            v.push(Inst::branch(Opcode::Bne, reg::S0, reg::ZERO, -4));
+            v.push(Inst::halt());
+            v
+        };
+        let run = |model: BranchModel| {
+            let mut trace = trace_of(&prog);
+            let mut config = OooConfig::default();
+            config.branch = model;
+            let mut core = OooCore::new(config, 32);
+            let mut ms = PerfectMem::new();
+            let cycles = run_to_completion(&mut core, &mut ms, &mut trace, |_, _, _| {});
+            (cycles, core.stats().branch_mispredicts, core.committed())
+        };
+        let (perfect_cycles, perfect_miss, n1) = run(BranchModel::Perfect);
+        let (pred_cycles, pred_miss, n2) =
+            run(BranchModel::TwoBit { table_bits: 10, penalty: 8 });
+        assert_eq!(n1, n2, "same committed stream");
+        assert_eq!(perfect_miss, 0);
+        assert!(pred_miss > 20, "alternating branch must mispredict, got {pred_miss}");
+        assert!(
+            pred_cycles > perfect_cycles + 8 * pred_miss / 2,
+            "mispredictions must cost cycles: {pred_cycles} vs {perfect_cycles}"
+        );
+    }
+
+    #[test]
+    fn predictable_loops_barely_suffer() {
+        use crate::branch::BranchModel;
+        let prog: Vec<Inst> = (0..4)
+            .map(|k| Inst::rri(Opcode::Addi, reg::T0 + k, reg::ZERO, 1))
+            .chain([
+                Inst::rri(Opcode::Addi, reg::S0, reg::ZERO, 200),
+                Inst::rri(Opcode::Addi, reg::T1, reg::T1, 1),
+                Inst::rri(Opcode::Addi, reg::S0, reg::S0, -1),
+                Inst::branch(Opcode::Bne, reg::S0, reg::ZERO, -2),
+                Inst::halt(),
+            ])
+            .collect();
+        let run = |model: BranchModel| {
+            let mut trace = trace_of(&prog);
+            let mut config = OooConfig::default();
+            config.branch = model;
+            let mut core = OooCore::new(config, 32);
+            let mut ms = PerfectMem::new();
+            run_to_completion(&mut core, &mut ms, &mut trace, |_, _, _| {})
+        };
+        let perfect = run(BranchModel::Perfect);
+        let predicted = run(BranchModel::TwoBit { table_bits: 10, penalty: 8 });
+        assert!(
+            predicted < perfect + 60,
+            "a monotone loop should predict well: {predicted} vs {perfect}"
+        );
+    }
+
+    #[test]
+    fn complete_load_for_retired_tag_is_ignored() {
+        let prog = [Inst::nop(), Inst::halt()];
+        let mut trace = trace_of(&prog);
+        let mut core = OooCore::new(OooConfig::default(), 32);
+        let mut ms = PerfectMem::new();
+        run_to_completion(&mut core, &mut ms, &mut trace, |_, _, _| {});
+        core.complete_load(0, 5); // must not panic or corrupt
+        assert!(core.is_done());
+    }
+}

@@ -1,0 +1,270 @@
+//! Decoded instruction form, binary encoding, and disassembly.
+
+use crate::opcode::Opcode;
+use crate::reg::{self, Reg};
+use crate::INST_BYTES;
+use std::fmt;
+
+/// A decoded DS-1 instruction.
+///
+/// Field use by format:
+///
+/// | format | `rd` | `rs` | `rt` | `imm` |
+/// |---|---|---|---|---|
+/// | register ALU | dest | src1 | src2 | — |
+/// | immediate ALU | dest | src1 | — | operand |
+/// | load | dest | base | — | displacement |
+/// | store | **value source** | base | — | displacement |
+/// | branch | — | src1 | src2 | offset in *instructions* |
+/// | `jal` | link | — | — | absolute byte target |
+/// | `jalr` | link | target | — | — |
+///
+/// # Examples
+///
+/// ```
+/// use ds_isa::{Inst, Opcode, reg};
+///
+/// let ld = Inst::load(Opcode::Ld, reg::T0, reg::SP, 16);
+/// assert!(ld.op.is_load());
+/// assert_eq!(ld.to_string(), "ld t0, 16(sp)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register (or value source for stores, link for jumps).
+    pub rd: Reg,
+    /// First source register (base register for memory ops).
+    pub rs: Reg,
+    /// Second source register.
+    pub rt: Reg,
+    /// Signed 32-bit immediate.
+    pub imm: i32,
+}
+
+/// An error decoding a 64-bit instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not name a DS-1 operation.
+    BadOpcode(u8),
+    /// A register field is `>= 32`.
+    BadRegister(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "unknown opcode byte {b:#04x}"),
+            DecodeError::BadRegister(r) => write!(f, "register field {r} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Inst {
+    /// A register-register-register instruction (`op rd, rs, rt`).
+    pub fn rrr(op: Opcode, rd: Reg, rs: Reg, rt: Reg) -> Inst {
+        Inst { op, rd, rs, rt, imm: 0 }
+    }
+
+    /// A register-register-immediate instruction (`op rd, rs, imm`).
+    pub fn rri(op: Opcode, rd: Reg, rs: Reg, imm: i32) -> Inst {
+        Inst { op, rd, rs, rt: 0, imm }
+    }
+
+    /// A load: `rd <- mem[rs + imm]`.
+    pub fn load(op: Opcode, rd: Reg, base: Reg, disp: i32) -> Inst {
+        debug_assert!(op.is_load());
+        Inst { op, rd, rs: base, rt: 0, imm: disp }
+    }
+
+    /// A store: `mem[rs + imm] <- rd`.
+    pub fn store(op: Opcode, value: Reg, base: Reg, disp: i32) -> Inst {
+        debug_assert!(op.is_store());
+        Inst { op, rd: value, rs: base, rt: 0, imm: disp }
+    }
+
+    /// A conditional branch comparing `rs` and `rt`, with a PC-relative
+    /// offset measured in instructions (so `-1` branches to itself).
+    pub fn branch(op: Opcode, rs: Reg, rt: Reg, offset: i32) -> Inst {
+        debug_assert!(op.is_branch());
+        Inst { op, rd: 0, rs, rt, imm: offset }
+    }
+
+    /// `jal rd, target` — jump to the absolute byte address `target`,
+    /// writing the return address into `rd`.
+    pub fn jal(rd: Reg, target: u32) -> Inst {
+        Inst { op: Opcode::Jal, rd, rs: 0, rt: 0, imm: target as i32 }
+    }
+
+    /// `jalr rd, rs` — jump to the address in `rs`, writing the return
+    /// address into `rd`.
+    pub fn jalr(rd: Reg, rs: Reg) -> Inst {
+        Inst { op: Opcode::Jalr, rd, rs, rt: 0, imm: 0 }
+    }
+
+    /// The canonical no-op.
+    pub fn nop() -> Inst {
+        Inst { op: Opcode::Nop, rd: 0, rs: 0, rt: 0, imm: 0 }
+    }
+
+    /// The halt instruction; `a0` by convention carries the exit value.
+    pub fn halt() -> Inst {
+        Inst { op: Opcode::Halt, rd: 0, rs: 0, rt: 0, imm: 0 }
+    }
+
+    /// Encodes to the 64-bit binary word:
+    /// `opcode[63:56] | rd[55:48] | rs[47:40] | rt[39:32] | imm[31:0]`.
+    pub fn encode(self) -> u64 {
+        ((self.op as u64) << 56)
+            | ((self.rd as u64) << 48)
+            | ((self.rs as u64) << 40)
+            | ((self.rt as u64) << 32)
+            | (self.imm as u32 as u64)
+    }
+
+    /// Decodes a 64-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on an unknown opcode byte or a register
+    /// field `>= 32`.
+    pub fn decode(word: u64) -> Result<Inst, DecodeError> {
+        let op_byte = (word >> 56) as u8;
+        let op = Opcode::from_u8(op_byte).ok_or(DecodeError::BadOpcode(op_byte))?;
+        let rd = (word >> 48) as u8;
+        let rs = (word >> 40) as u8;
+        let rt = (word >> 32) as u8;
+        for r in [rd, rs, rt] {
+            if r >= 32 {
+                return Err(DecodeError::BadRegister(r));
+            }
+        }
+        let imm = word as u32 as i32;
+        Ok(Inst { op, rd, rs, rt, imm })
+    }
+
+    /// The byte address of the instruction after this one at `pc`.
+    pub fn fallthrough(pc: u64) -> u64 {
+        pc + INST_BYTES
+    }
+
+    /// For a branch at `pc`, the taken-target byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `self` is not a branch.
+    pub fn branch_target(self, pc: u64) -> u64 {
+        debug_assert!(self.op.is_branch());
+        pc.wrapping_add_signed(self.imm as i64 * INST_BYTES as i64)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Opcode::*;
+        let m = self.op.mnemonic();
+        let ir = reg::name;
+        let fr = reg::fname;
+        match self.op {
+            Nop | Halt => write!(f, "{m}"),
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu => {
+                write!(f, "{m} {}, {}, {}", ir(self.rd), ir(self.rs), ir(self.rt))
+            }
+            Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai => {
+                write!(f, "{m} {}, {}, {}", ir(self.rd), ir(self.rs), self.imm)
+            }
+            Lui => write!(f, "{m} {}, {}", ir(self.rd), self.imm),
+            Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld => {
+                write!(f, "{m} {}, {}({})", ir(self.rd), self.imm, ir(self.rs))
+            }
+            Fld => write!(f, "{m} {}, {}({})", fr(self.rd), self.imm, ir(self.rs)),
+            Sb | Sh | Sw | Sd => {
+                write!(f, "{m} {}, {}({})", ir(self.rd), self.imm, ir(self.rs))
+            }
+            Fsd => write!(f, "{m} {}, {}({})", fr(self.rd), self.imm, ir(self.rs)),
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                write!(f, "{m} {}, {}, {}", ir(self.rs), ir(self.rt), self.imm)
+            }
+            Jal => write!(f, "{m} {}, {:#x}", ir(self.rd), self.imm as u32),
+            Jalr => write!(f, "{m} {}, {}", ir(self.rd), ir(self.rs)),
+            Fadd | Fsub | Fmul | Fdiv => {
+                write!(f, "{m} {}, {}, {}", fr(self.rd), fr(self.rs), fr(self.rt))
+            }
+            Fsqrt | Fmov | Fneg | Fabs => write!(f, "{m} {}, {}", fr(self.rd), fr(self.rs)),
+            Feq | Flt | Fle => {
+                write!(f, "{m} {}, {}, {}", ir(self.rd), fr(self.rs), fr(self.rt))
+            }
+            Fcvtdw => write!(f, "{m} {}, {}", fr(self.rd), ir(self.rs)),
+            Fcvtwd => write!(f, "{m} {}, {}", ir(self.rd), fr(self.rs)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{RA, SP, T0, T1, T2};
+
+    #[test]
+    fn encode_decode_roundtrip_every_opcode() {
+        for &op in Opcode::ALL {
+            let i = Inst { op, rd: 3, rs: 17, rt: 31, imm: -12345 };
+            assert_eq!(Inst::decode(i.encode()), Ok(i), "roundtrip failed for {op:?}");
+        }
+    }
+
+    #[test]
+    fn immediate_sign_preserved() {
+        for imm in [i32::MIN, -1, 0, 1, i32::MAX] {
+            let i = Inst::rri(Opcode::Addi, T0, T1, imm);
+            assert_eq!(Inst::decode(i.encode()).unwrap().imm, imm);
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(Inst::decode(0xff << 56), Err(DecodeError::BadOpcode(0xff)));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        // add with rd = 40.
+        let word = ((Opcode::Add as u64) << 56) | (40u64 << 48);
+        assert_eq!(Inst::decode(word), Err(DecodeError::BadRegister(40)));
+    }
+
+    #[test]
+    fn branch_target_arithmetic() {
+        let b = Inst::branch(Opcode::Beq, T0, T1, -2);
+        assert_eq!(b.branch_target(0x1010), 0x1000);
+        let f = Inst::branch(Opcode::Bne, T0, T1, 3);
+        assert_eq!(f.branch_target(0x1000), 0x1018);
+        assert_eq!(Inst::fallthrough(0x1000), 0x1008);
+    }
+
+    #[test]
+    fn disassembly_formats() {
+        assert_eq!(Inst::rrr(Opcode::Add, T0, T1, T2).to_string(), "add t0, t1, t2");
+        assert_eq!(Inst::rri(Opcode::Addi, T0, T1, -4).to_string(), "addi t0, t1, -4");
+        assert_eq!(Inst::load(Opcode::Ld, T0, SP, 16).to_string(), "ld t0, 16(sp)");
+        assert_eq!(Inst::store(Opcode::Sd, T0, SP, -8).to_string(), "sd t0, -8(sp)");
+        assert_eq!(Inst::branch(Opcode::Beq, T0, T1, 5).to_string(), "beq t0, t1, 5");
+        assert_eq!(Inst::jal(RA, 0x2000).to_string(), "jal ra, 0x2000");
+        assert_eq!(Inst::jalr(0, RA).to_string(), "jalr zero, ra");
+        assert_eq!(Inst::load(Opcode::Fld, 2, SP, 0).to_string(), "fld f2, 0(sp)");
+        assert_eq!(Inst::rrr(Opcode::Fadd, 1, 2, 3).to_string(), "fadd f1, f2, f3");
+        assert_eq!(Inst::rrr(Opcode::Feq, T0, 2, 3).to_string(), "feq t0, f2, f3");
+        assert_eq!(Inst::nop().to_string(), "nop");
+        assert_eq!(Inst::halt().to_string(), "halt");
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let e = DecodeError::BadOpcode(0xff);
+        assert!(e.to_string().contains("0xff"));
+        let e = DecodeError::BadRegister(40);
+        assert!(e.to_string().contains("40"));
+    }
+}

@@ -1,0 +1,48 @@
+//! The DS-1 instruction set architecture.
+//!
+//! The DataScalar paper evaluates on the SimpleScalar toolset, whose
+//! PISA is a MIPS-like, 64-bit-encoded load/store RISC. DS-1 is our
+//! from-scratch equivalent:
+//!
+//! * 32 × 64-bit integer registers (`r0` is hard-wired to zero) and
+//!   32 × 64-bit IEEE-754 floating-point registers;
+//! * byte-addressable little-endian memory; loads/stores of 1, 2, 4 and
+//!   8 bytes;
+//! * fixed 64-bit instruction encoding (like PISA):
+//!   `opcode[63:56] | rd[55:48] | rs[47:40] | rt[39:32] | imm[31:0]`,
+//!   with `imm` a signed 32-bit field;
+//! * branches are PC-relative in units of instructions; `jal`/`j` carry
+//!   absolute byte targets in `imm`.
+//!
+//! The crate provides the [`Opcode`] taxonomy, the decoded [`Inst`]
+//! form, binary [`Inst::encode`]/[`Inst::decode`], a disassembler via
+//! [`std::fmt::Display`], and the [`reg`] ABI names used by the
+//! assembler and workloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use ds_isa::{Inst, Opcode, reg};
+//!
+//! let i = Inst::rrr(Opcode::Add, reg::T0, reg::T1, reg::T2);
+//! let word = i.encode();
+//! assert_eq!(Inst::decode(word).unwrap(), i);
+//! assert_eq!(i.to_string(), "add t0, t1, t2");
+//! ```
+
+mod inst;
+mod opcode;
+pub mod reg;
+
+pub use inst::{DecodeError, Inst};
+pub use opcode::{FuClass, MemWidth, Opcode};
+
+/// Size of one encoded instruction in bytes (DS-1 uses 64-bit words,
+/// as SimpleScalar's PISA did).
+pub const INST_BYTES: u64 = 8;
+
+/// Number of architectural integer registers.
+pub const NUM_IREGS: usize = 32;
+
+/// Number of architectural floating-point registers.
+pub const NUM_FREGS: usize = 32;

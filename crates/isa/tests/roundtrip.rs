@@ -1,0 +1,80 @@
+//! Property tests over the DS-1 binary encoding.
+
+use ds_isa::{Inst, Opcode};
+use proptest::prelude::*;
+
+fn opcode_strategy() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(Opcode::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_is_identity(
+        op in opcode_strategy(),
+        rd in 0u8..32,
+        rs in 0u8..32,
+        rt in 0u8..32,
+        imm in any::<i32>(),
+    ) {
+        let inst = Inst { op, rd, rs, rt, imm };
+        let word = inst.encode();
+        prop_assert_eq!(Inst::decode(word), Ok(inst));
+    }
+
+    #[test]
+    fn distinct_instructions_encode_distinctly(
+        op in opcode_strategy(),
+        rd in 0u8..32,
+        rs in 0u8..32,
+        rt in 0u8..32,
+        imm in any::<i32>(),
+        delta in 1i32..1000,
+    ) {
+        let a = Inst { op, rd, rs, rt, imm };
+        let b = Inst { op, rd, rs, rt, imm: imm.wrapping_add(delta) };
+        prop_assert_ne!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u64>()) {
+        // Arbitrary bit patterns must decode or error, never panic.
+        let _ = Inst::decode(word);
+    }
+
+    #[test]
+    fn decoded_instructions_reencode(word in any::<u64>()) {
+        if let Ok(inst) = Inst::decode(word) {
+            // Re-encoding reproduces the canonical word (the encoding
+            // has no dead bits other than none — every field survives).
+            prop_assert_eq!(Inst::decode(inst.encode()), Ok(inst));
+        }
+    }
+
+    #[test]
+    fn disassembly_is_nonempty_and_starts_with_mnemonic(
+        op in opcode_strategy(),
+        rd in 0u8..32,
+        rs in 0u8..32,
+        rt in 0u8..32,
+        imm in -10000i32..10000,
+    ) {
+        let inst = Inst { op, rd, rs, rt, imm };
+        let text = inst.to_string();
+        prop_assert!(!text.is_empty());
+        prop_assert!(text.starts_with(op.mnemonic()), "`{}` vs `{}`", text, op.mnemonic());
+    }
+
+    #[test]
+    fn branch_target_roundtrips_through_fallthrough(
+        rs in 0u8..32,
+        rt in 0u8..32,
+        off in -100000i32..100000,
+        pc_index in 0u64..1_000_000,
+    ) {
+        let pc = 0x1_0000 + pc_index * 8;
+        let b = Inst::branch(Opcode::Beq, rs, rt, off);
+        let target = b.branch_target(pc);
+        prop_assert_eq!(target as i64 - pc as i64, off as i64 * 8);
+        prop_assert_eq!(target % 8, pc % 8, "targets stay instruction-aligned");
+    }
+}

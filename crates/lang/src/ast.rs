@@ -1,0 +1,218 @@
+//! The DSC abstract syntax tree.
+
+/// Scalar type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE double.
+    Float,
+}
+
+impl Type {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Type::Int => "int",
+            Type::Float => "float",
+        }
+    }
+}
+
+/// Binary operators (C precedence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (int only)
+    Rem,
+    /// `<<` (int only)
+    Shl,
+    /// `>>` (int only, arithmetic)
+    Shr,
+    /// `&` (int only)
+    And,
+    /// `|` (int only)
+    Or,
+    /// `^` (int only)
+    Xor,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit, int only)
+    LogAnd,
+    /// `||` (short-circuit, int only)
+    LogOr,
+}
+
+impl BinOp {
+    /// True for comparison operators (result type `int`).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// True for operators defined only on `int`.
+    pub fn int_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::Rem
+                | BinOp::Shl
+                | BinOp::Shr
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::LogAnd
+                | BinOp::LogOr
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (int only, yields 0/1).
+    Not,
+    /// Bitwise complement (int only).
+    BitNot,
+}
+
+/// An expression, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Variable reference (local, parameter, or global scalar).
+    Var(String, usize),
+    /// Global array element: `name[index]`.
+    Index(String, Box<Expr>, usize),
+    /// Function call.
+    Call(String, Vec<Expr>, usize),
+    /// Explicit cast: `int(e)` or `float(e)`.
+    Cast(Type, Box<Expr>, usize),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>, usize),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>, usize),
+}
+
+impl Expr {
+    /// The source line the expression starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Int(_) | Expr::Float(_) => 0,
+            Expr::Var(_, l)
+            | Expr::Index(_, _, l)
+            | Expr::Call(_, _, l)
+            | Expr::Cast(_, _, l)
+            | Expr::Unary(_, _, l)
+            | Expr::Binary(_, _, _, l) => *l,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration with optional initialiser.
+    Local(Type, String, Option<Expr>, usize),
+    /// Scalar assignment (local or global).
+    Assign(String, Expr, usize),
+    /// Array-element assignment.
+    AssignIndex(String, Expr, Expr, usize),
+    /// Expression evaluated for effect (a call).
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { .. }`.
+    While(Expr, Vec<Stmt>),
+    /// `return e?;`.
+    Return(Option<Expr>, usize),
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Element type.
+    pub ty: Type,
+    /// Name.
+    pub name: String,
+    /// `Some(n)` for an array of `n` elements, `None` for a scalar.
+    pub array: Option<usize>,
+    /// Scalar initialiser (literals only).
+    pub init: Option<Expr>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Return type.
+    pub ret: Type,
+    /// Name.
+    pub name: String,
+    /// Parameters `(type, name)`.
+    pub params: Vec<(Type, String)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Global variable or array.
+    Global(Global),
+    /// Function definition.
+    Function(Function),
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::Rem.int_only());
+        assert!(BinOp::LogAnd.int_only());
+        assert!(!BinOp::Mul.int_only());
+        assert_eq!(Type::Int.name(), "int");
+        assert_eq!(Type::Float.name(), "float");
+    }
+
+    #[test]
+    fn expr_lines() {
+        let e = Expr::Binary(BinOp::Add, Box::new(Expr::Int(1)), Box::new(Expr::Int(2)), 7);
+        assert_eq!(e.line(), 7);
+        assert_eq!(Expr::Int(3).line(), 0);
+    }
+}

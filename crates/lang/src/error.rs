@@ -1,0 +1,42 @@
+//! Compiler error type.
+
+use std::fmt;
+
+/// A DSC compilation error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// 1-based source line (0 for whole-program errors).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl LangError {
+    /// Creates an error at `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        LangError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "error: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LangError::new(3, "bad token").to_string(), "line 3: bad token");
+        assert_eq!(LangError::new(0, "no main").to_string(), "error: no main");
+    }
+}

@@ -1,0 +1,236 @@
+//! DSC — a small C-like language compiling to DS-1.
+//!
+//! The paper's workloads were C programs compiled for SimpleScalar;
+//! this crate completes our from-scratch toolchain so workloads and
+//! examples can be written above assembly level. DSC is deliberately
+//! tiny but real:
+//!
+//! * types `int` (i64) and `float` (f64), with explicit `int(...)` /
+//!   `float(...)` casts (no implicit mixing);
+//! * global scalars and fixed-size global arrays;
+//! * functions with up to four parameters, locals, recursion;
+//! * `if`/`else`, `while`, `for`, `return`, full C expression
+//!   precedence (including `%`, shifts, bitwise ops on `int`);
+//! * `main()` is the entry point; its return value is stored at the
+//!   `result` symbol before `halt`, so compiled programs plug straight
+//!   into every simulator and checksum harness in the workspace.
+//!
+//! Code generation is a classic single-pass stack machine — naive but
+//! correct, and its load/store-rich output is itself a useful memory-
+//! system workload.
+//!
+//! # Examples
+//!
+//! ```
+//! let program = ds_lang::compile(r#"
+//!     int fib(int n) {
+//!         if (n < 2) { return n; }
+//!         return fib(n - 1) + fib(n - 2);
+//!     }
+//!     int main() { return fib(10); }
+//! "#).unwrap();
+//! assert!(program.symbol("result").is_some());
+//! ```
+
+mod ast;
+mod codegen;
+mod error;
+mod lexer;
+mod parser;
+
+pub use ast::{BinOp, Expr, Function, Global, Item, Program as Ast, Stmt, Type, UnOp};
+pub use error::LangError;
+
+use ds_asm::Program;
+
+/// Compiles DSC source into a loadable DS-1 [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`LangError`] with a line number for lexical, syntactic,
+/// or semantic problems (unknown names, type mismatches, arity errors).
+pub fn compile(source: &str) -> Result<Program, LangError> {
+    let tokens = lexer::lex(source)?;
+    let ast = parser::parse(&tokens)?;
+    codegen::generate(&ast)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use ds_asm::Program;
+    use ds_cpu::FuncCore;
+    use ds_mem::MemImage;
+
+    /// Compiles and runs a DSC program; returns the value `main`
+    /// returned (read back from the `result` symbol).
+    pub fn run_dsc(source: &str) -> i64 {
+        let program = crate::compile(source).expect("compiles");
+        run_program(&program)
+    }
+
+    /// Runs an already-compiled program.
+    pub fn run_program(program: &Program) -> i64 {
+        let mut mem = MemImage::new();
+        program.load(&mut mem);
+        let mut cpu = FuncCore::with_stack(program.entry, program.stack_top);
+        cpu.run(&mut mem, 200_000_000).expect("executes");
+        assert!(cpu.halted(), "program did not halt");
+        mem.read_u64(program.symbol("result").expect("result symbol")) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::run_dsc;
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run_dsc("int main() { return 2 + 3 * 4; }"), 14);
+        assert_eq!(run_dsc("int main() { return (2 + 3) * 4; }"), 20);
+        assert_eq!(run_dsc("int main() { return 7 / 2 + 7 % 2; }"), 4);
+        assert_eq!(run_dsc("int main() { return 1 << 4 | 3; }"), 19);
+        assert_eq!(run_dsc("int main() { return -5 + 2; }"), -3);
+        assert_eq!(run_dsc("int main() { return !0 + !7; }"), 1);
+        assert_eq!(run_dsc("int main() { return ~0; }"), -1);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(run_dsc("int main() { return 3 < 5; }"), 1);
+        assert_eq!(run_dsc("int main() { return 3 >= 5; }"), 0);
+        assert_eq!(run_dsc("int main() { return 1 && 2; }"), 1);
+        assert_eq!(run_dsc("int main() { return 0 || 0; }"), 0);
+        assert_eq!(run_dsc("int main() { return (1 == 1) + (2 != 2); }"), 1);
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // The rhs would divide by a guarded zero-check... use an array
+        // store as the observable side effect instead.
+        let v = run_dsc(
+            r#"
+            int hits;
+            int bump() { hits = hits + 1; return 1; }
+            int main() {
+                int a; a = 0 && bump();
+                int b; b = 1 || bump();
+                return hits * 10 + a + b;
+            }
+            "#,
+        );
+        assert_eq!(v, 1, "neither bump() may run");
+    }
+
+    #[test]
+    fn locals_params_and_calls() {
+        let v = run_dsc(
+            r#"
+            int add3(int a, int b, int c) { return a + b + c; }
+            int main() {
+                int x; x = add3(1, 2, 3);
+                int y; y = add3(x, x, x);
+                return y;
+            }
+            "#,
+        );
+        assert_eq!(v, 18);
+    }
+
+    #[test]
+    fn recursion() {
+        assert_eq!(
+            run_dsc(
+                "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }\n                 int main() { return fib(15); }"
+            ),
+            610
+        );
+    }
+
+    #[test]
+    fn while_and_for_loops() {
+        assert_eq!(
+            run_dsc("int main() { int s; int i; i = 1; while (i <= 10) { s = s + i; i = i + 1; } return s; }"),
+            55
+        );
+        assert_eq!(
+            run_dsc("int main() { int s; for (int i = 0; i < 5; i = i + 1) { s = s + i * i; } return s; }"),
+            30
+        );
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        let v = run_dsc(
+            r#"
+            int total = 7;
+            int xs[10];
+            int main() {
+                for (int i = 0; i < 10; i = i + 1) { xs[i] = i * 3; }
+                for (int i = 0; i < 10; i = i + 1) { total = total + xs[i]; }
+                return total;
+            }
+            "#,
+        );
+        assert_eq!(v, 7 + 3 * 45);
+    }
+
+    #[test]
+    fn floats_and_casts() {
+        assert_eq!(run_dsc("int main() { float x; x = 2.5; return int(x * 4.0); }"), 10);
+        assert_eq!(run_dsc("int main() { return int(float(7) / 2.0 * 2.0); }"), 7);
+        assert_eq!(
+            run_dsc("float half(float v) { return v / 2.0; } int main() { return int(half(9.0) * 10.0); }"),
+            45
+        );
+        assert_eq!(run_dsc("int main() { return (1.5 < 2.5) + (1.5 == 1.5); }"), 2);
+    }
+
+    #[test]
+    fn float_arrays() {
+        let v = run_dsc(
+            r#"
+            float fs[8];
+            int main() {
+                for (int i = 0; i < 8; i = i + 1) { fs[i] = float(i) + 0.5; }
+                float s;
+                for (int i = 0; i < 8; i = i + 1) { s = s + fs[i]; }
+                return int(s);
+            }
+            "#,
+        );
+        assert_eq!(v, 32); // 0.5+1.5+...+7.5 = 32.0
+    }
+
+    #[test]
+    fn nested_expressions_spill_correctly() {
+        // Deep nesting with calls inside operands: the stack-machine
+        // codegen must preserve partial results across calls.
+        let v = run_dsc(
+            r#"
+            int id(int x) { return x; }
+            int main() {
+                return id(1) + (id(2) * (id(3) + id(4) * (id(5) + id(6))));
+            }
+            "#,
+        );
+        assert_eq!(v, 1 + 2 * (3 + 4 * (5 + 6)));
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let e = crate::compile("int main() { return undefined_var; }").unwrap_err();
+        assert!(e.to_string().contains("undefined_var"), "{e}");
+        let e = crate::compile("int main() { return 1.5 + 1; }").unwrap_err();
+        assert!(e.to_string().contains("type"), "{e}");
+        let e = crate::compile("int main() { return f(); }").unwrap_err();
+        assert!(e.to_string().contains("f"), "{e}");
+        let e = crate::compile("int main() { @ }").unwrap_err();
+        assert!(e.line > 0);
+    }
+
+    #[test]
+    fn main_is_required() {
+        let e = crate::compile("int helper() { return 1; }").unwrap_err();
+        assert!(e.to_string().contains("main"), "{e}");
+    }
+}

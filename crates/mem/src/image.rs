@@ -1,0 +1,212 @@
+//! Sparse byte-addressable memory image for functional execution.
+
+use crate::Addr;
+use std::collections::HashMap;
+
+/// Storage granularity of the sparse image (independent of the
+/// architectural page size configured in the [`crate::PageTable`]).
+const CHUNK: u64 = 4096;
+
+/// A sparse, little-endian, byte-addressable memory image.
+///
+/// Reads of unmapped memory return zero; writes allocate backing
+/// storage on demand. In a DataScalar system every node runs the same
+/// program and computes every store, so each node's functional image is
+/// the *entire* address space — ownership affects only timing, never
+/// values. One shared `MemImage` therefore backs all nodes.
+///
+/// # Examples
+///
+/// ```
+/// use ds_mem::MemImage;
+///
+/// let mut m = MemImage::new();
+/// m.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(m.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(m.read_u64(0x9_0000), 0, "unmapped reads as zero");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemImage {
+    chunks: HashMap<u64, Box<[u8]>>,
+}
+
+impl MemImage {
+    /// Creates an empty (all-zero) image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn chunk(&self, addr: Addr) -> Option<&[u8]> {
+        self.chunks.get(&(addr / CHUNK)).map(|c| &**c)
+    }
+
+    fn chunk_mut(&mut self, addr: Addr) -> &mut [u8] {
+        self.chunks
+            .entry(addr / CHUNK)
+            .or_insert_with(|| vec![0u8; CHUNK as usize].into_boxed_slice())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        match self.chunk(addr) {
+            Some(c) => c[(addr % CHUNK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) {
+        let off = (addr % CHUNK) as usize;
+        self.chunk_mut(addr)[off] = value;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr`. Accesses may
+    /// straddle chunk boundaries; no alignment is required.
+    fn read_le<const N: usize>(&self, addr: Addr) -> [u8; N] {
+        let mut out = [0u8; N];
+        // Fast path: within one chunk.
+        let off = (addr % CHUNK) as usize;
+        if off + N <= CHUNK as usize {
+            if let Some(c) = self.chunk(addr) {
+                out.copy_from_slice(&c[off..off + N]);
+            }
+            return out;
+        }
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        out
+    }
+
+    fn write_le<const N: usize>(&mut self, addr: Addr, bytes: [u8; N]) {
+        let off = (addr % CHUNK) as usize;
+        if off + N <= CHUNK as usize {
+            self.chunk_mut(addr)[off..off + N].copy_from_slice(&bytes);
+            return;
+        }
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: Addr) -> u16 {
+        u16::from_le_bytes(self.read_le(addr))
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: Addr, value: u16) {
+        self.write_le(addr, value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        u32::from_le_bytes(self.read_le(addr))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: Addr, value: u32) {
+        self.write_le(addr, value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        u64::from_le_bytes(self.read_le(addr))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        self.write_le(addr, value.to_le_bytes());
+    }
+
+    /// Reads an `f64` (IEEE-754 bits via `u64`).
+    pub fn read_f64(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&mut self, addr: Addr, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Copies `bytes` into the image starting at `addr`.
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    pub fn read_bytes(&self, addr: Addr, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+
+    /// Number of backing chunks allocated (a proxy for touched
+    /// footprint; each chunk is 4 KiB).
+    pub fn allocated_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let m = MemImage::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u64(123456789), 0);
+        assert_eq!(m.allocated_chunks(), 0);
+    }
+
+    #[test]
+    fn widths_roundtrip() {
+        let mut m = MemImage::new();
+        m.write_u8(10, 0xab);
+        m.write_u16(20, 0xcdef);
+        m.write_u32(30, 0x1234_5678);
+        m.write_u64(40, 0x1122_3344_5566_7788);
+        m.write_f64(50, -3.5);
+        assert_eq!(m.read_u8(10), 0xab);
+        assert_eq!(m.read_u16(20), 0xcdef);
+        assert_eq!(m.read_u32(30), 0x1234_5678);
+        assert_eq!(m.read_u64(40), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_f64(50), -3.5);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = MemImage::new();
+        m.write_u32(0, 0x0403_0201);
+        assert_eq!(m.read_u8(0), 1);
+        assert_eq!(m.read_u8(1), 2);
+        assert_eq!(m.read_u8(2), 3);
+        assert_eq!(m.read_u8(3), 4);
+    }
+
+    #[test]
+    fn straddles_chunk_boundary() {
+        let mut m = MemImage::new();
+        let addr = CHUNK - 3;
+        m.write_u64(addr, 0xa1b2_c3d4_e5f6_0718);
+        assert_eq!(m.read_u64(addr), 0xa1b2_c3d4_e5f6_0718);
+        assert_eq!(m.allocated_chunks(), 2);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let mut m = MemImage::new();
+        let data: Vec<u8> = (0..100).collect();
+        m.write_bytes(5000, &data);
+        assert_eq!(m.read_bytes(5000, 100), data);
+    }
+
+    #[test]
+    fn overwrite_takes_effect() {
+        let mut m = MemImage::new();
+        m.write_u64(64, 1);
+        m.write_u64(64, 2);
+        assert_eq!(m.read_u64(64), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! Memory substrate for the DataScalar reproduction.
+//!
+//! This crate provides every memory-system component both the
+//! DataScalar machine and its traditional comparator are built from:
+//!
+//! * [`MemImage`] — a sparse, byte-addressable, little-endian memory
+//!   image used by functional execution (every DataScalar node computes
+//!   every store, so each node's functional image is the full address
+//!   space — the *timing* partition lives in the [`PageTable`]);
+//! * [`PageTable`] — the paper's single-level page table with one
+//!   *replicated* bit and one *ownership* bit per page (§4.2), plus the
+//!   builders that replicate heavily-used pages and distribute the
+//!   communicated pages round-robin in blocks (§3.2);
+//! * [`Cache`] — a parameterised set-associative cache state model with
+//!   true-LRU replacement and configurable write policy. The paper's
+//!   D-caches are write-back, write-no-allocate (§4.2); its trace
+//!   experiments use write-back, write-allocate (§3.1); both are
+//!   expressible;
+//! * [`MainMemory`] — banked on-chip DRAM timing (§4.2: 8 ns banks
+//!   behind a core-clocked on-chip bus).
+
+mod bank;
+mod cache;
+mod image;
+mod page;
+mod tlb;
+
+pub use bank::{MainMemory, MemoryTimingConfig};
+pub use cache::{AccessKind, Cache, CacheConfig, CacheOutcome, Victim, WritePolicy};
+pub use image::MemImage;
+pub use page::{NodeId, PageClass, PageTable, PageTableBuilder, Segment};
+pub use tlb::{translate, Tlb, TlbConfig};
+
+/// A byte address in the simulated machine.
+pub type Addr = u64;
+
+/// A simulation cycle count.
+pub type Cycle = u64;

@@ -1,0 +1,139 @@
+//! Interconnect abstraction: bus or ring.
+//!
+//! §4.4 surveys three technologies for the DataScalar interconnect:
+//! buses (broadcasts implicit, but not scalable), rings (SCI-style,
+//! pipelined, broadcasts observed in different orders), and free-space
+//! optics (broadcasts essentially free — expressible here as a very
+//! wide, core-clocked bus). [`Fabric`] lets the system models swap
+//! among them without caring which is underneath.
+
+use crate::ring::{Ring, RingConfig};
+use crate::{Bus, BusConfig, BusStats, Cycle, Delivery, Message};
+
+/// Which interconnect to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FabricKind {
+    /// A single shared bus (the paper's evaluated configuration).
+    #[default]
+    Bus,
+    /// A unidirectional slotted ring (the paper's envisioned
+    /// high-performance fabric).
+    Ring,
+}
+
+/// A bus or ring behind one interface.
+#[derive(Debug, Clone)]
+pub enum Fabric {
+    /// Shared-bus fabric.
+    Bus(Bus),
+    /// Slotted-ring fabric.
+    Ring(Ring),
+}
+
+impl Fabric {
+    /// Builds the fabric of `kind` from shared geometry. Rings need at
+    /// least two ports; degenerate single-node systems fall back to a
+    /// bus (which never carries traffic there anyway).
+    pub fn new(kind: FabricKind, config: BusConfig) -> Self {
+        match kind {
+            FabricKind::Ring if config.ports >= 2 => Fabric::Ring(Ring::new(RingConfig {
+                ports: config.ports,
+                width_bytes: config.width_bytes,
+                clock_divisor: config.clock_divisor,
+                header_bytes: config.header_bytes,
+            })),
+            _ => Fabric::Bus(Bus::new(config)),
+        }
+    }
+
+    /// Queues a message at its source port.
+    pub fn enqueue(&mut self, msg: Message) {
+        match self {
+            Fabric::Bus(b) => b.enqueue(msg),
+            Fabric::Ring(r) => r.enqueue(msg),
+        }
+    }
+
+    /// Advances one core cycle.
+    pub fn step(&mut self, now: Cycle) -> Vec<Delivery> {
+        match self {
+            Fabric::Bus(b) => b.step(now),
+            Fabric::Ring(r) => r.step(now),
+        }
+    }
+
+    /// True when nothing is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        match self {
+            Fabric::Bus(b) => b.is_idle(),
+            Fabric::Ring(r) => r.is_idle(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &BusStats {
+        match self {
+            Fabric::Bus(b) => b.stats(),
+            Fabric::Ring(r) => r.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MsgKind;
+
+    fn bmsg(src: usize) -> Message {
+        Message {
+            src,
+            dest: None,
+            kind: MsgKind::Broadcast,
+            line_addr: 0,
+            payload_bytes: 32,
+            seq: 0,
+            enqueued_at: 0,
+        }
+    }
+
+    #[test]
+    fn both_kinds_deliver_broadcasts_to_all_peers() {
+        for kind in [FabricKind::Bus, FabricKind::Ring] {
+            let mut f = Fabric::new(
+                kind,
+                BusConfig { ports: 3, width_bytes: 8, clock_divisor: 1, header_bytes: 8 },
+            );
+            f.enqueue(bmsg(0));
+            let mut got = 0;
+            for now in 0..100 {
+                got += f.step(now).len();
+            }
+            assert_eq!(got, 2, "{kind:?}");
+            assert!(f.is_idle());
+            assert_eq!(f.stats().broadcasts, 1);
+        }
+    }
+
+    #[test]
+    fn single_port_ring_falls_back_to_bus() {
+        let f = Fabric::new(FabricKind::Ring, BusConfig { ports: 1, ..Default::default() });
+        assert!(matches!(f, Fabric::Bus(_)));
+    }
+
+    #[test]
+    fn ring_broadcast_latency_beats_bus_for_nearest_neighbour() {
+        let config = BusConfig { ports: 4, width_bytes: 8, clock_divisor: 1, header_bytes: 8 };
+        let first_arrival = |mut f: Fabric| -> u64 {
+            f.enqueue(bmsg(0));
+            for now in 0..1000 {
+                if let Some(d) = f.step(now).first() {
+                    return d.at;
+                }
+            }
+            panic!("no delivery");
+        };
+        let bus = first_arrival(Fabric::new(FabricKind::Bus, config));
+        let ring = first_arrival(Fabric::new(FabricKind::Ring, config));
+        assert!(ring <= bus, "nearest ring neighbour ({ring}) vs bus ({bus})");
+    }
+}

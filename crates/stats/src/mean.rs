@@ -1,0 +1,139 @@
+//! Running arithmetic means and the geometric mean used for summary rows.
+
+/// A running arithmetic mean that does not store its samples.
+///
+/// The paper reports arithmetic means of datathread lengths (Table 2) and
+/// of per-node broadcast percentages (Table 3); this accumulator backs
+/// both.
+///
+/// # Examples
+///
+/// ```
+/// use ds_stats::Mean;
+///
+/// let mut m = Mean::new();
+/// m.add(1.0);
+/// m.add(3.0);
+/// assert_eq!(m.mean(), 2.0);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Mean {
+    sum: f64,
+    count: u64,
+}
+
+impl Mean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: f64) {
+        self.sum += sample;
+        self.count += 1;
+    }
+
+    /// Adds a sample with an integral weight (equivalent to adding it
+    /// `weight` times).
+    pub fn add_weighted(&mut self, sample: f64, weight: u64) {
+        self.sum += sample * weight as f64;
+        self.count += weight;
+    }
+
+    /// The arithmetic mean of all samples so far, or `0.0` if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The number of samples accumulated.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// True if no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+impl Extend<f64> for Mean {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+/// The geometric mean of a slice of strictly positive values.
+///
+/// Returns `None` for an empty slice or when any value is not strictly
+/// positive (the geometric mean is undefined there).
+///
+/// # Examples
+///
+/// ```
+/// let g = ds_stats::geometric_mean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_mean_is_zero() {
+        let m = Mean::new();
+        assert_eq!(m.mean(), 0.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn weighted_matches_repeated_adds() {
+        let mut a = Mean::new();
+        let mut b = Mean::new();
+        a.add_weighted(2.5, 4);
+        for _ in 0..4 {
+            b.add(2.5);
+        }
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.count(), b.count());
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut m = Mean::new();
+        m.extend([2.0, 4.0, 6.0]);
+        assert_eq!(m.mean(), 4.0);
+    }
+
+    #[test]
+    fn geometric_mean_of_identical_values() {
+        let g = geometric_mean(&[3.0, 3.0, 3.0]).unwrap();
+        assert!((g - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_nonpositive() {
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[1.0, 0.0]).is_none());
+        assert!(geometric_mean(&[1.0, -2.0]).is_none());
+    }
+}

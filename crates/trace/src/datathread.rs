@@ -1,0 +1,284 @@
+//! Table 2: datathread-length approximation (§3.2).
+//!
+//! A datathread is approximated as a maximal run of consecutive memory
+//! references (cache misses) homed at one node. Following the paper:
+//! the count begins at the first reference to a communicated datum
+//! local to some node and ends at the next reference to communicated
+//! data local to a *different* node; references to replicated pages
+//! extend the current run. Three means are reported — over all misses,
+//! over text misses, and over data misses — plus the mean contiguous
+//! run of replicated-page accesses.
+
+use crate::stream::{for_each_ref, RefKind};
+use ds_asm::Program;
+use ds_mem::{AccessKind, Cache, CacheConfig, PageClass, PageTable};
+use ds_stats::Mean;
+
+/// Datathread-measurement configuration.
+#[derive(Debug, Clone)]
+pub struct DatathreadConfig {
+    /// I-cache and D-cache geometry (the paper reuses §3.1's 64 KiB
+    /// two-way configuration).
+    pub cache: CacheConfig,
+    /// Cap on executed instructions.
+    pub max_insts: u64,
+}
+
+impl Default for DatathreadConfig {
+    fn default() -> Self {
+        DatathreadConfig { cache: CacheConfig::spec95_trace(), max_insts: u64::MAX }
+    }
+}
+
+/// Datathread measurements for one benchmark (one Table 2 row's
+/// right-hand side).
+#[derive(Debug, Clone, Default)]
+pub struct DatathreadReport {
+    /// Mean run length over all misses.
+    pub all: f64,
+    /// Mean run length over text (instruction) misses only.
+    pub text: f64,
+    /// Mean run length over data misses only.
+    pub data: f64,
+    /// Mean contiguous run of replicated-page accesses.
+    pub replicated: f64,
+    /// Number of completed runs over all misses.
+    pub all_runs: u64,
+    /// Number of completed text runs.
+    pub text_runs: u64,
+    /// Number of completed data runs.
+    pub data_runs: u64,
+    /// Total misses observed.
+    pub misses: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+}
+
+/// One run-length accumulator following the paper's counting rule.
+#[derive(Debug, Default)]
+struct RunCounter {
+    current_node: Option<usize>,
+    current_len: u64,
+    runs: Mean,
+}
+
+impl RunCounter {
+    /// `home`: `None` for a replicated page (extends the run),
+    /// `Some(node)` for communicated data.
+    fn observe(&mut self, home: Option<usize>) {
+        match home {
+            None => {
+                // Replicated references extend the current thread.
+                if self.current_node.is_some() {
+                    self.current_len += 1;
+                }
+            }
+            Some(node) => {
+                if self.current_node == Some(node) {
+                    self.current_len += 1;
+                } else {
+                    if self.current_node.is_some() {
+                        self.runs.add(self.current_len as f64);
+                    }
+                    self.current_node = Some(node);
+                    self.current_len = 1;
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> Mean {
+        if self.current_node.is_some() {
+            self.runs.add(self.current_len as f64);
+        }
+        self.runs
+    }
+}
+
+/// Runs the Table 2 measurement: misses from split I/D caches are
+/// classified through `page_table` and accumulated into run lengths.
+pub fn measure_datathreads(
+    program: &Program,
+    page_table: &PageTable,
+    config: &DatathreadConfig,
+) -> DatathreadReport {
+    let mut icache = Cache::new(config.cache);
+    let mut dcache = Cache::new(config.cache);
+    let mut all = RunCounter::default();
+    let mut text = RunCounter::default();
+    let mut data = RunCounter::default();
+    let mut repl_run = 0u64;
+    let mut repl_runs = Mean::new();
+    let mut misses = 0u64;
+    let instructions = for_each_ref(program, config.max_insts, |e| {
+        let (cache, kind, is_text) = match e.kind {
+            RefKind::InstFetch => (&mut icache, AccessKind::Read, true),
+            RefKind::Load => (&mut dcache, AccessKind::Read, false),
+            RefKind::Store => (&mut dcache, AccessKind::Write, false),
+        };
+        if cache.access(e.addr, kind).is_hit() {
+            return;
+        }
+        misses += 1;
+        let home = match page_table.classify(e.addr) {
+            PageClass::Replicated => None,
+            PageClass::Owned(n) => Some(n),
+        };
+        all.observe(home);
+        if is_text {
+            text.observe(home);
+        } else {
+            data.observe(home);
+        }
+        // Replicated-run accounting.
+        if home.is_none() {
+            repl_run += 1;
+        } else if repl_run > 0 {
+            repl_runs.add(repl_run as f64);
+            repl_run = 0;
+        }
+    });
+    if repl_run > 0 {
+        repl_runs.add(repl_run as f64);
+    }
+    let all = all.finish();
+    let text = text.finish();
+    let data = data.finish();
+    DatathreadReport {
+        all: all.mean(),
+        text: text.mean(),
+        data: data.mean(),
+        replicated: repl_runs.mean(),
+        all_runs: all.count(),
+        text_runs: text.count(),
+        data_runs: data.count(),
+        misses,
+        instructions,
+    }
+}
+
+/// Picks the paper's distribution block size: the largest power-of-two
+/// page count that keeps each block smaller than `1/nodes` of both the
+/// text segment and the largest data segment (§3.2).
+pub fn pick_block_pages(program: &Program, page_bytes: u64, nodes: usize) -> u64 {
+    let mut text_pages = 1u64;
+    let mut largest_data_pages = 1u64;
+    for (start, end, seg) in program.regions() {
+        let pages = (end - start).div_ceil(page_bytes).max(1);
+        if seg == ds_mem::Segment::Text {
+            text_pages = pages;
+        } else {
+            largest_data_pages = largest_data_pages.max(pages);
+        }
+    }
+    let cap = (text_pages.min(largest_data_pages) / nodes as u64).max(1);
+    // Round down to a power of two for clean interleaving.
+    let mut block = 1;
+    while block * 2 <= cap {
+        block *= 2;
+    }
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_asm::assemble;
+    use ds_mem::{PageTableBuilder, Segment};
+
+    fn strided_prog() -> Program {
+        assemble(
+            r#"
+            .data
+            arr: .space 262144
+            .text
+            main: li t0, 4096
+                  la t1, arr
+            loop: ld t2, 0(t1)
+                  addi t1, t1, 64
+                  addi t0, t0, -1
+                  bnez t0, loop
+                  halt
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn table_for(prog: &Program, block: u64, replicate_text: bool) -> PageTable {
+        let mut b = PageTableBuilder::new(4096, 4);
+        for (s, e, seg) in prog.regions() {
+            b.add_region(s, e, seg);
+        }
+        if replicate_text {
+            b.replicate_segment(Segment::Text);
+        }
+        b.distribute_round_robin(block);
+        b.build()
+    }
+
+    #[test]
+    fn sequential_sweep_produces_block_length_runs() {
+        let prog = strided_prog();
+        let pt = table_for(&prog, 1, true);
+        let r = measure_datathreads(&prog, &pt, &DatathreadConfig::default());
+        // A 4 KiB page holds 64 sequential misses (64-byte stride,
+        // 64 lines... the sweep misses every access: 4096/64 = 64 per
+        // page); runs should approximate that.
+        assert!(r.data > 30.0 && r.data < 130.0, "data run length {}", r.data);
+        assert!(r.misses > 4000);
+    }
+
+    #[test]
+    fn bigger_blocks_make_longer_threads() {
+        let prog = strided_prog();
+        let pt1 = table_for(&prog, 1, true);
+        let pt4 = table_for(&prog, 4, true);
+        let r1 = measure_datathreads(&prog, &pt1, &DatathreadConfig::default());
+        let r4 = measure_datathreads(&prog, &pt4, &DatathreadConfig::default());
+        assert!(
+            r4.data > r1.data * 2.0,
+            "block 4 ({}) should far exceed block 1 ({})",
+            r4.data,
+            r1.data
+        );
+    }
+
+    #[test]
+    fn replicated_text_extends_all_runs() {
+        let prog = strided_prog();
+        let with = table_for(&prog, 1, true);
+        let without = table_for(&prog, 1, false);
+        let r_with = measure_datathreads(&prog, &with, &DatathreadConfig::default());
+        let r_without = measure_datathreads(&prog, &without, &DatathreadConfig::default());
+        // Replicated-page runs exist only when something is replicated.
+        assert!(r_with.replicated > 0.0);
+        assert_eq!(r_without.replicated, 0.0);
+        // Both configurations observe the same miss stream.
+        assert_eq!(r_with.misses, r_without.misses);
+    }
+
+    #[test]
+    fn block_size_picker_respects_segments() {
+        let prog = strided_prog();
+        let block = pick_block_pages(&prog, 4096, 4);
+        assert!(block >= 1);
+        assert!(block.is_power_of_two());
+        // arr is 64 pages; text is tiny -> cap comes from text.
+        let text_pages = 1u64; // the loop fits in one page
+        assert!(block <= (text_pages.max(1)));
+    }
+
+    #[test]
+    fn run_counter_follows_paper_rule() {
+        let mut c = RunCounter::default();
+        // repl refs before any communicated ref are not counted.
+        c.observe(None);
+        c.observe(Some(0));
+        c.observe(None); // extends
+        c.observe(Some(0)); // extends
+        c.observe(Some(1)); // breaks
+        let m = c.finish();
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.sum(), 3.0 + 1.0);
+    }
+}

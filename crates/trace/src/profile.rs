@@ -1,0 +1,153 @@
+//! Page-access profiling and static-replication selection (§3.2).
+//!
+//! The paper selects pages to replicate "by running the benchmark,
+//! saving the number of accesses to each page, sorting the pages by
+//! number of accesses, and choosing the most heavily accessed pages".
+
+use crate::stream::{for_each_ref, RefEvent};
+use ds_asm::Program;
+use std::collections::HashMap;
+
+/// Access counts per virtual page.
+#[derive(Debug, Clone, Default)]
+pub struct PageProfile {
+    /// Page size the profile was taken at.
+    pub page_bytes: u64,
+    /// vpn -> reference count.
+    pub counts: HashMap<u64, u64>,
+}
+
+impl PageProfile {
+    /// Profiles every reference (instruction and data) of `program`.
+    pub fn collect(program: &Program, page_bytes: u64, max_insts: u64) -> Self {
+        let mut profile = PageProfile { page_bytes, counts: HashMap::new() };
+        for_each_ref(program, max_insts, |e: RefEvent| {
+            *profile.counts.entry(e.addr / page_bytes).or_insert(0) += 1;
+        });
+        profile
+    }
+
+    /// Total references profiled.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Pages sorted by descending access count (ties by vpn for
+    /// determinism).
+    pub fn sorted_pages(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.counts.iter().map(|(&p, &c)| (p, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+/// Chooses up to `max_pages` pages that are *hot relative to the rest
+/// of the program*: accessed at least `factor` times the median page's
+/// count. Uniformly swept arrays (every page ≈ median) are excluded —
+/// replicating them buys nothing, which is why the paper's
+/// uniform-access FP codes keep short data datathreads while li (small,
+/// reused data) gets most of its set replicated.
+pub fn select_hot_pages(profile: &PageProfile, max_pages: usize, factor: f64) -> Vec<u64> {
+    let ranked = profile.sorted_pages();
+    if ranked.is_empty() {
+        return Vec::new();
+    }
+    // Baseline "background" page: the lower quartile by access count,
+    // so a working set that is itself more than half the pages (li's
+    // cell pool) still registers as hot against its cold remainder.
+    let baseline = ranked[3 * ranked.len() / 4].1 as f64;
+    let threshold = (baseline * factor).max(1.0);
+    ranked
+        .into_iter()
+        .take(max_pages)
+        .take_while(|&(_, count)| count as f64 >= threshold)
+        .map(|(vpn, _)| vpn)
+        .collect()
+}
+
+/// Chooses up to `max_pages` of the most heavily accessed pages, but
+/// never more than `coverage` of the total references — the paper keeps
+/// replication partial so communicated traffic still exists.
+pub fn select_top_pages(profile: &PageProfile, max_pages: usize, coverage: f64) -> Vec<u64> {
+    let total = profile.total() as f64;
+    let mut selected = Vec::new();
+    let mut covered = 0u64;
+    for (vpn, count) in profile.sorted_pages() {
+        if selected.len() >= max_pages {
+            break;
+        }
+        if total > 0.0 && covered as f64 / total >= coverage {
+            break;
+        }
+        selected.push(vpn);
+        covered += count;
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_asm::assemble;
+
+    fn prog() -> Program {
+        // Hammers page of `hot`, touches `cold` once per element.
+        assemble(
+            r#"
+            .data
+            hot:  .word 0
+            .text
+            main: li t0, 1000
+                  la t1, hot
+                  li t3, 0x500000
+            loop: ld t2, 0(t1)
+                  ld t4, 0(t3)
+                  addi t3, t3, 4096
+                  addi t0, t0, -1
+                  bnez t0, loop
+                  halt
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hot_page_ranks_first_among_data() {
+        let p = prog();
+        let profile = PageProfile::collect(&p, 4096, u64::MAX);
+        let hot_vpn = p.symbol("hot").unwrap() / 4096;
+        let text_vpn = p.entry / 4096;
+        let ranked = profile.sorted_pages();
+        // Text page and hot data page dominate.
+        let top2: Vec<u64> = ranked.iter().take(2).map(|&(v, _)| v).collect();
+        assert!(top2.contains(&hot_vpn));
+        assert!(top2.contains(&text_vpn));
+    }
+
+    #[test]
+    fn selection_respects_page_budget() {
+        let p = prog();
+        let profile = PageProfile::collect(&p, 4096, u64::MAX);
+        let sel = select_top_pages(&profile, 3, 1.0);
+        assert_eq!(sel.len(), 3);
+        let sel1 = select_top_pages(&profile, 1, 1.0);
+        assert_eq!(sel1.len(), 1);
+    }
+
+    #[test]
+    fn selection_respects_coverage_cap() {
+        let p = prog();
+        let profile = PageProfile::collect(&p, 4096, u64::MAX);
+        // Nearly all references hit two pages; 50% coverage stops early.
+        let sel = select_top_pages(&profile, 100, 0.5);
+        assert!(sel.len() <= 2, "coverage cap ignored: {} pages", sel.len());
+    }
+
+    #[test]
+    fn totals_match_reference_count() {
+        let p = prog();
+        let profile = PageProfile::collect(&p, 4096, 100);
+        // 100 instructions, each 1 fetch; loads add more.
+        assert!(profile.total() >= 100);
+    }
+}

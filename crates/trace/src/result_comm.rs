@@ -1,0 +1,190 @@
+//! Result communication (§5.1): an upper-bound traffic model.
+//!
+//! "Because each processor executes the instructions in a different
+//! order, it is possible for a processor to temporarily deviate from
+//! the ESP model and execute a private computation, broadcasting only
+//! the result — not the operands — to the other processors."
+//!
+//! The paper describes the technique but does not evaluate it; this
+//! module adds the missing quantitative bound. Every maximal run of
+//! consecutive communicated misses owned by one node (a datathread) is
+//! a candidate private computation: if the run's operands feed a
+//! result rather than being needed verbatim elsewhere, its `L` operand
+//! broadcasts collapse to one result broadcast. Collapsing *every* run
+//! is therefore an upper bound on what result communication can remove
+//! from ESP traffic.
+
+use crate::stream::{for_each_ref, RefKind};
+use ds_asm::Program;
+use ds_mem::{AccessKind, Cache, CacheConfig, PageClass, PageTable};
+
+/// Upper-bound result-communication savings for one benchmark.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResultCommReport {
+    /// Communicated misses (= ESP operand broadcasts).
+    pub operand_broadcasts: u64,
+    /// Maximal same-owner runs (= result broadcasts in the limit).
+    pub result_broadcasts: u64,
+    /// Runs of length 1, which gain nothing.
+    pub singleton_runs: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+}
+
+impl ResultCommReport {
+    /// Fraction of ESP broadcasts removable in the limit
+    /// (`1 - results/operands`).
+    pub fn max_savings(&self) -> f64 {
+        if self.operand_broadcasts == 0 {
+            0.0
+        } else {
+            1.0 - self.result_broadcasts as f64 / self.operand_broadcasts as f64
+        }
+    }
+
+    /// Mean private-computation length (operands per result).
+    pub fn mean_run(&self) -> f64 {
+        if self.result_broadcasts == 0 {
+            0.0
+        } else {
+            self.operand_broadcasts as f64 / self.result_broadcasts as f64
+        }
+    }
+}
+
+/// Measurement configuration.
+#[derive(Debug, Clone)]
+pub struct ResultCommConfig {
+    /// D-cache geometry filtering the reference stream to misses.
+    pub cache: CacheConfig,
+    /// Cap on executed instructions.
+    pub max_insts: u64,
+}
+
+impl Default for ResultCommConfig {
+    fn default() -> Self {
+        ResultCommConfig { cache: CacheConfig::spec95_trace(), max_insts: u64::MAX }
+    }
+}
+
+/// Runs the upper-bound measurement over `program`'s data-miss stream.
+pub fn measure_result_comm(
+    program: &Program,
+    page_table: &PageTable,
+    config: &ResultCommConfig,
+) -> ResultCommReport {
+    let mut dcache = Cache::new(config.cache);
+    let mut report = ResultCommReport::default();
+    let mut current_owner: Option<usize> = None;
+    let mut current_len = 0u64;
+    let close_run = |len: u64, report: &mut ResultCommReport| {
+        if len == 0 {
+            return;
+        }
+        report.result_broadcasts += 1;
+        if len == 1 {
+            report.singleton_runs += 1;
+        }
+    };
+    report.instructions = for_each_ref(program, config.max_insts, |e| {
+        let kind = match e.kind {
+            RefKind::InstFetch => return, // text is replicated; no broadcasts
+            RefKind::Load => AccessKind::Read,
+            RefKind::Store => AccessKind::Write,
+        };
+        if dcache.access(e.addr, kind).is_hit() {
+            return;
+        }
+        let PageClass::Owned(owner) = page_table.classify(e.addr) else {
+            return; // replicated: never broadcast
+        };
+        report.operand_broadcasts += 1;
+        if current_owner == Some(owner) {
+            current_len += 1;
+        } else {
+            close_run(current_len, &mut report);
+            current_owner = Some(owner);
+            current_len = 1;
+        }
+    });
+    close_run(current_len, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_asm::assemble;
+    use ds_mem::PageTableBuilder;
+
+    fn prog() -> Program {
+        assemble(
+            r#"
+            .data
+            arr: .space 262144
+            .text
+            main: li t0, 2048
+                  la t1, arr
+            loop: ld t2, 0(t1)
+                  addi t1, t1, 64
+                  addi t0, t0, -1
+                  bnez t0, loop
+                  halt
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn table(nodes: usize, block: u64) -> (Program, PageTable) {
+        let p = prog();
+        let mut b = PageTableBuilder::new(4096, nodes);
+        for (s, e, seg) in p.regions() {
+            b.add_region(s, e, seg);
+        }
+        b.replicate_segment(ds_mem::Segment::Text);
+        b.distribute_round_robin(block);
+        let pt = b.build();
+        (p, pt)
+    }
+
+    #[test]
+    fn sequential_sweep_collapses_well() {
+        let (p, pt) = table(4, 1);
+        let r = measure_result_comm(&p, &pt, &ResultCommConfig::default());
+        assert!(r.operand_broadcasts > 1000);
+        // 64 misses per page per run -> huge savings potential.
+        assert!(r.max_savings() > 0.9, "savings {:.2}", r.max_savings());
+        assert!(r.mean_run() > 10.0);
+    }
+
+    #[test]
+    fn single_node_is_one_giant_run() {
+        let (p, pt) = table(1, 1);
+        let r = measure_result_comm(&p, &pt, &ResultCommConfig::default());
+        assert_eq!(r.result_broadcasts, 1);
+        assert_eq!(r.singleton_runs, 0);
+    }
+
+    #[test]
+    fn savings_bounded_by_one() {
+        let (p, pt) = table(4, 4);
+        let r = measure_result_comm(&p, &pt, &ResultCommConfig::default());
+        assert!((0.0..=1.0).contains(&r.max_savings()));
+        assert!(r.result_broadcasts <= r.operand_broadcasts);
+    }
+
+    #[test]
+    fn empty_stream_reports_zero() {
+        let p = assemble(".text\nmain: halt\n").unwrap();
+        let mut b = PageTableBuilder::new(4096, 2);
+        for (s, e, seg) in p.regions() {
+            b.add_region(s, e, seg);
+        }
+        b.distribute_round_robin(1);
+        let pt = b.build();
+        let r = measure_result_comm(&p, &pt, &ResultCommConfig::default());
+        assert_eq!(r.operand_broadcasts, 0);
+        assert_eq!(r.max_savings(), 0.0);
+        assert_eq!(r.mean_run(), 0.0);
+    }
+}

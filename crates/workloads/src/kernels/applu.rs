@@ -1,0 +1,94 @@
+//! `applu` — SSOR solver sweep (SPEC95 110.applu analog).
+//!
+//! A lower-triangular SSOR-style sweep with loop-carried dependences:
+//! `X[i][j] = 0.5·(X[i-1][j] + X[i][j-1]) + R[i][j]`. The dependence on
+//! the freshly written west and north neighbours serialises the sweep,
+//! modelling applu's wavefront structure.
+
+use super::util::{self, addi, counted_loop, finish_with_result, load, rrr, store};
+use crate::{Scale, Workload, WorkloadClass};
+use ds_asm::{ProgBuilder, Program};
+use ds_isa::{reg, Opcode};
+
+/// Registration.
+pub const WORKLOAD: Workload = Workload {
+    name: "applu",
+    analog: "110.applu",
+    class: WorkloadClass::Fp,
+    description: "SSOR wavefront sweep with loop-carried dependences",
+    build,
+};
+
+fn params(scale: Scale) -> (usize, i64) {
+    match scale {
+        Scale::Tiny => (32, 3),
+        Scale::Small => (96, 3),
+        Scale::Full => (192, 5),
+    }
+}
+
+/// Builds the kernel at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let (n, iters) = params(scale);
+    let row = (n * 8) as i32;
+    let mut b = ProgBuilder::new();
+    let grid_x = b.doubles(&util::random_f64s(0xa991, n * n));
+    let grid_r: Vec<f64> = util::random_f64s(0xa992, n * n).iter().map(|v| v * 0.01).collect();
+    let grid_r = b.doubles(&grid_r);
+    let consts = b.doubles(&[0.5, 0.9]);
+
+    b.la(reg::S0, grid_x);
+    b.la(reg::S1, grid_r);
+    b.la(reg::T0, consts);
+    load(&mut b, Opcode::Fld, 0, reg::T0, 0); // 0.5
+    load(&mut b, Opcode::Fld, 10, reg::T0, 8); // damping
+
+    counted_loop(&mut b, reg::S4, iters, |b| {
+        addi(b, reg::T1, reg::S0, row + 8);
+        addi(b, reg::T2, reg::S1, row + 8);
+        counted_loop(b, reg::S2, (n - 2) as i64, |b| {
+            counted_loop(b, reg::T0, (n - 2) as i64, |b| {
+                load(b, Opcode::Fld, 1, reg::T1, -row); // north (this sweep)
+                load(b, Opcode::Fld, 2, reg::T1, -8); // west (this sweep)
+                rrr(b, Opcode::Fadd, 3, 1, 2);
+                rrr(b, Opcode::Fmul, 3, 3, 0);
+                load(b, Opcode::Fld, 4, reg::T2, 0);
+                rrr(b, Opcode::Fadd, 3, 3, 4);
+                rrr(b, Opcode::Fmul, 3, 3, 10); // damp to keep bounded
+                store(b, Opcode::Fsd, 3, reg::T1, 0);
+                addi(b, reg::T1, reg::T1, 8);
+                addi(b, reg::T2, reg::T2, 8);
+            });
+            addi(b, reg::T1, reg::T1, 16);
+            addi(b, reg::T2, reg::T2, 16);
+        });
+    });
+
+    util::emit_sum_words(&mut b, reg::S0, (n * n) as i64, reg::S5, reg::T1, reg::T0);
+    finish_with_result(&mut b, reg::S5);
+    b.finish().expect("applu assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn halts_with_nonzero_checksum() {
+        let prog = build(Scale::Tiny);
+        let (checksum, icount, _) = run(&prog, 3_000_000);
+        assert_ne!(checksum, 0);
+        assert!(icount > 15_000);
+    }
+
+    #[test]
+    fn wavefront_stays_bounded() {
+        let prog = build(Scale::Tiny);
+        let (_, _, mem) = run(&prog, 3_000_000);
+        for i in 0..(32 * 32) {
+            let v = mem.read_f64(prog.data_base + 8 * i);
+            assert!(v.is_finite() && v.abs() < 100.0, "X[{i}] = {v}");
+        }
+    }
+}

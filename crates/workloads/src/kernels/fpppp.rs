@@ -1,0 +1,117 @@
+//! `fpppp` — enormous straight-line FP blocks (SPEC95 145.fpppp
+//! analog).
+//!
+//! fpppp (Gaussian two-electron integrals) is famous for basic blocks
+//! of hundreds of FP instructions and a text footprint that overwhelms
+//! small I-caches. The kernel generates one deterministic ~3000-
+//! instruction straight-line block of loads, multiplies, adds and
+//! stores over a small working array, called repeatedly — text-bound,
+//! exactly as the paper observes (fpppp replicates text heavily and
+//! shows code-datathread behaviour).
+
+use super::util::{self, counted_loop, finish_with_result, load, rrr, store};
+use crate::{Scale, Workload, WorkloadClass};
+use ds_asm::{ProgBuilder, Program};
+use ds_isa::{reg, Opcode};
+use rand::Rng;
+
+/// Registration.
+pub const WORKLOAD: Workload = Workload {
+    name: "fpppp",
+    analog: "145.fpppp",
+    class: WorkloadClass::Fp,
+    description: "3000-instruction straight-line FP blocks (text-heavy)",
+    build,
+};
+
+fn params(scale: Scale) -> (usize, i64) {
+    // (block length in instruction groups, repetitions)
+    match scale {
+        Scale::Tiny => (750, 8),
+        Scale::Small => (750, 120),
+        Scale::Full => (750, 800),
+    }
+}
+
+const ARRAY_LEN: usize = 128;
+
+/// Builds the kernel at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let (groups, reps) = params(scale);
+    let mut b = ProgBuilder::new();
+    let data: Vec<f64> =
+        util::random_f64s(0xf9999, ARRAY_LEN).iter().map(|v| 0.5 + v * 0.5).collect();
+    let arr = b.doubles(&data);
+
+    // The huge basic block lives in a function.
+    let block = b.label();
+    let entry = b.label();
+    b.j(entry);
+    b.bind(block);
+    {
+        // Deterministic pseudo-random instruction soup: each "group" is
+        // fld / fmul / fadd / fsd touching rotating array slots. The
+        // multiply-by-<1 then add keeps everything bounded.
+        let mut r = util::rng(0xf0f0);
+        b.la(reg::T0, arr);
+        for g in 0..groups {
+            let src = (r.gen_range(0..ARRAY_LEN) * 8) as i32;
+            let dst = ((g * 37) % ARRAY_LEN * 8) as i32;
+            let fa = 1 + (g % 10) as u8;
+            let fb = 11 + (g % 9) as u8;
+            load(&mut b, Opcode::Fld, fa, reg::T0, src);
+            rrr(&mut b, Opcode::Fmul, fb, fa, 0); // scale down
+            rrr(&mut b, Opcode::Fadd, fb, fb, 21);
+            store(&mut b, Opcode::Fsd, fb, reg::T0, dst);
+        }
+        b.ret();
+    }
+    b.bind(entry);
+    // f0 = 0.5 (damping), f21 = 0.125 (offset).
+    let consts = b.doubles(&[0.5, 0.125]);
+    b.la(reg::T1, consts);
+    load(&mut b, Opcode::Fld, 0, reg::T1, 0);
+    load(&mut b, Opcode::Fld, 21, reg::T1, 8);
+    counted_loop(&mut b, reg::S4, reps, |b| {
+        b.call(block);
+    });
+
+    b.la(reg::S0, arr);
+    util::emit_sum_words(&mut b, reg::S0, ARRAY_LEN as i64, reg::S5, reg::T1, reg::T0);
+    finish_with_result(&mut b, reg::S5);
+    b.finish().expect("fpppp assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn halts_with_nonzero_checksum() {
+        let prog = build(Scale::Tiny);
+        let (checksum, icount, _) = run(&prog, 3_000_000);
+        assert_ne!(checksum, 0);
+        assert!(icount > 20_000);
+    }
+
+    #[test]
+    fn text_exceeds_a_16k_icache() {
+        let prog = build(Scale::Tiny);
+        assert!(
+            prog.text_bytes() > 16 * 1024,
+            "fpppp must be text-heavy, got {} bytes",
+            prog.text_bytes()
+        );
+    }
+
+    #[test]
+    fn array_stays_bounded() {
+        let prog = build(Scale::Tiny);
+        let (_, _, mem) = run(&prog, 3_000_000);
+        for i in 0..ARRAY_LEN as u64 {
+            let v = mem.read_f64(prog.data_base + 8 * i);
+            assert!(v.is_finite() && v.abs() <= 2.0, "arr[{i}] = {v}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! `go` — board-position evaluation (SPEC95 099.go analog).
+//!
+//! go (the game player) is dominated by branchy integer pattern
+//! evaluation over a small board — the paper's example of a code with a
+//! small data set and hard control flow. The kernel sweeps a padded
+//! 19×19 board, scoring each point from its four neighbours with a
+//! stone-colour switch, mutating occasional points between passes, and
+//! accumulating per-point scores.
+
+use super::util::{self, addi, counted_loop, finish_with_result, load, rrr, store};
+use crate::{Scale, Workload, WorkloadClass};
+use ds_asm::{ProgBuilder, Program};
+use ds_isa::{reg, Opcode};
+use rand::Rng;
+
+/// Registration.
+pub const WORKLOAD: Workload = Workload {
+    name: "go",
+    analog: "099.go",
+    class: WorkloadClass::Int,
+    description: "branchy 19x19 board evaluation passes",
+    build,
+};
+
+const SIDE: usize = 21; // 19 + sentinel border
+const BOARD_BYTES: usize = SIDE * SIDE;
+
+fn params(scale: Scale) -> (i64, usize) {
+    // (evaluation passes, boards in the game-tree pool)
+    match scale {
+        Scale::Tiny => (60, 8),
+        Scale::Small => (400, 80),
+        Scale::Full => (2500, 200),
+    }
+}
+
+/// Builds the kernel at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let (passes, nboards) = params(scale);
+    let mut b = ProgBuilder::new();
+    let mut r = util::rng(0x60);
+
+    // A pool of candidate positions (the "game tree"); each pass
+    // evaluates one. Board bytes: 0 empty, 1 black, 2 white; border 3.
+    let mut boards = vec![0u8; BOARD_BYTES * nboards];
+    for (i, cell) in boards.iter_mut().enumerate() {
+        let p = i % BOARD_BYTES;
+        let (row, col) = (p / SIDE, p % SIDE);
+        *cell = if row == 0 || col == 0 || row == SIDE - 1 || col == SIDE - 1 {
+            3
+        } else {
+            [0, 0, 1, 2][r.gen_range(0..4)]
+        };
+    }
+    let boards = b.bytes(&boards);
+    let scores = b.space((SIDE * SIDE * 8) as u64);
+
+    b.la(reg::S0, boards);
+    b.la(reg::S1, scores);
+    b.li(reg::S6, 0); // checksum
+    b.li(reg::S5, 0); // current board offset
+    b.li(reg::S7, (BOARD_BYTES * nboards) as i64); // pool size
+
+    counted_loop(&mut b, reg::S4, passes, |b| {
+        // Walk the interior points of the current board.
+        rrr(b, Opcode::Add, reg::T1, reg::S0, reg::S5);
+        addi(b, reg::T1, reg::T1, (SIDE + 1) as i32);
+        addi(b, reg::T2, reg::S1, ((SIDE + 1) * 8) as i32);
+        counted_loop(b, reg::S2, (SIDE - 2) as i64, |b| {
+            counted_loop(b, reg::S3, (SIDE - 2) as i64, |b| {
+                load(b, Opcode::Lbu, reg::T0, reg::T1, 0); // stone
+                load(b, Opcode::Lbu, reg::T3, reg::T1, -1); // west
+                load(b, Opcode::Lbu, reg::T4, reg::T1, 1); // east
+                load(b, Opcode::Lbu, reg::T5, reg::T1, -(SIDE as i32)); // north
+                load(b, Opcode::Lbu, reg::T6, reg::T1, SIDE as i32); // south
+                let empty = b.label();
+                let stone = b.label();
+                let scored = b.label();
+                b.beqz(reg::T0, empty);
+                b.j(stone);
+                // Empty point: score = number of adjacent black stones
+                // minus white (liberty-flavoured pattern count).
+                b.bind(empty);
+                b.li(reg::T7, 0);
+                for n in [reg::T3, reg::T4, reg::T5, reg::T6] {
+                    let not_black = b.label();
+                    let done_n = b.label();
+                    b.li(reg::T8, 1);
+                    b.br(Opcode::Bne, n, reg::T8, not_black);
+                    addi(b, reg::T7, reg::T7, 2);
+                    b.j(done_n);
+                    b.bind(not_black);
+                    b.li(reg::T8, 2);
+                    let skip = b.label();
+                    b.br(Opcode::Bne, n, reg::T8, skip);
+                    addi(b, reg::T7, reg::T7, -1);
+                    b.bind(skip);
+                    b.bind(done_n);
+                }
+                b.j(scored);
+                // Stone: count same-colour neighbours (chain strength)
+                // and liberties (empty neighbours).
+                b.bind(stone);
+                b.li(reg::T7, 0);
+                for n in [reg::T3, reg::T4, reg::T5, reg::T6] {
+                    let not_same = b.label();
+                    b.br(Opcode::Bne, n, reg::T0, not_same);
+                    addi(b, reg::T7, reg::T7, 3);
+                    b.bind(not_same);
+                    let not_empty = b.label();
+                    b.bnez(n, not_empty);
+                    addi(b, reg::T7, reg::T7, 1);
+                    b.bind(not_empty);
+                }
+                b.bind(scored);
+                // scores[p] += score; checksum += score.
+                load(b, Opcode::Ld, reg::T8, reg::T2, 0);
+                rrr(b, Opcode::Add, reg::T8, reg::T8, reg::T7);
+                store(b, Opcode::Sd, reg::T8, reg::T2, 0);
+                rrr(b, Opcode::Add, reg::S6, reg::S6, reg::T7);
+                // Occasionally flip a point: if (score + pass) % 13 == 0
+                // rotate its colour — keeps passes from being identical.
+                rrr(b, Opcode::Add, reg::T8, reg::T7, reg::S4);
+                b.li(reg::T9, 13);
+                rrr(b, Opcode::Rem, reg::T8, reg::T8, reg::T9);
+                let no_flip = b.label();
+                b.bnez(reg::T8, no_flip);
+                addi(b, reg::T0, reg::T0, 1);
+                b.li(reg::T9, 3);
+                rrr(b, Opcode::Rem, reg::T0, reg::T0, reg::T9);
+                store(b, Opcode::Sb, reg::T0, reg::T1, 0);
+                b.bind(no_flip);
+                addi(b, reg::T1, reg::T1, 1);
+                addi(b, reg::T2, reg::T2, 8);
+            });
+            addi(b, reg::T1, reg::T1, 2);
+            addi(b, reg::T2, reg::T2, 16);
+        });
+        // Advance to the next board in the pool (wrapping).
+        addi(b, reg::S5, reg::S5, BOARD_BYTES as i32);
+        let no_wrap = b.label();
+        b.br(Opcode::Blt, reg::S5, reg::S7, no_wrap);
+        b.li(reg::S5, 0);
+        b.bind(no_wrap);
+    });
+
+    finish_with_result(&mut b, reg::S6);
+    b.finish().expect("go assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn halts_with_nonzero_checksum() {
+        let prog = build(Scale::Tiny);
+        let (checksum, icount, _) = run(&prog, 5_000_000);
+        assert_ne!(checksum, 0);
+        assert!(icount > 50_000);
+    }
+
+    #[test]
+    fn board_cells_stay_valid() {
+        let prog = build(Scale::Tiny);
+        let (_, _, mem) = run(&prog, 5_000_000);
+        for i in 0..(BOARD_BYTES * 8) as u64 {
+            let c = mem.read_u8(prog.data_base + i);
+            assert!(c <= 3, "board byte {i} = {c}");
+        }
+    }
+
+    #[test]
+    fn data_set_is_small_relative_to_other_benchmarks() {
+        // go's defining property: a small data set (Table 2 replicates
+        // most of it), though big enough to exercise the 16 KiB L1.
+        let prog = build(Scale::Tiny);
+        assert!(prog.data.len() < 64 * 1024, "go data should stay small");
+    }
+}

@@ -1,0 +1,107 @@
+//! `hydro2d` — 2-D hydrodynamics stencil (SPEC95 104.hydro2d analog).
+//!
+//! A Laplacian-diffusion update of a density grid with a per-cell
+//! coefficient grid: `E = D + C ⊙ laplacian(D)`, double-buffered.
+//! Three array streams (source, coefficients, destination) model
+//! hydro2d's Navier-Stokes difference equations.
+
+use super::util::{self, addi, counted_loop, finish_with_result, load, rrr, store};
+use crate::{Scale, Workload, WorkloadClass};
+use ds_asm::{ProgBuilder, Program};
+use ds_isa::{reg, Opcode};
+
+/// Registration.
+pub const WORKLOAD: Workload = Workload {
+    name: "hydro2d",
+    analog: "104.hydro2d",
+    class: WorkloadClass::Fp,
+    description: "2-D diffusion stencil with a coefficient grid",
+    build,
+};
+
+fn params(scale: Scale) -> (usize, i64) {
+    match scale {
+        Scale::Tiny => (24, 2),
+        Scale::Small => (80, 3),
+        Scale::Full => (128, 5),
+    }
+}
+
+/// Builds the kernel at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let (n, iters) = params(scale);
+    let row = (n * 8) as i32;
+    let mut b = ProgBuilder::new();
+    let grid_d = b.doubles(&util::random_f64s(0x4d50, n * n));
+    let grid_c: Vec<f64> = util::random_f64s(0x4d51, n * n).iter().map(|v| v * 0.2).collect();
+    let grid_c = b.doubles(&grid_c);
+    let grid_e = b.space((n * n * 8) as u64);
+
+    b.la(reg::S0, grid_d); // src
+    b.la(reg::S1, grid_c); // coefficients
+    b.la(reg::S2, grid_e); // dst
+
+    counted_loop(&mut b, reg::S4, iters, |b| {
+        addi(b, reg::T1, reg::S0, row + 8);
+        addi(b, reg::T2, reg::S1, row + 8);
+        addi(b, reg::T3, reg::S2, row + 8);
+        counted_loop(b, reg::S3, (n - 2) as i64, |b| {
+            counted_loop(b, reg::T0, (n - 2) as i64, |b| {
+                load(b, Opcode::Fld, 1, reg::T1, -8);
+                load(b, Opcode::Fld, 2, reg::T1, 8);
+                load(b, Opcode::Fld, 3, reg::T1, -row);
+                load(b, Opcode::Fld, 4, reg::T1, row);
+                load(b, Opcode::Fld, 5, reg::T1, 0); // centre
+                rrr(b, Opcode::Fadd, 1, 1, 2);
+                rrr(b, Opcode::Fadd, 3, 3, 4);
+                rrr(b, Opcode::Fadd, 1, 1, 3);
+                // lap = sum - 4*centre  (4*c = c+c, twice)
+                rrr(b, Opcode::Fadd, 6, 5, 5);
+                rrr(b, Opcode::Fadd, 6, 6, 6);
+                rrr(b, Opcode::Fsub, 1, 1, 6);
+                load(b, Opcode::Fld, 7, reg::T2, 0); // coefficient
+                rrr(b, Opcode::Fmul, 1, 1, 7);
+                rrr(b, Opcode::Fadd, 1, 1, 5);
+                store(b, Opcode::Fsd, 1, reg::T3, 0);
+                addi(b, reg::T1, reg::T1, 8);
+                addi(b, reg::T2, reg::T2, 8);
+                addi(b, reg::T3, reg::T3, 8);
+            });
+            addi(b, reg::T1, reg::T1, 16);
+            addi(b, reg::T2, reg::T2, 16);
+            addi(b, reg::T3, reg::T3, 16);
+        });
+        // Swap D and E.
+        b.mv(reg::T5, reg::S0);
+        b.mv(reg::S0, reg::S2);
+        b.mv(reg::S2, reg::T5);
+    });
+
+    util::emit_sum_words(&mut b, reg::S0, (n * n) as i64, reg::S5, reg::T1, reg::T0);
+    finish_with_result(&mut b, reg::S5);
+    b.finish().expect("hydro2d assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn halts_with_nonzero_checksum() {
+        let prog = build(Scale::Tiny);
+        let (checksum, icount, _) = run(&prog, 3_000_000);
+        assert_ne!(checksum, 0);
+        assert!(icount > 15_000);
+    }
+
+    #[test]
+    fn diffusion_preserves_finiteness() {
+        let prog = build(Scale::Tiny);
+        let (_, _, mem) = run(&prog, 3_000_000);
+        let base = prog.data_base;
+        for i in 0..(24 * 24) {
+            assert!(mem.read_f64(base + 8 * i).is_finite());
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! `mgrid` — 3-D multigrid smoother (SPEC95 107.mgrid analog).
+//!
+//! A 7-point stencil over an N³ double grid: plane strides of `N²·8`
+//! bytes and row strides of `N·8` bytes give the long-strided accesses
+//! that characterise mgrid (and defeat a small direct-mapped cache).
+
+use super::util::{self, addi, counted_loop, finish_with_result, load, rrr, store};
+use crate::{Scale, Workload, WorkloadClass};
+use ds_asm::{ProgBuilder, Program};
+use ds_isa::{reg, Opcode};
+
+/// Registration.
+pub const WORKLOAD: Workload = Workload {
+    name: "mgrid",
+    analog: "107.mgrid",
+    class: WorkloadClass::Fp,
+    description: "3-D 7-point stencil with plane-sized strides",
+    build,
+};
+
+fn params(scale: Scale) -> (usize, i64) {
+    match scale {
+        Scale::Tiny => (10, 2),
+        Scale::Small => (20, 3),
+        Scale::Full => (32, 4),
+    }
+}
+
+/// Builds the kernel at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let (n, iters) = params(scale);
+    let row = (n * 8) as i32;
+    let plane = (n * n * 8) as i32;
+    let mut b = ProgBuilder::new();
+    let grid_a = b.doubles(&util::random_f64s(0x36721d, n * n * n));
+    let grid_b = b.space((n * n * n * 8) as u64);
+    let consts = b.doubles(&[0.5, 1.0 / 12.0]);
+
+    b.la(reg::S0, grid_a);
+    b.la(reg::S1, grid_b);
+    b.la(reg::T0, consts);
+    load(&mut b, Opcode::Fld, 0, reg::T0, 0); // w0
+    load(&mut b, Opcode::Fld, 10, reg::T0, 8); // w1
+
+    counted_loop(&mut b, reg::S4, iters, |b| {
+        // Walk interior planes.
+        addi(b, reg::T1, reg::S0, plane + row + 8);
+        addi(b, reg::T2, reg::S1, plane + row + 8);
+        counted_loop(b, reg::S2, (n - 2) as i64, |b| {
+            counted_loop(b, reg::S3, (n - 2) as i64, |b| {
+                counted_loop(b, reg::T0, (n - 2) as i64, |b| {
+                    load(b, Opcode::Fld, 1, reg::T1, -8);
+                    load(b, Opcode::Fld, 2, reg::T1, 8);
+                    load(b, Opcode::Fld, 3, reg::T1, -row);
+                    load(b, Opcode::Fld, 4, reg::T1, row);
+                    load(b, Opcode::Fld, 5, reg::T1, -plane);
+                    load(b, Opcode::Fld, 6, reg::T1, plane);
+                    load(b, Opcode::Fld, 7, reg::T1, 0);
+                    rrr(b, Opcode::Fadd, 1, 1, 2);
+                    rrr(b, Opcode::Fadd, 3, 3, 4);
+                    rrr(b, Opcode::Fadd, 5, 5, 6);
+                    rrr(b, Opcode::Fadd, 1, 1, 3);
+                    rrr(b, Opcode::Fadd, 1, 1, 5);
+                    rrr(b, Opcode::Fmul, 1, 1, 10);
+                    rrr(b, Opcode::Fmul, 7, 7, 0);
+                    rrr(b, Opcode::Fadd, 1, 1, 7);
+                    store(b, Opcode::Fsd, 1, reg::T2, 0);
+                    addi(b, reg::T1, reg::T1, 8);
+                    addi(b, reg::T2, reg::T2, 8);
+                });
+                addi(b, reg::T1, reg::T1, 16);
+                addi(b, reg::T2, reg::T2, 16);
+            });
+            // Skip the two border rows of the next plane.
+            addi(b, reg::T1, reg::T1, 2 * row);
+            addi(b, reg::T2, reg::T2, 2 * row);
+        });
+        b.mv(reg::T5, reg::S0);
+        b.mv(reg::S0, reg::S1);
+        b.mv(reg::S1, reg::T5);
+    });
+
+    util::emit_sum_words(&mut b, reg::S0, (n * n * n) as i64, reg::S5, reg::T1, reg::T0);
+    finish_with_result(&mut b, reg::S5);
+    b.finish().expect("mgrid assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn halts_with_nonzero_checksum() {
+        let prog = build(Scale::Tiny);
+        let (checksum, icount, _) = run(&prog, 3_000_000);
+        assert_ne!(checksum, 0);
+        assert!(icount > 15_000);
+    }
+
+    #[test]
+    fn values_stay_bounded() {
+        let prog = build(Scale::Tiny);
+        let (_, _, mem) = run(&prog, 3_000_000);
+        for i in 0..(10 * 10 * 10) {
+            let v = mem.read_f64(prog.data_base + 8 * i);
+            assert!(v.is_finite() && v.abs() < 10.0, "grid[{i}] = {v}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The fifteen SPEC95-analog kernels.
+//!
+//! Each module exposes a `WORKLOAD` registration and a `build(Scale)`
+//! function. Shared emission helpers live in [`util`].
+
+pub mod applu;
+pub mod compress;
+pub mod fpppp;
+pub mod gcc;
+pub mod go;
+pub mod hydro2d;
+pub mod li;
+pub mod m88ksim;
+pub mod mgrid;
+pub mod perl;
+pub mod swim;
+pub mod tomcatv;
+pub mod turb3d;
+pub mod util;
+pub mod vortex;
+pub mod wave5;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use ds_asm::Program;
+    use ds_cpu::FuncCore;
+    use ds_mem::MemImage;
+
+    /// Runs a kernel functionally; returns (checksum, icount, memory).
+    pub fn run(prog: &Program, max: u64) -> (u64, u64, MemImage) {
+        let mut mem = MemImage::new();
+        prog.load(&mut mem);
+        let mut cpu = FuncCore::with_stack(prog.entry, prog.stack_top);
+        cpu.run(&mut mem, max).unwrap();
+        assert!(cpu.halted(), "kernel did not halt in {max} instructions");
+        let result = prog.symbol("result").expect("kernels expose `result`");
+        (mem.read_u64(result), cpu.icount(), mem)
+    }
+}

@@ -1,0 +1,127 @@
+//! `swim` — shallow-water stencil (SPEC95 102.swim analog).
+//!
+//! Three N×N grids (u, v, p) updated from each other's neighbours, the
+//! classic shallow-water equations structure. The three interleaved
+//! array streams at matching offsets are exactly the access pattern the
+//! paper credits with *cutting* datathreads in the FP codes
+//! ("interleaved accesses to arrays residing at different processors,
+//! e.g. `c[i] = a[i] + b[i]`").
+
+use super::util::{self, addi, counted_loop, finish_with_result, load, rrr, store};
+use crate::{Scale, Workload, WorkloadClass};
+use ds_asm::{ProgBuilder, Program};
+use ds_isa::{reg, Opcode};
+
+/// Registration.
+pub const WORKLOAD: Workload = Workload {
+    name: "swim",
+    analog: "102.swim",
+    class: WorkloadClass::Fp,
+    description: "shallow-water stencil over three interleaved grids",
+    build,
+};
+
+fn params(scale: Scale) -> (usize, i64) {
+    match scale {
+        Scale::Tiny => (24, 2),
+        Scale::Small => (80, 3),
+        Scale::Full => (128, 5),
+    }
+}
+
+/// Builds the kernel at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let (n, iters) = params(scale);
+    let row = (n * 8) as i32;
+    let mut b = ProgBuilder::new();
+    let grid_u = b.doubles(&util::random_f64s(0x5717_1, n * n));
+    let grid_v = b.doubles(&util::random_f64s(0x5717_2, n * n));
+    let grid_p = b.doubles(&util::random_f64s(0x5717_3, n * n));
+    let consts = b.doubles(&[0.05, 0.02]);
+
+    b.la(reg::S0, grid_u);
+    b.la(reg::S1, grid_v);
+    b.la(reg::S2, grid_p);
+    b.la(reg::T0, consts);
+    load(&mut b, Opcode::Fld, 0, reg::T0, 0); // f0 = c1
+    load(&mut b, Opcode::Fld, 10, reg::T0, 8); // f10 = c2
+
+    counted_loop(&mut b, reg::S4, iters, |b| {
+        addi(b, reg::T1, reg::S0, row + 8); // &u[1][1]
+        addi(b, reg::T2, reg::S1, row + 8); // &v[1][1]
+        addi(b, reg::T3, reg::S2, row + 8); // &p[1][1]
+        counted_loop(b, reg::S3, (n - 2) as i64, |b| {
+            counted_loop(b, reg::T0, (n - 2) as i64, |b| {
+                // u += c1 * (p[j+1] - p[j-1]) + c2 * v
+                load(b, Opcode::Fld, 1, reg::T3, 8);
+                load(b, Opcode::Fld, 2, reg::T3, -8);
+                rrr(b, Opcode::Fsub, 3, 1, 2);
+                rrr(b, Opcode::Fmul, 3, 3, 0);
+                load(b, Opcode::Fld, 4, reg::T2, 0);
+                rrr(b, Opcode::Fmul, 5, 4, 10);
+                rrr(b, Opcode::Fadd, 3, 3, 5);
+                load(b, Opcode::Fld, 6, reg::T1, 0);
+                rrr(b, Opcode::Fadd, 6, 6, 3);
+                store(b, Opcode::Fsd, 6, reg::T1, 0);
+                // v += c1 * (p[i+1] - p[i-1]) + c2 * u
+                load(b, Opcode::Fld, 1, reg::T3, row);
+                load(b, Opcode::Fld, 2, reg::T3, -row);
+                rrr(b, Opcode::Fsub, 3, 1, 2);
+                rrr(b, Opcode::Fmul, 3, 3, 0);
+                rrr(b, Opcode::Fmul, 5, 6, 10);
+                rrr(b, Opcode::Fadd, 3, 3, 5);
+                load(b, Opcode::Fld, 7, reg::T2, 0);
+                rrr(b, Opcode::Fadd, 7, 7, 3);
+                store(b, Opcode::Fsd, 7, reg::T2, 0);
+                // p -= c2 * (u[j+1] - u[j-1] + v[i+1] - v[i-1])
+                load(b, Opcode::Fld, 1, reg::T1, 8);
+                load(b, Opcode::Fld, 2, reg::T1, -8);
+                rrr(b, Opcode::Fsub, 3, 1, 2);
+                load(b, Opcode::Fld, 4, reg::T2, row);
+                load(b, Opcode::Fld, 5, reg::T2, -row);
+                rrr(b, Opcode::Fsub, 4, 4, 5);
+                rrr(b, Opcode::Fadd, 3, 3, 4);
+                rrr(b, Opcode::Fmul, 3, 3, 10);
+                load(b, Opcode::Fld, 8, reg::T3, 0);
+                rrr(b, Opcode::Fsub, 8, 8, 3);
+                store(b, Opcode::Fsd, 8, reg::T3, 0);
+                addi(b, reg::T1, reg::T1, 8);
+                addi(b, reg::T2, reg::T2, 8);
+                addi(b, reg::T3, reg::T3, 8);
+            });
+            // Skip the two border columns.
+            addi(b, reg::T1, reg::T1, 16);
+            addi(b, reg::T2, reg::T2, 16);
+            addi(b, reg::T3, reg::T3, 16);
+        });
+    });
+
+    util::emit_sum_words(&mut b, reg::S2, (n * n) as i64, reg::S5, reg::T1, reg::T0);
+    finish_with_result(&mut b, reg::S5);
+    b.finish().expect("swim assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn halts_with_nonzero_checksum() {
+        let prog = build(Scale::Tiny);
+        let (checksum, icount, _) = run(&prog, 3_000_000);
+        assert_ne!(checksum, 0);
+        assert!(icount > 20_000);
+    }
+
+    #[test]
+    fn grids_stay_finite() {
+        let prog = build(Scale::Tiny);
+        let (_, _, mem) = run(&prog, 3_000_000);
+        let base = prog.data_base;
+        for i in 0..(3 * 24 * 24) {
+            let v = mem.read_f64(base + 8 * i);
+            assert!(v.is_finite(), "grid word {i} became {v}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! `tomcatv` — 2-D mesh relaxation (SPEC95 101.tomcatv analog).
+//!
+//! Two N×N double-precision grids; each iteration computes a four-point
+//! average of one grid's interior into the other, then swaps roles.
+//! The two interleaved grid streams and row-strided neighbours model
+//! tomcatv's vectorisable mesh-generation sweeps.
+
+use super::util::{self, addi, counted_loop, finish_with_result, load, rrr, store};
+use crate::{Scale, Workload, WorkloadClass};
+use ds_asm::{ProgBuilder, Program};
+use ds_isa::{reg, Opcode};
+
+/// Registration.
+pub const WORKLOAD: Workload = Workload {
+    name: "tomcatv",
+    analog: "101.tomcatv",
+    class: WorkloadClass::Fp,
+    description: "2-D mesh relaxation over two interleaved grids",
+    build,
+};
+
+fn params(scale: Scale) -> (usize, i64) {
+    match scale {
+        Scale::Tiny => (24, 2),
+        Scale::Small => (96, 3),
+        Scale::Full => (128, 6),
+    }
+}
+
+/// Builds the kernel at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let (n, iters) = params(scale);
+    let row = (n * 8) as i32;
+    let mut b = ProgBuilder::new();
+    let grid_a = b.doubles(&util::random_f64s(0x70_c47, n * n));
+    let grid_b = b.space((n * n * 8) as u64);
+    let consts = b.doubles(&[0.25]);
+
+    b.la(reg::S0, grid_a); // src
+    b.la(reg::S1, grid_b); // dst
+    b.la(reg::T0, consts);
+    load(&mut b, Opcode::Fld, 0, reg::T0, 0); // f0 = 0.25
+
+    counted_loop(&mut b, reg::S4, iters, |b| {
+        // Row pointers start at row 1.
+        addi(b, reg::T1, reg::S0, row);
+        addi(b, reg::T2, reg::S1, row);
+        counted_loop(b, reg::S2, (n - 2) as i64, |b| {
+            addi(b, reg::T3, reg::T1, 8);
+            addi(b, reg::T4, reg::T2, 8);
+            counted_loop(b, reg::T0, (n - 2) as i64, |b| {
+                load(b, Opcode::Fld, 1, reg::T3, -8); // west
+                load(b, Opcode::Fld, 2, reg::T3, 8); // east
+                load(b, Opcode::Fld, 3, reg::T3, -row); // north
+                load(b, Opcode::Fld, 4, reg::T3, row); // south
+                rrr(b, Opcode::Fadd, 5, 1, 2);
+                rrr(b, Opcode::Fadd, 6, 3, 4);
+                rrr(b, Opcode::Fadd, 5, 5, 6);
+                rrr(b, Opcode::Fmul, 5, 5, 0);
+                store(b, Opcode::Fsd, 5, reg::T4, 0);
+                addi(b, reg::T3, reg::T3, 8);
+                addi(b, reg::T4, reg::T4, 8);
+            });
+            addi(b, reg::T1, reg::T1, row);
+            addi(b, reg::T2, reg::T2, row);
+        });
+        // Swap src and dst.
+        b.mv(reg::T5, reg::S0);
+        b.mv(reg::S0, reg::S1);
+        b.mv(reg::S1, reg::T5);
+    });
+
+    // Checksum: integer-sum the final grid's raw bits.
+    util::emit_sum_words(&mut b, reg::S0, (n * n) as i64, reg::S5, reg::T1, reg::T0);
+    finish_with_result(&mut b, reg::S5);
+    b.finish().expect("tomcatv assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn halts_with_nonzero_checksum() {
+        let prog = build(Scale::Tiny);
+        let (checksum, icount, _) = run(&prog, 2_000_000);
+        assert_ne!(checksum, 0);
+        assert!(icount > 10_000, "only {icount} instructions");
+    }
+
+    #[test]
+    fn interior_is_smoothed_and_bounded() {
+        let prog = build(Scale::Tiny);
+        let (_, _, mem) = run(&prog, 2_000_000);
+        // All grid values must remain finite and within [0, 1].
+        let base = prog.data_base;
+        for i in 0..(24 * 24) {
+            let v = mem.read_f64(base + 8 * i);
+            assert!(v.is_finite() && (0.0..=1.0).contains(&v), "grid[{i}] = {v}");
+        }
+    }
+}

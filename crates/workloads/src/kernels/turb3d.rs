@@ -1,0 +1,101 @@
+//! `turb3d` — FFT-style butterfly passes (SPEC95 125.turb3d analog).
+//!
+//! turb3d spends its time in 3-D FFTs. The kernel sweeps a
+//! power-of-two array with doubling strides —
+//! `X[i] += w · X[i + stride]` for `stride = 1, 2, 4, …` — producing
+//! the power-of-two-strided access pattern (and direct-mapped conflict
+//! behaviour) of an FFT without the bookkeeping.
+
+use super::util::{self, addi, counted_loop, finish_with_result, load, rrr, store};
+use crate::{Scale, Workload, WorkloadClass};
+use ds_asm::{ProgBuilder, Program};
+use ds_isa::{reg, Inst, Opcode};
+
+/// Registration.
+pub const WORKLOAD: Workload = Workload {
+    name: "turb3d",
+    analog: "125.turb3d",
+    class: WorkloadClass::Fp,
+    description: "butterfly sweeps with doubling power-of-two strides",
+    build,
+};
+
+fn params(scale: Scale) -> (usize, i64) {
+    // (log2 array length, passes)
+    match scale {
+        Scale::Tiny => (10, 2),
+        Scale::Small => (14, 3),
+        Scale::Full => (15, 4),
+    }
+}
+
+/// Builds the kernel at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let (logn, passes) = params(scale);
+    let n = 1usize << logn;
+    let mut b = ProgBuilder::new();
+    let data: Vec<f64> = util::random_f64s(0x70b3d, n).iter().map(|v| v - 0.5).collect();
+    let xs = b.doubles(&data);
+    let consts = b.doubles(&[0.375]);
+
+    b.la(reg::T0, consts);
+    load(&mut b, Opcode::Fld, 0, reg::T0, 0); // w
+
+    counted_loop(&mut b, reg::S4, passes, |b| {
+        // stride (in bytes) doubles each stage: 8, 16, ..., n*4.
+        b.li(reg::S0, 8);
+        b.li(reg::S1, (n as i64) * 8 / 2); // max stride bytes
+        let stage_top = b.here();
+        {
+            b.la(reg::T1, xs);
+            // elements to process: n - stride_elems
+            b.li(reg::T2, (n as i64) * 8);
+            rrr(b, Opcode::Sub, reg::T2, reg::T2, reg::S0);
+            b.inst(Inst::rri(Opcode::Srli, reg::T2, reg::T2, 3)); // count
+            let inner = b.here();
+            {
+                rrr(b, Opcode::Add, reg::T3, reg::T1, reg::S0); // partner addr
+                load(b, Opcode::Fld, 1, reg::T1, 0);
+                load(b, Opcode::Fld, 2, reg::T3, 0);
+                rrr(b, Opcode::Fmul, 2, 2, 0);
+                rrr(b, Opcode::Fadd, 1, 1, 2);
+                store(b, Opcode::Fsd, 1, reg::T1, 0);
+                addi(b, reg::T1, reg::T1, 8);
+                addi(b, reg::T2, reg::T2, -1);
+            }
+            b.bnez(reg::T2, inner);
+            // stride *= 2; loop while stride <= max
+            rrr(b, Opcode::Add, reg::S0, reg::S0, reg::S0);
+        }
+        b.br(Opcode::Bge, reg::S1, reg::S0, stage_top);
+    });
+
+    b.la(reg::S2, xs);
+    util::emit_sum_words(&mut b, reg::S2, n as i64, reg::S5, reg::T1, reg::T0);
+    finish_with_result(&mut b, reg::S5);
+    b.finish().expect("turb3d assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn halts_with_nonzero_checksum() {
+        let prog = build(Scale::Tiny);
+        let (checksum, icount, _) = run(&prog, 3_000_000);
+        assert_ne!(checksum, 0);
+        assert!(icount > 15_000);
+    }
+
+    #[test]
+    fn butterfly_results_stay_finite() {
+        let prog = build(Scale::Tiny);
+        let (_, _, mem) = run(&prog, 3_000_000);
+        for i in 0..(1u64 << 10) {
+            let v = mem.read_f64(prog.data_base + 8 * i);
+            assert!(v.is_finite(), "X[{i}] = {v}");
+        }
+    }
+}

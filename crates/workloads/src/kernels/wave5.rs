@@ -1,0 +1,123 @@
+//! `wave5` — particle-in-cell gather/scatter (SPEC95 146.wave5 analog).
+//!
+//! wave5 is a plasma PIC code: particles gather field values at their
+//! (data-dependent) grid cells, update their state, and scatter charge
+//! back. The kernel keeps a particle table and a power-of-two field
+//! grid; every iteration does an indexed gather, an FP update, an index
+//! advance, and an indexed scatter — the irregular, data-dependent
+//! addressing that distinguishes wave5 from the dense stencils.
+
+use super::util::{self, addi, counted_loop, finish_with_result, load, rrr, store};
+use crate::{Scale, Workload, WorkloadClass};
+use ds_asm::{ProgBuilder, Program};
+use ds_isa::{reg, Inst, Opcode};
+
+/// Registration.
+pub const WORKLOAD: Workload = Workload {
+    name: "wave5",
+    analog: "146.wave5",
+    class: WorkloadClass::Fp,
+    description: "particle-in-cell gather/scatter over a field grid",
+    build,
+};
+
+fn params(scale: Scale) -> (usize, usize, i64) {
+    // (particles, grid cells (pow2), iterations)
+    match scale {
+        Scale::Tiny => (1500, 1 << 11, 3),
+        Scale::Small => (8000, 1 << 12, 4),
+        Scale::Full => (32000, 1 << 14, 5),
+    }
+}
+
+/// Builds the kernel at `scale`.
+pub fn build(scale: Scale) -> Program {
+    let (particles, cells, iters) = params(scale);
+    let mask = (cells as i64 - 1) * 8; // byte-offset mask (cell-aligned)
+    let mut b = ProgBuilder::new();
+
+    // Particle table: [cell byte-offset (u64), velocity (f64)] pairs.
+    // Positions are cell-sorted (PIC codes periodically sort particles
+    // precisely to recover this locality), so consecutive gathers hit
+    // nearby grid cells.
+    let mut cells_sorted = util::random_u64s(0x3a7e5, particles, cells as u64);
+    cells_sorted.sort_unstable();
+    let mut ptab = Vec::with_capacity(particles * 2);
+    for (i, c) in cells_sorted.iter().enumerate() {
+        ptab.push(c * 8);
+        ptab.push((0.25 + (i % 7) as f64 * 0.1).to_bits());
+    }
+    let ptab = b.dwords(&ptab);
+    let field: Vec<f64> = util::random_f64s(0x3a7e6, cells).iter().map(|v| v * 0.1).collect();
+    let field = b.doubles(&field);
+    let consts = b.doubles(&[0.01, 0.02, 4.0]);
+
+    b.la(reg::T0, consts);
+    load(&mut b, Opcode::Fld, 0, reg::T0, 0); // c1
+    load(&mut b, Opcode::Fld, 10, reg::T0, 8); // c2
+    load(&mut b, Opcode::Fld, 11, reg::T0, 16); // index scale
+    b.la(reg::S1, field);
+    b.li(reg::S3, mask);
+
+    counted_loop(&mut b, reg::S4, iters, |b| {
+        b.la(reg::S0, ptab);
+        counted_loop(b, reg::S2, particles as i64, |b| {
+            load(b, Opcode::Ld, reg::T1, reg::S0, 0); // cell offset
+            rrr(b, Opcode::Add, reg::T2, reg::S1, reg::T1);
+            load(b, Opcode::Fld, 1, reg::T2, 0); // gather field
+            load(b, Opcode::Fld, 2, reg::S0, 8); // velocity
+            rrr(b, Opcode::Fmul, 3, 1, 0);
+            rrr(b, Opcode::Fadd, 2, 2, 3); // vel += c1*field
+            store(b, Opcode::Fsd, 2, reg::S0, 8);
+            // advance cell: offset = (offset + 8*int(vel*16) + 8) & mask
+            rrr(b, Opcode::Fmul, 4, 2, 11);
+            b.inst(Inst::rri(Opcode::Fcvtwd, reg::T3, 4, 0));
+            b.inst(Inst::rri(Opcode::Slli, reg::T3, reg::T3, 3));
+            rrr(b, Opcode::Add, reg::T1, reg::T1, reg::T3);
+            addi(b, reg::T1, reg::T1, 8);
+            rrr(b, Opcode::And, reg::T1, reg::T1, reg::S3);
+            store(b, Opcode::Sd, reg::T1, reg::S0, 0);
+            // scatter: field[cell] += c2 * vel
+            rrr(b, Opcode::Add, reg::T2, reg::S1, reg::T1);
+            load(b, Opcode::Fld, 5, reg::T2, 0);
+            rrr(b, Opcode::Fmul, 6, 2, 10);
+            rrr(b, Opcode::Fadd, 5, 5, 6);
+            store(b, Opcode::Fsd, 5, reg::T2, 0);
+            addi(b, reg::S0, reg::S0, 16);
+        });
+    });
+
+    // Checksum: sum the particle table words (positions + velocities).
+    b.la(reg::S0, ptab);
+    util::emit_sum_words(&mut b, reg::S0, (particles * 2) as i64, reg::S5, reg::T1, reg::T0);
+    finish_with_result(&mut b, reg::S5);
+    b.finish().expect("wave5 assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn halts_with_nonzero_checksum() {
+        let prog = build(Scale::Tiny);
+        let (checksum, icount, _) = run(&prog, 3_000_000);
+        assert_ne!(checksum, 0);
+        assert!(icount > 20_000);
+    }
+
+    #[test]
+    fn particle_offsets_stay_in_grid() {
+        let prog = build(Scale::Tiny);
+        let (_, _, mem) = run(&prog, 3_000_000);
+        let ptab = prog.data_base;
+        for i in 0..1500u64 {
+            let off = mem.read_u64(ptab + 16 * i);
+            assert!(off < (1 << 11) * 8, "particle {i} escaped: {off}");
+            assert_eq!(off % 8, 0);
+            let vel = mem.read_f64(ptab + 16 * i + 8);
+            assert!(vel.is_finite());
+        }
+    }
+}

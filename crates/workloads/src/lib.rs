@@ -1,0 +1,191 @@
+//! Synthetic SPEC95-stand-in workloads for the DataScalar
+//! reproduction.
+//!
+//! The paper evaluates unmodified SPEC95 binaries; those are
+//! proprietary and need a C toolchain for a new ISA, so this crate
+//! provides fifteen hand-built DS-1 kernels, one per benchmark the
+//! paper uses, each engineered to reproduce the *memory behaviour* the
+//! paper's analysis leans on (see `DESIGN.md`, substitution 1):
+//!
+//! | kernel | SPEC95 analog | behaviour captured |
+//! |---|---|---|
+//! | `tomcatv` | 101.tomcatv | 2-D mesh relaxation, two interleaved grids |
+//! | `swim` | 102.swim | shallow-water stencil over three grids |
+//! | `hydro2d` | 104.hydro2d | 2-D hydrodynamics stencil |
+//! | `mgrid` | 107.mgrid | 3-D 7-point stencil, plane-strided |
+//! | `applu` | 110.applu | SSOR sweep with loop-carried dependences |
+//! | `m88ksim` | 124.m88ksim | bytecode interpreter, dispatch table |
+//! | `turb3d` | 125.turb3d | FFT-style butterflies, power-of-two strides |
+//! | `gcc` | 126.gcc | branchy graph walk with an explicit stack |
+//! | `compress` | 129.compress | LZW hash loop, ~1 store per load |
+//! | `li` | 130.li | cons-cell pointer chasing |
+//! | `perl` | 134.perl | string hash table, insert/lookup mix |
+//! | `fpppp` | 145.fpppp | huge straight-line FP blocks (text-heavy) |
+//! | `wave5` | 146.wave5 | particle-in-cell gather/scatter |
+//! | `vortex` | 147.vortex | record/index database transactions |
+//! | `go` | 099.go | board evaluation, branchy integer, small data |
+//!
+//! Every kernel is deterministic (inputs are generated with a fixed
+//! seed), halts, and leaves a checksum in memory at the `result`
+//! symbol so simulators can be cross-checked.
+//!
+//! # Examples
+//!
+//! ```
+//! use ds_workloads::{by_name, Scale};
+//!
+//! let w = by_name("compress").unwrap();
+//! let prog = (w.build)(Scale::Tiny);
+//! assert!(prog.symbol("result").is_some());
+//! ```
+
+mod kernels;
+
+pub use kernels::*;
+
+use ds_asm::Program;
+
+/// Problem-size scaling of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Seconds-fast functional runs (unit tests): ~10⁴–10⁵ instructions.
+    Tiny,
+    /// Timing-simulation size: ~10⁵–10⁶ instructions, working sets past
+    /// the L1.
+    Small,
+    /// Full experiment size: multi-million instructions.
+    Full,
+}
+
+/// Integer or floating-point benchmark (SPEC's CINT/CFP split; the
+/// paper discusses the two classes separately in Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Integer benchmark.
+    Int,
+    /// Floating-point benchmark.
+    Fp,
+}
+
+/// A registered workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Short name (the SPEC95 benchmark's name).
+    pub name: &'static str,
+    /// The SPEC95 benchmark it stands in for.
+    pub analog: &'static str,
+    /// CINT or CFP.
+    pub class: WorkloadClass,
+    /// One-line description of the memory behaviour it models.
+    pub description: &'static str,
+    /// Builds the program at a given scale.
+    pub build: fn(Scale) -> Program,
+}
+
+/// All fifteen workloads, in the paper's Table 1 order plus `go`.
+pub fn all() -> Vec<Workload> {
+    vec![
+        kernels::tomcatv::WORKLOAD,
+        kernels::swim::WORKLOAD,
+        kernels::hydro2d::WORKLOAD,
+        kernels::mgrid::WORKLOAD,
+        kernels::applu::WORKLOAD,
+        kernels::m88ksim::WORKLOAD,
+        kernels::turb3d::WORKLOAD,
+        kernels::gcc::WORKLOAD,
+        kernels::compress::WORKLOAD,
+        kernels::li::WORKLOAD,
+        kernels::perl::WORKLOAD,
+        kernels::fpppp::WORKLOAD,
+        kernels::wave5::WORKLOAD,
+        kernels::vortex::WORKLOAD,
+        kernels::go::WORKLOAD,
+    ]
+}
+
+/// The six benchmarks of the paper's timing experiments (Figure 7):
+/// go, mgrid, applu, compress, turb3d, wave5.
+pub fn figure7_set() -> Vec<Workload> {
+    ["go", "mgrid", "applu", "compress", "turb3d", "wave5"]
+        .iter()
+        .map(|n| by_name(n).expect("figure-7 kernel registered"))
+        .collect()
+}
+
+/// The fourteen benchmarks of Table 1/Table 2 (everything but `go`).
+pub fn table1_set() -> Vec<Workload> {
+    all().into_iter().filter(|w| w.name != "go").collect()
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_cpu::FuncCore;
+    use ds_mem::MemImage;
+
+    /// Runs a program functionally to completion; returns the checksum
+    /// at `result` and the instruction count.
+    pub(crate) fn run_checksum(prog: &Program, max: u64) -> (u64, u64) {
+        let mut mem = MemImage::new();
+        prog.load(&mut mem);
+        let mut cpu = FuncCore::with_stack(prog.entry, prog.stack_top);
+        cpu.run(&mut mem, max).unwrap();
+        assert!(cpu.halted(), "workload did not halt within {max} instructions");
+        let result = prog.symbol("result").expect("workloads expose `result`");
+        (mem.read_u64(result), cpu.icount())
+    }
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let ws = all();
+        assert_eq!(ws.len(), 15);
+        let mut names: Vec<_> = ws.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 15, "duplicate workload names");
+        assert_eq!(figure7_set().len(), 6);
+        assert_eq!(table1_set().len(), 14);
+        assert!(by_name("compress").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_workload_halts_at_tiny_scale() {
+        for w in all() {
+            let prog = (w.build)(Scale::Tiny);
+            let (checksum, icount) = run_checksum(&prog, 3_000_000);
+            assert!(icount > 1_000, "{} too small ({icount} insts)", w.name);
+            // Checksums must be stable across runs (determinism).
+            let (checksum2, icount2) = run_checksum(&prog, 3_000_000);
+            assert_eq!(checksum, checksum2, "{} nondeterministic", w.name);
+            assert_eq!(icount, icount2);
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        for w in ["compress", "mgrid", "li"] {
+            let w = by_name(w).unwrap();
+            let (_, tiny) = run_checksum(&(w.build)(Scale::Tiny), 10_000_000);
+            let (_, small) = run_checksum(&(w.build)(Scale::Small), 50_000_000);
+            assert!(
+                small > tiny,
+                "{}: Small ({small}) should run longer than Tiny ({tiny})",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn classes_match_spec() {
+        assert_eq!(by_name("compress").unwrap().class, WorkloadClass::Int);
+        assert_eq!(by_name("go").unwrap().class, WorkloadClass::Int);
+        assert_eq!(by_name("tomcatv").unwrap().class, WorkloadClass::Fp);
+        assert_eq!(by_name("wave5").unwrap().class, WorkloadClass::Fp);
+    }
+}

@@ -1,0 +1,55 @@
+//! Golden checksums: every kernel's Tiny-scale result and instruction
+//! count, pinned. Any change to a kernel's code, its input generation,
+//! or the functional semantics of the ISA shows up here first —
+//! protecting the cross-simulator equivalence suite's reference values.
+
+use ds_cpu::FuncCore;
+use ds_mem::MemImage;
+use ds_workloads::{by_name, Scale};
+
+const GOLDENS: &[(&str, u64, u64)] = &[
+    ("tomcatv", 0xaf0008a054c3bbc9, 15798),
+    ("swim", 0x25d1ddb07dd5d6e9, 37048),
+    ("hydro2d", 0xb00829cc1fc273e7, 22531),
+    ("mgrid", 0x6d8cc7ef949a98c2, 26227),
+    ("applu", 0xff60eac42c30c7ae, 37996),
+    ("m88ksim", 0xa5495110d51c1db3, 151392),
+    ("turb3d", 0x68968940b84d5314, 171163),
+    ("gcc", 0x811bf25606541722, 712585),
+    ("compress", 0x10a48a, 52699),
+    ("li", 0x17748690, 72026),
+    ("perl", 0x2be8a0, 130859),
+    ("fpppp", 0xe800000000000000, 24691),
+    ("wave5", 0x424eb54d4059ea66, 114025),
+    ("vortex", 0x48e76ab, 315531),
+    ("go", 0x10d3e, 739234),
+];
+
+#[test]
+fn every_workload_matches_its_golden_checksum() {
+    for &(name, want_sum, want_insts) in GOLDENS {
+        let w = by_name(name).expect("registered workload");
+        let prog = (w.build)(Scale::Tiny);
+        let mut mem = MemImage::new();
+        prog.load(&mut mem);
+        let mut cpu = FuncCore::with_stack(prog.entry, prog.stack_top);
+        cpu.run(&mut mem, 50_000_000).expect("executes");
+        assert!(cpu.halted(), "{name} did not halt");
+        let got = mem.read_u64(prog.symbol("result").expect("result symbol"));
+        assert_eq!(
+            got, want_sum,
+            "{name}: checksum changed ({got:#x} vs {want_sum:#x}) — \
+             if intentional, regenerate the goldens"
+        );
+        assert_eq!(cpu.icount(), want_insts, "{name}: instruction count changed");
+    }
+}
+
+#[test]
+fn goldens_cover_the_whole_registry() {
+    let mut names: Vec<&str> = GOLDENS.iter().map(|g| g.0).collect();
+    names.sort_unstable();
+    let mut all: Vec<&str> = ds_workloads::all().iter().map(|w| w.name).collect();
+    all.sort_unstable();
+    assert_eq!(names, all, "golden table out of sync with the registry");
+}

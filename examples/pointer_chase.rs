@@ -1,0 +1,88 @@
+//! Datathreading demo: a pointer chase across distributed memory.
+//!
+//! Builds a linked list whose nodes are spread across the nodes'
+//! memories and chases it — the serial dependent-address chain of the
+//! paper's Figure 3. A DataScalar owner can fetch a whole run of
+//! locally-resident cells and pipeline their broadcasts; the
+//! traditional system pays a request/response round trip per remote
+//! cell. The example reports both the analytic crossing counts and the
+//! measured cycle-level results.
+//!
+//! ```sh
+//! cargo run --release --example pointer_chase
+//! ```
+
+use datascalar::core_model::datathread;
+use datascalar::core_model::{DsConfig, DsSystem, TraditionalConfig, TraditionalSystem};
+use datascalar::isa::{reg, Inst, Opcode};
+use datascalar::ProgBuilder;
+
+fn build_chase(cells: usize, traversals: i64) -> datascalar::Program {
+    let mut b = ProgBuilder::new();
+    // Cells 512 bytes apart so every hop misses the L1 line.
+    let pool = b.space(cells as u64 * 512);
+    let base = b.addr_of(pool);
+    b.li(reg::S4, traversals);
+    let outer = b.here();
+    // Build (or rebuild) the chain: cell i -> cell i+1.
+    b.li(reg::T0, (cells - 1) as i64);
+    b.li(reg::T1, base as i64);
+    let build = b.here();
+    b.inst(Inst::rri(Opcode::Addi, reg::T2, reg::T1, 512));
+    b.inst(Inst::store(Opcode::Sd, reg::T2, reg::T1, 0));
+    b.mv(reg::T1, reg::T2);
+    b.inst(Inst::rri(Opcode::Addi, reg::T0, reg::T0, -1));
+    b.bnez(reg::T0, build);
+    b.inst(Inst::store(Opcode::Sd, reg::ZERO, reg::T1, 0));
+    // Chase it.
+    b.li(reg::T1, base as i64);
+    let chase = b.here();
+    b.inst(Inst::load(Opcode::Ld, reg::T1, reg::T1, 0));
+    b.bnez(reg::T1, chase);
+    b.inst(Inst::rri(Opcode::Addi, reg::S4, reg::S4, -1));
+    b.bnez(reg::S4, outer);
+    b.halt();
+    b.finish().expect("builds")
+}
+
+fn main() {
+    // Analytic Figure 3 view: 256 dependent operands distributed
+    // round-robin across 4 nodes in 4 KiB pages (8 cells per page).
+    let owners: Vec<usize> = (0..256).map(|i| (i * 512 / 4096) % 4).collect();
+    let cmp = datathread::compare_chain(&owners, usize::MAX);
+    println!("analytic, 256-cell chain, 4 nodes, 4 KiB pages:");
+    println!("  DataScalar serialized off-chip delays : {}", cmp.datascalar);
+    println!("  traditional serialized off-chip delays: {}", cmp.traditional);
+    println!(
+        "  mean datathread length                : {:.1} cells",
+        datathread::mean_thread_length(&owners)
+    );
+    println!();
+
+    // Measured: cycle-level simulation of the same structure.
+    let program = build_chase(256, 40);
+    for nodes in [2usize, 4] {
+        let mut ds = DsSystem::new(DsConfig::with_nodes(nodes), &program);
+        let ds_r = ds.run().expect("runs");
+        let trad_cfg = TraditionalConfig::with_onchip_share(nodes);
+        let mut trad = TraditionalSystem::new(&trad_cfg, &program);
+        let trad_r = trad.run().expect("runs");
+        let found: u64 = ds_r.nodes.iter().map(|n| n.bshr.found_buffered).sum();
+        let remote: u64 = ds_r.nodes.iter().map(|n| n.remote_accesses).sum();
+        println!(
+            "measured, {nodes} nodes: DataScalar {:.3} IPC vs traditional {:.3} IPC ({:.2}x)",
+            ds_r.ipc(),
+            trad_r.ipc(),
+            ds_r.ipc() / trad_r.ipc()
+        );
+        println!(
+            "  remote loads={remote}  found waiting in BSHR={found}  broadcasts={}",
+            ds_r.bus.broadcasts
+        );
+    }
+    println!();
+    println!("every hop depends on the previous one, so the win comes from the");
+    println!("one-way broadcast pipeline: the owner of a run fetches it locally");
+    println!("and streams it out, while the traditional system pays a full");
+    println!("request/response round trip per remote cell");
+}

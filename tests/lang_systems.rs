@@ -1,0 +1,117 @@
+//! Compiled DSC programs run identically on every simulated system —
+//! the full toolchain (compiler → assembler image → simulators) in one
+//! loop.
+
+use datascalar::compile;
+use datascalar::core_model::{
+    DsConfig, DsSystem, PerfectSystem, TraditionalConfig, TraditionalSystem,
+};
+
+/// Matrix-multiply-flavoured kernel in DSC: nested loops, arrays, and
+/// enough working set to exercise the caches.
+const MATMUL: &str = r#"
+    int a[256];
+    int b[256];
+    int c[256];
+    int main() {
+        for (int i = 0; i < 16; i = i + 1) {
+            for (int j = 0; j < 16; j = j + 1) {
+                a[i * 16 + j] = i + j;
+                b[i * 16 + j] = i - j;
+            }
+        }
+        for (int i = 0; i < 16; i = i + 1) {
+            for (int j = 0; j < 16; j = j + 1) {
+                int s;
+                for (int k = 0; k < 16; k = k + 1) {
+                    s = s + a[i * 16 + k] * b[k * 16 + j];
+                }
+                c[i * 16 + j] = s;
+            }
+        }
+        int check;
+        for (int i = 0; i < 256; i = i + 1) { check = check + c[i] * (i + 1); }
+        return check;
+    }
+"#;
+
+fn expected() -> i64 {
+    let mut a = [0i64; 256];
+    let mut b = [0i64; 256];
+    let mut c = [0i64; 256];
+    for i in 0..16i64 {
+        for j in 0..16i64 {
+            a[(i * 16 + j) as usize] = i + j;
+            b[(i * 16 + j) as usize] = i - j;
+        }
+    }
+    for i in 0..16usize {
+        for j in 0..16usize {
+            let mut s = 0i64;
+            for k in 0..16usize {
+                s += a[i * 16 + k] * b[k * 16 + j];
+            }
+            c[i * 16 + j] = s;
+        }
+    }
+    c.iter().enumerate().map(|(i, &v)| v * (i as i64 + 1)).sum()
+}
+
+#[test]
+fn compiled_matmul_agrees_on_every_system() {
+    let program = compile(MATMUL).expect("compiles");
+    let want = expected();
+    let result_addr = program.symbol("result").unwrap();
+
+    for nodes in [1usize, 2, 4] {
+        let mut sys = DsSystem::new(DsConfig::with_nodes(nodes), &program);
+        let r = sys.run().unwrap();
+        assert!(r.committed > 10_000, "{nodes}-node run too short");
+        assert_eq!(
+            sys.mem().read_u64(result_addr) as i64,
+            want,
+            "wrong matmul result on DataScalar x{nodes}"
+        );
+        assert!(sys.correspondence_holds());
+    }
+
+    let config = TraditionalConfig::with_onchip_share(2);
+    let mut trad = TraditionalSystem::new(&config, &program);
+    let tr = trad.run().unwrap();
+    assert!(tr.committed > 10_000);
+
+    let mut perfect = PerfectSystem::new(&DsConfig::with_nodes(1), &program);
+    let pr = perfect.run().unwrap();
+    assert_eq!(pr.committed, tr.committed, "same instruction stream everywhere");
+}
+
+#[test]
+fn compiled_float_kernel_runs_on_datascalar() {
+    let src = r#"
+        float xs[512];
+        int main() {
+            for (int i = 0; i < 512; i = i + 1) { xs[i] = float(i) * 0.25; }
+            float s;
+            for (int i = 0; i < 512; i = i + 1) { s = s + xs[i]; }
+            return int(s);
+        }
+    "#;
+    let program = compile(src).expect("compiles");
+    let mut sys = DsSystem::new(DsConfig::with_nodes(2), &program);
+    sys.run().unwrap();
+    let got = sys.mem().read_u64(program.symbol("result").unwrap()) as i64;
+    let want: f64 = (0..512).map(|i| i as f64 * 0.25).sum();
+    assert_eq!(got, want as i64);
+}
+
+#[test]
+fn recursion_depth_survives_the_timing_stack() {
+    let src = r#"
+        int depth(int n) { if (n == 0) { return 0; } return 1 + depth(n - 1); }
+        int main() { return depth(300); }
+    "#;
+    let program = compile(src).expect("compiles");
+    let mut sys = DsSystem::new(DsConfig::with_nodes(2), &program);
+    sys.run().unwrap();
+    assert_eq!(sys.mem().read_u64(program.symbol("result").unwrap()), 300);
+}
