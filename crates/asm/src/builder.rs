@@ -231,7 +231,7 @@ impl ProgBuilder {
     /// Panics if `n` is not a power of two.
     pub fn align(&mut self, n: u64) -> &mut Self {
         assert!(n.is_power_of_two(), "alignment must be a power of two");
-        while (self.data.len() as u64) % n != 0 {
+        while !(self.data.len() as u64).is_multiple_of(n) {
             self.data.push(0);
         }
         self

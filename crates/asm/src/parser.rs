@@ -463,7 +463,7 @@ fn emit_data(
     line: usize,
 ) -> Result<(), AsmError> {
     let pad = |data: &mut Vec<u8>, align: u64| {
-        while (data.len() as u64) % align != 0 {
+        while !(data.len() as u64).is_multiple_of(align) {
             data.push(0);
         }
     };

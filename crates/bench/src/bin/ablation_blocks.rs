@@ -6,7 +6,7 @@
 //! reports IPC plus the BSHR's found-waiting rate (the runtime
 //! signature of longer datathreads).
 
-use ds_bench::{baseline_config, Budget};
+use ds_bench::{baseline_config, runner, Budget};
 use ds_core::DsSystem;
 use ds_stats::{percent, ratio, Table};
 use ds_workloads::by_name;
@@ -15,21 +15,30 @@ fn main() {
     let budget = Budget::from_args();
     println!("Ablation: distribution block size (DataScalar x2)");
     println!();
-    for name in ["li", "compress", "mgrid"] {
-        let w = by_name(name).expect("registered");
-        let prog = (w.build)(budget.scale);
+    let names = ["li", "compress", "mgrid"];
+    let progs: Vec<_> = names
+        .iter()
+        .map(|n| (by_name(n).expect("registered").build)(budget.scale))
+        .collect();
+    const BLOCKS: [u64; 5] = [1, 2, 4, 8, 16];
+    let jobs: Vec<(usize, u64)> =
+        (0..names.len()).flat_map(|wi| BLOCKS.map(move |b| (wi, b))).collect();
+    let rows = runner::map(jobs, |&(wi, block)| {
+        let mut config = baseline_config(2, budget.max_insts);
+        config.dist_block_pages = block;
+        let mut sys = DsSystem::new(config, &progs[wi]);
+        let r = sys.run().expect("runs");
+        [
+            block.to_string(),
+            ratio(r.ipc()),
+            r.bus.broadcasts.to_string(),
+            percent(r.node_mean(|n| n.found_in_bshr_frac())),
+        ]
+    });
+    for (wi, name) in names.iter().enumerate() {
         let mut t = Table::new(&["block pages", "IPC", "broadcasts", "found in BSHR"]);
-        for block in [1u64, 2, 4, 8, 16] {
-            let mut config = baseline_config(2, budget.max_insts);
-            config.dist_block_pages = block;
-            let mut sys = DsSystem::new(config, &prog);
-            let r = sys.run().expect("runs");
-            t.row(&[
-                block.to_string(),
-                ratio(r.ipc()),
-                r.bus.broadcasts.to_string(),
-                percent(r.node_mean(|n| n.found_in_bshr_frac())),
-            ]);
+        for row in &rows[wi * BLOCKS.len()..(wi + 1) * BLOCKS.len()] {
+            t.row(row);
         }
         println!("=== {name} ===\n{t}");
     }

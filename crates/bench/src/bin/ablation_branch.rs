@@ -8,7 +8,7 @@
 //! the assumption: mispredictions throttle run-ahead, which is the
 //! engine of datathreading.
 
-use ds_bench::{baseline_config, Budget};
+use ds_bench::{baseline_config, runner, Budget};
 use ds_core::{DsSystem, TraditionalConfig, TraditionalSystem};
 use ds_cpu::BranchModel;
 use ds_stats::{percent, ratio, Table};
@@ -23,29 +23,36 @@ fn main() {
         ("bimodal 4k", BranchModel::TwoBit { table_bits: 12, penalty: 8 }),
         ("static BTFN", BranchModel::Static { penalty: 8 }),
     ];
-    for w in figure7_set() {
-        let prog = (w.build)(budget.scale);
+    let set = figure7_set();
+    let progs: Vec<_> = set.iter().map(|w| (w.build)(budget.scale)).collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..set.len()).flat_map(|wi| (0..models.len()).map(move |mi| (wi, mi))).collect();
+    let rows = runner::map(jobs, |&(wi, mi)| {
+        let (name, model) = models[mi];
+        let mut config = baseline_config(2, budget.max_insts);
+        config.core.branch = model;
+        let mut ds = DsSystem::new(config.clone(), &progs[wi]);
+        let ds_r = ds.run().expect("runs");
+        let mut trad = TraditionalSystem::new(&TraditionalConfig { base: config }, &progs[wi]);
+        let trad_r = trad.run().expect("runs");
+        let s = &ds_r.nodes[0].core;
+        let rate = if s.branches == 0 {
+            0.0
+        } else {
+            s.branch_mispredicts as f64 / s.branches as f64
+        };
+        [
+            name.to_string(),
+            ratio(ds_r.ipc()),
+            ratio(trad_r.ipc()),
+            format!("{:.2}x", ds_r.ipc() / trad_r.ipc()),
+            percent(rate),
+        ]
+    });
+    for (wi, w) in set.iter().enumerate() {
         let mut t = Table::new(&["model", "DS IPC", "trad IPC", "DS/trad", "mispredict rate"]);
-        for (name, model) in models {
-            let mut config = baseline_config(2, budget.max_insts);
-            config.core.branch = model;
-            let mut ds = DsSystem::new(config.clone(), &prog);
-            let ds_r = ds.run().expect("runs");
-            let mut trad = TraditionalSystem::new(&TraditionalConfig { base: config }, &prog);
-            let trad_r = trad.run().expect("runs");
-            let s = &ds_r.nodes[0].core;
-            let rate = if s.branches == 0 {
-                0.0
-            } else {
-                s.branch_mispredicts as f64 / s.branches as f64
-            };
-            t.row(&[
-                name.to_string(),
-                ratio(ds_r.ipc()),
-                ratio(trad_r.ipc()),
-                format!("{:.2}x", ds_r.ipc() / trad_r.ipc()),
-                percent(rate),
-            ]);
+        for row in &rows[wi * models.len()..(wi + 1) * models.len()] {
+            t.row(row);
         }
         println!("=== {} ===\n{t}", w.name);
     }

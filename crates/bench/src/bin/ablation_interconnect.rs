@@ -6,7 +6,7 @@
 //! benchmarks on all three: the evaluated bus, the slotted ring, and an
 //! "optical" fabric modelled as a core-clocked 64-byte-wide bus.
 
-use ds_bench::{baseline_config, Budget};
+use ds_bench::{baseline_config, runner, Budget};
 use ds_core::DsSystem;
 use ds_net::FabricKind;
 use ds_stats::{ratio, Table};
@@ -17,23 +17,28 @@ fn main() {
     println!("Ablation: interconnect technology (DataScalar x4)");
     println!();
     let mut t = Table::new(&["benchmark", "bus IPC", "ring IPC", "optical IPC", "ring/bus"]);
-    for w in figure7_set() {
-        let prog = (w.build)(budget.scale);
-        let run = |kind: FabricKind, optical: bool| {
-            let mut config = baseline_config(4, budget.max_insts);
-            config.interconnect = kind;
-            if optical {
-                // Free-space optics: broadcasts at core speed and full
-                // line width.
-                config.bus.clock_divisor = 1;
-                config.bus.width_bytes = 64;
-            }
-            let mut sys = DsSystem::new(config, &prog);
-            sys.run().expect("runs").ipc()
-        };
-        let bus = run(FabricKind::Bus, false);
-        let ring = run(FabricKind::Ring, false);
-        let optical = run(FabricKind::Bus, true);
+    let set = figure7_set();
+    let progs: Vec<_> = set.iter().map(|w| (w.build)(budget.scale)).collect();
+    // Variants: the evaluated bus, the ring, and the "optical" bus.
+    const VARIANTS: [(FabricKind, bool); 3] =
+        [(FabricKind::Bus, false), (FabricKind::Ring, false), (FabricKind::Bus, true)];
+    let jobs: Vec<(usize, usize)> =
+        (0..set.len()).flat_map(|wi| (0..VARIANTS.len()).map(move |vi| (wi, vi))).collect();
+    let ipcs = runner::map(jobs, |&(wi, vi)| {
+        let (kind, optical) = VARIANTS[vi];
+        let mut config = baseline_config(4, budget.max_insts);
+        config.interconnect = kind;
+        if optical {
+            // Free-space optics: broadcasts at core speed and full
+            // line width.
+            config.bus.clock_divisor = 1;
+            config.bus.width_bytes = 64;
+        }
+        let mut sys = DsSystem::new(config, &progs[wi]);
+        sys.run().expect("runs").ipc()
+    });
+    for (wi, w) in set.iter().enumerate() {
+        let (bus, ring, optical) = (ipcs[wi * 3], ipcs[wi * 3 + 1], ipcs[wi * 3 + 2]);
         t.row(&[
             w.name.to_string(),
             ratio(bus),

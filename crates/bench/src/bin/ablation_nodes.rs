@@ -5,7 +5,7 @@
 //! from 1 to 8 nodes (the traditional comparator's on-chip share
 //! shrinking to match).
 
-use ds_bench::{run_datascalar, run_traditional, Budget};
+use ds_bench::{runner, run_datascalar, run_traditional, Budget};
 use ds_stats::{ratio, Table};
 use ds_workloads::figure7_set;
 
@@ -13,18 +13,25 @@ fn main() {
     let budget = Budget::from_args();
     println!("Ablation: node-count scaling (DataScalar vs traditional)");
     println!();
-    for w in figure7_set() {
+    let set = figure7_set();
+    const NODES: [usize; 4] = [1, 2, 4, 8];
+    let jobs: Vec<(usize, usize)> =
+        (0..set.len()).flat_map(|wi| NODES.map(move |n| (wi, n))).collect();
+    let rows = runner::map(jobs, |&(wi, nodes)| {
+        let ds = run_datascalar(&set[wi], nodes, budget);
+        let trad = run_traditional(&set[wi], nodes, budget);
+        [
+            nodes.to_string(),
+            ratio(ds.ipc()),
+            ratio(trad.ipc()),
+            format!("{:.2}x", ds.ipc() / trad.ipc()),
+            ds.bus.broadcasts.to_string(),
+        ]
+    });
+    for (wi, w) in set.iter().enumerate() {
         let mut t = Table::new(&["nodes", "DS IPC", "trad IPC", "DS/trad", "DS broadcasts"]);
-        for nodes in [1usize, 2, 4, 8] {
-            let ds = run_datascalar(&w, nodes, budget);
-            let trad = run_traditional(&w, nodes, budget);
-            t.row(&[
-                nodes.to_string(),
-                ratio(ds.ipc()),
-                ratio(trad.ipc()),
-                format!("{:.2}x", ds.ipc() / trad.ipc()),
-                ds.bus.broadcasts.to_string(),
-            ]);
+        for row in &rows[wi * NODES.len()..(wi + 1) * NODES.len()] {
+            t.row(row);
         }
         println!("=== {} ===\n{t}", w.name);
     }

@@ -6,7 +6,7 @@
 //! systems a D-TLB of varying size (misses pay a local page-table
 //! walk).
 
-use ds_bench::{baseline_config, Budget};
+use ds_bench::{baseline_config, runner, Budget};
 use ds_core::{DsSystem, TraditionalConfig, TraditionalSystem};
 use ds_mem::TlbConfig;
 use ds_stats::{ratio, Table};
@@ -16,27 +16,37 @@ fn main() {
     let budget = Budget::from_args();
     println!("Ablation: D-TLB size (2-node machines, 9-cycle walk)");
     println!();
-    for name in ["compress", "wave5"] {
-        let w = by_name(name).expect("registered");
-        let prog = (w.build)(budget.scale);
+    let names = ["compress", "wave5"];
+    let progs: Vec<_> = names
+        .iter()
+        .map(|n| (by_name(n).expect("registered").build)(budget.scale))
+        .collect();
+    const SIZES: [Option<usize>; 4] = [None, Some(16), Some(64), Some(256)];
+    let jobs: Vec<(usize, usize)> =
+        (0..names.len()).flat_map(|wi| (0..SIZES.len()).map(move |si| (wi, si))).collect();
+    let rows = runner::map(jobs, |&(wi, si)| {
+        let entries = SIZES[si];
+        let mut config = baseline_config(2, budget.max_insts);
+        config.tlb = entries.map(|n| TlbConfig {
+            entries: n,
+            assoc: n,
+            page_bytes: config.page_bytes,
+        });
+        let mut ds = DsSystem::new(config.clone(), &progs[wi]);
+        let ds_r = ds.run().expect("runs");
+        let mut trad = TraditionalSystem::new(&TraditionalConfig { base: config }, &progs[wi]);
+        let trad_r = trad.run().expect("runs");
+        [
+            entries.map_or("perfect".to_string(), |n| n.to_string()),
+            ratio(ds_r.ipc()),
+            ratio(trad_r.ipc()),
+            format!("{:.2}x", ds_r.ipc() / trad_r.ipc()),
+        ]
+    });
+    for (wi, name) in names.iter().enumerate() {
         let mut t = Table::new(&["TLB", "DS IPC", "trad IPC", "DS/trad"]);
-        for entries in [None, Some(16), Some(64), Some(256)] {
-            let mut config = baseline_config(2, budget.max_insts);
-            config.tlb = entries.map(|n| TlbConfig {
-                entries: n,
-                assoc: n,
-                page_bytes: config.page_bytes,
-            });
-            let mut ds = DsSystem::new(config.clone(), &prog);
-            let ds_r = ds.run().expect("runs");
-            let mut trad = TraditionalSystem::new(&TraditionalConfig { base: config }, &prog);
-            let trad_r = trad.run().expect("runs");
-            t.row(&[
-                entries.map_or("perfect".to_string(), |n| n.to_string()),
-                ratio(ds_r.ipc()),
-                ratio(trad_r.ipc()),
-                format!("{:.2}x", ds_r.ipc() / trad_r.ipc()),
-            ]);
+        for row in &rows[wi * SIZES.len()..(wi + 1) * SIZES.len()] {
+            t.row(row);
         }
         println!("=== {name} ===\n{t}");
     }

@@ -6,7 +6,7 @@
 //! only to overwrite the received data)". This harness measures both
 //! policies on the two-node DataScalar machine.
 
-use ds_bench::{baseline_config, Budget};
+use ds_bench::{baseline_config, runner, Budget};
 use ds_core::DsSystem;
 use ds_mem::WritePolicy;
 use ds_stats::{ratio, Table};
@@ -23,16 +23,20 @@ fn main() {
         "no-alloc bcasts",
         "alloc bcasts",
     ]);
-    for w in figure7_set() {
-        let prog = (w.build)(budget.scale);
-        let run = |policy: WritePolicy| {
-            let mut config = baseline_config(2, budget.max_insts);
-            config.dcache.write_policy = policy;
-            let mut sys = DsSystem::new(config, &prog);
-            sys.run().expect("runs")
-        };
-        let noalloc = run(WritePolicy::WriteBackNoAllocate);
-        let alloc = run(WritePolicy::WriteBackAllocate);
+    let set = figure7_set();
+    let progs: Vec<_> = set.iter().map(|w| (w.build)(budget.scale)).collect();
+    const POLICIES: [WritePolicy; 2] =
+        [WritePolicy::WriteBackNoAllocate, WritePolicy::WriteBackAllocate];
+    let jobs: Vec<(usize, usize)> =
+        (0..set.len()).flat_map(|wi| (0..POLICIES.len()).map(move |pi| (wi, pi))).collect();
+    let results = runner::map(jobs, |&(wi, pi)| {
+        let mut config = baseline_config(2, budget.max_insts);
+        config.dcache.write_policy = POLICIES[pi];
+        let mut sys = DsSystem::new(config, &progs[wi]);
+        sys.run().expect("runs")
+    });
+    for (wi, w) in set.iter().enumerate() {
+        let (noalloc, alloc) = (&results[wi * 2], &results[wi * 2 + 1]);
         t.row(&[
             w.name.to_string(),
             ratio(noalloc.ipc()),

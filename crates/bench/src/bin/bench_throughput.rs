@@ -1,0 +1,98 @@
+//! Simulator throughput: committed instructions per wall-clock second.
+//!
+//! Runs the 2-node DataScalar timing simulation of `compress` and `go`
+//! at the full experiment budget, times each run, and writes a JSON
+//! summary (default `BENCH_throughput.json`, override with
+//! `--out <path>`). The JSON also records the pre-overhaul engine's
+//! throughput measured on the same machine at the same budget, so the
+//! speedup of the hot-path work is tracked in-repo.
+//!
+//! Simulated *results* are pinned separately by `tests/golden_stats.rs`;
+//! this binary only measures how fast the engine reaches them.
+
+use std::time::Instant;
+
+use ds_bench::{run_datascalar, Budget};
+use ds_workloads::by_name;
+
+/// Combined committed-instructions-per-second of the engine before the
+/// hot-path overhaul (this machine, release build, same workloads and
+/// budget — see DESIGN.md "Performance engineering").
+const PRE_OVERHAUL_BASELINE: f64 = 1_352_298.0;
+
+const WORKLOADS: &[&str] = &["compress", "go"];
+const TIMED_RUNS: u32 = 3;
+
+struct Row {
+    name: &'static str,
+    committed: u64,
+    best_secs: f64,
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_throughput.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out takes a path"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let budget = Budget::full();
+    let mut rows = Vec::new();
+    for &name in WORKLOADS {
+        let w = by_name(name).expect("registered workload");
+        // Warm-up run (page in text, fill allocator pools), then the
+        // timed runs; best-of keeps scheduler noise out.
+        let warm = run_datascalar(&w, 2, budget);
+        let mut best = f64::INFINITY;
+        for _ in 0..TIMED_RUNS {
+            let start = Instant::now();
+            let r = run_datascalar(&w, 2, budget);
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(r.committed, warm.committed, "nondeterministic run");
+            best = best.min(secs);
+        }
+        rows.push(Row { name, committed: warm.committed, best_secs: best });
+        println!(
+            "{name:<10} {} insts in {:.3}s  ({:.0} insts/s)",
+            warm.committed,
+            best,
+            warm.committed as f64 / best
+        );
+    }
+
+    let total_insts: u64 = rows.iter().map(|r| r.committed).sum();
+    let total_secs: f64 = rows.iter().map(|r| r.best_secs).sum();
+    let combined = total_insts as f64 / total_secs;
+    let speedup = if PRE_OVERHAUL_BASELINE > 0.0 { combined / PRE_OVERHAUL_BASELINE } else { 0.0 };
+    println!("combined: {combined:.0} insts/s  ({speedup:.2}x pre-overhaul baseline)");
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"2-node DataScalar timing simulation, release build\",\n");
+    json.push_str(&format!(
+        "  \"budget\": {{\"max_insts\": {}, \"scale\": \"{:?}\"}},\n",
+        budget.max_insts, budget.scale
+    ));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"committed\": {}, \"seconds\": {:.6}, \"insts_per_sec\": {:.0}}}{}\n",
+            r.name,
+            r.committed,
+            r.best_secs,
+            r.committed as f64 / r.best_secs,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"combined_insts_per_sec\": {combined:.0},\n"));
+    json.push_str(&format!(
+        "  \"pre_overhaul_insts_per_sec\": {PRE_OVERHAUL_BASELINE:.0},\n"
+    ));
+    json.push_str(&format!("  \"speedup_vs_pre_overhaul\": {speedup:.2}\n"));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write JSON");
+    println!("wrote {out_path}");
+}

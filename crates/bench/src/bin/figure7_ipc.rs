@@ -2,9 +2,8 @@
 //! systems — perfect data cache, 2- and 4-node DataScalar, and the
 //! traditional system with 1/2 and 1/4 of memory on-chip.
 
-use ds_bench::{figure7_row, Budget};
+use ds_bench::{figure7_rows, Budget};
 use ds_stats::{ratio, Table};
-use ds_workloads::figure7_set;
 
 fn main() {
     let budget = Budget::from_args();
@@ -22,8 +21,7 @@ fn main() {
         "trad 1/4",
         "DSx2/trad",
     ]);
-    for w in figure7_set() {
-        let r = figure7_row(&w, budget);
+    for r in figure7_rows(budget) {
         let speedup = if r.trad_half > 0.0 { r.ds2 / r.trad_half } else { 0.0 };
         t.row(&[
             r.name.clone(),

@@ -4,7 +4,7 @@
 //! width, and RUU entries.
 
 use ds_bench::sweep::{figure8_axes, sweep_point};
-use ds_bench::Budget;
+use ds_bench::{runner, Budget};
 use ds_stats::{ratio, Table};
 use ds_workloads::by_name;
 
@@ -17,10 +17,26 @@ fn main() {
         "Figure 8: sensitivity analysis ({} instructions per run)",
         budget.max_insts
     );
-    for name in ["go", "compress"] {
-        let w = by_name(name).expect("registered workload");
+    let names = ["go", "compress"];
+    let ws: Vec<_> = names.iter().map(|n| by_name(n).expect("registered workload")).collect();
+    let axes = figure8_axes();
+    // One job per (workload × axis × knob) sweep point; each runs its
+    // five systems. Results come back in job order, so the printed
+    // tables are identical with or without --parallel.
+    let jobs: Vec<(usize, usize, usize)> = (0..ws.len())
+        .flat_map(|wi| {
+            axes.iter()
+                .enumerate()
+                .flat_map(move |(ai, (_, knobs))| (0..knobs.len()).map(move |ki| (wi, ai, ki)))
+        })
+        .collect();
+    let points = runner::map(jobs.clone(), |&(wi, ai, ki)| {
+        sweep_point(&ws[wi], axes[ai].1[ki], budget)
+    });
+    let mut next = 0;
+    for (wi, name) in names.iter().enumerate() {
         println!("\n=== {name} ===");
-        for (axis, knobs) in figure8_axes() {
+        for (axis, knobs) in &axes {
             let mut t = Table::new(&[
                 axis,
                 "perfect",
@@ -30,7 +46,9 @@ fn main() {
                 "trad 1/4",
             ]);
             for knob in knobs {
-                let p = sweep_point(&w, knob, budget);
+                let p = points[next];
+                debug_assert_eq!(jobs[next].0, wi);
+                next += 1;
                 t.row(&[
                     knob.label(),
                     ratio(p.perfect),

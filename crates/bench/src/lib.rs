@@ -18,8 +18,9 @@
 //! `--quick` for a reduced instruction budget.
 
 use ds_core::{DsConfig, DsSystem, PerfectSystem, RunResult, TraditionalConfig, TraditionalSystem};
-use ds_workloads::{Scale, Workload};
+use ds_workloads::{figure7_set, Scale, Workload};
 
+pub mod runner;
 pub mod sweep;
 
 /// Instruction budget for timing experiments.
@@ -111,6 +112,36 @@ pub fn figure7_row(w: &Workload, budget: Budget) -> Figure7Row {
         trad_half: run_traditional(w, 2, budget).ipc(),
         trad_quarter: run_traditional(w, 4, budget).ipc(),
     }
+}
+
+/// All Figure 7 rows, one simulation per (benchmark × system) job —
+/// fanned across threads when `--parallel` is given, with identical
+/// results either way.
+pub fn figure7_rows(budget: Budget) -> Vec<Figure7Row> {
+    let set = figure7_set();
+    let jobs: Vec<(usize, usize)> =
+        (0..set.len()).flat_map(|wi| (0..5).map(move |sys| (wi, sys))).collect();
+    let ipcs = runner::map(jobs, |&(wi, sys)| {
+        let w = &set[wi];
+        match sys {
+            0 => run_perfect(w, budget).ipc(),
+            1 => run_datascalar(w, 2, budget).ipc(),
+            2 => run_datascalar(w, 4, budget).ipc(),
+            3 => run_traditional(w, 2, budget).ipc(),
+            _ => run_traditional(w, 4, budget).ipc(),
+        }
+    });
+    set.iter()
+        .enumerate()
+        .map(|(wi, w)| Figure7Row {
+            name: w.name.to_string(),
+            perfect: ipcs[wi * 5],
+            ds2: ipcs[wi * 5 + 1],
+            ds4: ipcs[wi * 5 + 2],
+            trad_half: ipcs[wi * 5 + 3],
+            trad_quarter: ipcs[wi * 5 + 4],
+        })
+        .collect()
 }
 
 #[cfg(test)]

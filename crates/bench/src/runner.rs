@@ -1,0 +1,125 @@
+//! Parallel experiment runner.
+//!
+//! Every experiment binary is a pile of *independent* timing
+//! simulations (workload × configuration), each deterministic and
+//! single-threaded (DESIGN.md §6). That makes them embarrassingly
+//! parallel: this module fans a job list across `std::thread::scope`
+//! threads and returns results **in input order**, so a table printed
+//! from the results is byte-identical whether the jobs ran
+//! sequentially or on sixteen cores.
+//!
+//! Binaries opt in with `--parallel` (kept off by default so default
+//! runs stay easy to profile and to diff against old behaviour);
+//! `DS_BENCH_THREADS` caps the worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// True when `--parallel` was passed on the command line.
+pub fn parallel_requested() -> bool {
+    std::env::args().any(|a| a == "--parallel")
+}
+
+/// Worker-thread count: `DS_BENCH_THREADS` if set and positive,
+/// otherwise the machine's available parallelism.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("DS_BENCH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every input, in parallel when `--parallel` was
+/// given, and returns the results in input order either way.
+pub fn map<I, T, F>(inputs: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send + Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    if parallel_requested() {
+        pmap(&inputs, f)
+    } else {
+        inputs.iter().map(f).collect()
+    }
+}
+
+/// Applies `f` to every input across scoped worker threads, returning
+/// results in input order. Workers pull the next job index from a
+/// shared counter, so scheduling is dynamic but the output order is
+/// not: result `i` always corresponds to input `i`.
+pub fn pmap<I, T, F>(inputs: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let n = inputs.len();
+    let threads = thread_count().min(n);
+    if threads <= 1 {
+        return inputs.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return done;
+                        }
+                        done.push((i, f(&inputs[i])));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every job ran")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmap_preserves_input_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let got = pmap(&inputs, |&x| x * x);
+        let want: Vec<u64> = inputs.iter().map(|&x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pmap_handles_empty_and_single() {
+        assert_eq!(pmap::<u32, u32, _>(&[], |&x| x), Vec::<u32>::new());
+        assert_eq!(pmap(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn pmap_with_heavier_jobs_matches_sequential() {
+        let inputs: Vec<u64> = (0..32).collect();
+        let work = |&seed: &u64| {
+            // splitmix-ish scramble: enough work to force interleaving.
+            let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15);
+            for _ in 0..10_000 {
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+            }
+            x
+        };
+        assert_eq!(pmap(&inputs, work), inputs.iter().map(work).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach a cargo registry, so this crate
+//! implements the subset of the criterion 0.5 API the workspace's
+//! benches use: [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, `finish`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. It is a plain wall-clock harness: each
+//! bench runs a short warm-up, then `sample_size` timed samples, and
+//! prints min/mean/max per iteration. No statistics beyond that, no
+//! HTML reports, no baseline storage — the repo's throughput numbers
+//! come from `ds-bench`'s own `bench_throughput` binary instead.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Begins a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {}", name.into());
+        BenchmarkGroup { sample_size: 20, _criterion: self }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        // Warm-up: one untimed call.
+        f(&mut b);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            b.iters = 1;
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "  {id:<32} min {:>10} mean {:>10} max {:>10} ({} samples)",
+            fmt_secs(min),
+            fmt_secs(mean),
+            fmt_secs(max),
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} us", s * 1e6)
+    }
+}
+
+/// Passed to each benchmark closure to time its inner loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export for call sites that import it from criterion rather than
+/// `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.finish();
+        // 1 warm-up + 3 samples, 1 iteration each.
+        assert_eq!(calls, 4);
+    }
+}

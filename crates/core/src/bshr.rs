@@ -13,9 +13,10 @@
 //!   a commit-time false hit means the owner's reparative broadcast
 //!   must be consumed and dropped.
 
+use crate::linemap::LineMap;
 use crate::Cycle;
 use ds_cpu::RuuTag;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// What [`Bshr::on_arrival`] did with a broadcast.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,11 +58,11 @@ pub struct Bshr {
     entries: usize,
     access_cycles: u64,
     /// line -> loads waiting for that line.
-    waits: HashMap<u64, Vec<RuuTag>>,
+    waits: LineMap<Vec<RuuTag>>,
     /// line -> arrival cycles of unconsumed broadcasts.
-    buffered: HashMap<u64, VecDeque<Cycle>>,
+    buffered: LineMap<VecDeque<Cycle>>,
     /// line -> number of arrivals to squash on sight.
-    pending_squashes: HashMap<u64, u32>,
+    pending_squashes: LineMap<u32>,
     buffered_count: usize,
     stats: BshrStats,
 }
@@ -73,9 +74,9 @@ impl Bshr {
         Bshr {
             entries,
             access_cycles,
-            waits: HashMap::new(),
-            buffered: HashMap::new(),
-            pending_squashes: HashMap::new(),
+            waits: LineMap::new(),
+            buffered: LineMap::new(),
+            pending_squashes: LineMap::new(),
             buffered_count: 0,
             stats: BshrStats::default(),
         }
@@ -110,16 +111,16 @@ impl Bshr {
     /// consumes it and returns the cycle the data is available;
     /// otherwise allocates (or joins) a wait and returns `None`.
     pub fn request(&mut self, line: u64, tag: RuuTag, now: Cycle) -> Option<Cycle> {
-        if let Some(q) = self.buffered.get_mut(&line) {
+        if let Some(q) = self.buffered.get_mut(line) {
             q.pop_front();
             if q.is_empty() {
-                self.buffered.remove(&line);
+                self.buffered.remove(line);
             }
             self.buffered_count -= 1;
             self.stats.found_buffered += 1;
             return Some(now + self.access_cycles);
         }
-        let w = self.waits.entry(line).or_default();
+        let w = self.waits.get_mut_or_default(line);
         if w.is_empty() {
             self.stats.waits_allocated += 1;
         }
@@ -136,14 +137,14 @@ impl Bshr {
     /// the DCUB, which tracks pending lines).
     pub fn join_wait(&mut self, line: u64, tag: RuuTag) {
         self.waits
-            .get_mut(&line)
+            .get_mut(line)
             .expect("join_wait requires an outstanding wait")
             .push(tag);
     }
 
     /// True if a wait is outstanding for `line`.
     pub fn has_wait(&self, line: u64) -> bool {
-        self.waits.contains_key(&line)
+        self.waits.contains_key(line)
     }
 
     /// The correspondence protocol detected a commit-time false hit:
@@ -151,34 +152,34 @@ impl Bshr {
     /// and dropped.
     pub fn post_squash(&mut self, line: u64) {
         self.stats.squashes_posted += 1;
-        if let Some(q) = self.buffered.get_mut(&line) {
+        if let Some(q) = self.buffered.get_mut(line) {
             q.pop_front();
             if q.is_empty() {
-                self.buffered.remove(&line);
+                self.buffered.remove(line);
             }
             self.buffered_count -= 1;
             self.stats.squashed_arrivals += 1;
         } else {
-            *self.pending_squashes.entry(line).or_insert(0) += 1;
+            *self.pending_squashes.get_mut_or_default(line) += 1;
         }
     }
 
     /// A broadcast for `line` arrived at `now`.
     pub fn on_arrival(&mut self, line: u64, now: Cycle) -> Arrival {
         self.stats.arrivals += 1;
-        if let Some(n) = self.pending_squashes.get_mut(&line) {
+        if let Some(n) = self.pending_squashes.get_mut(line) {
             *n -= 1;
             if *n == 0 {
-                self.pending_squashes.remove(&line);
+                self.pending_squashes.remove(line);
             }
             self.stats.squashed_arrivals += 1;
             return Arrival::Squashed;
         }
-        if let Some(waiters) = self.waits.remove(&line) {
+        if let Some(waiters) = self.waits.remove(line) {
             let ready = now + self.access_cycles;
             return Arrival::Completed(waiters.into_iter().map(|t| (t, ready)).collect());
         }
-        self.buffered.entry(line).or_default().push_back(now);
+        self.buffered.get_mut_or_default(line).push_back(now);
         self.buffered_count += 1;
         self.note_occupancy();
         Arrival::Buffered

@@ -9,8 +9,8 @@
 //! line-residency episode ("any sequence of accesses to the same line
 //! will generate only one miss").
 
+use crate::linemap::LineMap;
 use crate::Cycle;
-use std::collections::HashMap;
 
 /// State of one in-flight line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +26,7 @@ pub struct DcubEntry {
 /// The DCUB of one node.
 #[derive(Debug, Clone, Default)]
 pub struct Dcub {
-    lines: HashMap<u64, DcubEntry>,
+    lines: LineMap<DcubEntry>,
     /// High-water mark of simultaneous entries.
     max_occupancy: usize,
 }
@@ -39,7 +39,7 @@ impl Dcub {
 
     /// The entry for `line`, if one is in flight.
     pub fn get(&self, line: u64) -> Option<&DcubEntry> {
-        self.lines.get(&line)
+        self.lines.get(line)
     }
 
     /// Registers a fetched line.
@@ -56,7 +56,7 @@ impl Dcub {
 
     /// Marks a pending line's data as available at `ready`.
     pub fn mark_ready(&mut self, line: u64, ready: Cycle) {
-        if let Some(e) = self.lines.get_mut(&line) {
+        if let Some(e) = self.lines.get_mut(line) {
             if e.ready_at.is_none() {
                 e.ready_at = Some(ready);
             }
@@ -65,7 +65,7 @@ impl Dcub {
 
     /// Removes the entry at the episode's installation commit.
     pub fn remove(&mut self, line: u64) -> Option<DcubEntry> {
-        self.lines.remove(&line)
+        self.lines.remove(line)
     }
 
     /// Entries currently in flight.

@@ -50,8 +50,10 @@ pub mod config;
 pub mod cub;
 pub mod datathread;
 pub mod hybrid;
+mod linemap;
 pub mod mmm;
 mod node;
+mod pending;
 pub mod perfect;
 mod stats;
 mod system;

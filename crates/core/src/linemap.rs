@@ -1,0 +1,117 @@
+//! Small sorted map keyed by line address.
+//!
+//! The BSHR and DCUB are architecturally *small* structures — the
+//! evaluated BSHR holds 128 entries (§4.2) and the DCUB is bounded by
+//! the instruction window — yet they sat on `HashMap<u64, _>`, paying a
+//! SipHash per probe on the simulator's hottest per-access paths. This
+//! map keeps entries in a `Vec` sorted by line address and binary
+//! searches: at these occupancies the probe touches one or two cache
+//! lines and never hashes. Inserts shift the tail, which is cheap at
+//! double-digit lengths and irrelevant off the probe path.
+
+/// A sorted-vector map from line address to `V`.
+#[derive(Debug, Clone)]
+pub(crate) struct LineMap<V> {
+    entries: Vec<(u64, V)>,
+}
+
+impl<V> Default for LineMap<V> {
+    fn default() -> Self {
+        LineMap { entries: Vec::new() }
+    }
+}
+
+impl<V> LineMap<V> {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    fn find(&self, line: u64) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&line, |&(l, _)| l)
+    }
+
+    pub(crate) fn get(&self, line: u64) -> Option<&V> {
+        self.find(line).ok().map(|i| &self.entries[i].1)
+    }
+
+    pub(crate) fn get_mut(&mut self, line: u64) -> Option<&mut V> {
+        match self.find(line) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    pub(crate) fn contains_key(&self, line: u64) -> bool {
+        self.find(line).is_ok()
+    }
+
+    /// Inserts `value`, returning the previous value if one existed.
+    pub(crate) fn insert(&mut self, line: u64, value: V) -> Option<V> {
+        match self.find(line) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (line, value));
+                None
+            }
+        }
+    }
+
+    pub(crate) fn remove(&mut self, line: u64) -> Option<V> {
+        match self.find(line) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// The value for `line`, inserting a default first if absent.
+    pub(crate) fn get_mut_or_default(&mut self, line: u64) -> &mut V
+    where
+        V: Default,
+    {
+        let i = match self.find(line) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, (line, V::default()));
+                i
+            }
+        };
+        &mut self.entries[i].1
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut m = LineMap::new();
+        assert_eq!(m.insert(0x80, 'b'), None);
+        assert_eq!(m.insert(0x40, 'a'), None);
+        assert_eq!(m.insert(0xc0, 'c'), None);
+        assert_eq!(m.get(0x40), Some(&'a'));
+        assert_eq!(m.get(0x80), Some(&'b'));
+        assert_eq!(m.get(0x41), None);
+        assert_eq!(m.insert(0x80, 'B'), Some('b'));
+        assert_eq!(m.remove(0x80), Some('B'));
+        assert_eq!(m.remove(0x80), None);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains_key(0xc0));
+        assert!(!m.contains_key(0x80));
+    }
+
+    #[test]
+    fn get_mut_or_default_inserts_once() {
+        let mut m: LineMap<Vec<u32>> = LineMap::new();
+        m.get_mut_or_default(0x100).push(1);
+        m.get_mut_or_default(0x100).push(2);
+        assert_eq!(m.get(0x100), Some(&vec![1, 2]));
+        assert_eq!(m.len(), 1);
+        *m.get_mut(0x100).unwrap() = vec![9];
+        assert_eq!(m.remove(0x100), Some(vec![9]));
+    }
+}

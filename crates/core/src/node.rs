@@ -18,6 +18,7 @@
 use crate::bshr::{Arrival, Bshr};
 use crate::config::DsConfig;
 use crate::cub::Dcub;
+use crate::pending::PendingQueue;
 use crate::stats::NodeStats;
 use crate::Cycle;
 use ds_cpu::{ExecRecord, LoadResponse, MemSystem, OooCore, RuuTag, TraceSource};
@@ -45,7 +46,7 @@ pub(crate) struct MemSide {
     queue_penalty: u64,
     /// Broadcasts awaiting their data-ready cycle before entering the
     /// bus queue.
-    outgoing: Vec<(Cycle, Message)>,
+    outgoing: PendingQueue,
     /// Per-line broadcast sequence numbers (the paper's supplementary
     /// tags).
     seq: std::collections::HashMap<u64, u64>,
@@ -66,7 +67,7 @@ impl MemSide {
             tlb_walk_cycles: config.tlb_walk_cycles,
             line_bytes: config.dcache.line_bytes,
             queue_penalty: config.queue_penalty,
-            outgoing: Vec::new(),
+            outgoing: PendingQueue::new(),
             seq: std::collections::HashMap::new(),
             stats: NodeStats::default(),
         }
@@ -90,7 +91,7 @@ impl MemSide {
         };
         *seq += 1;
         self.stats.broadcasts_sent += 1;
-        self.outgoing.push((ready, msg));
+        self.outgoing.push(ready, msg);
     }
 
     fn handle_victim(&mut self, victim: Option<Victim>, now: Cycle) {
@@ -278,19 +279,10 @@ impl Node {
         self.core.step(&mut self.ms, trace, now)
     }
 
-    /// Removes and returns broadcasts whose data is ready by `now`.
-    pub(crate) fn drain_outgoing(&mut self, now: Cycle) -> Vec<Message> {
-        let mut due: Vec<(Cycle, Message)> = Vec::new();
-        self.ms.outgoing.retain(|&(ready, msg)| {
-            if ready <= now {
-                due.push((ready, msg));
-                false
-            } else {
-                true
-            }
-        });
-        due.sort_by_key(|&(ready, msg)| (ready, msg.seq));
-        due.into_iter().map(|(_, m)| m).collect()
+    /// Removes and returns the next broadcast whose data is ready by
+    /// `now` (in `(ready, seq)` order), or `None` when drained.
+    pub(crate) fn next_outgoing(&mut self, now: Cycle) -> Option<Message> {
+        self.ms.outgoing.pop_due(now)
     }
 
     /// A broadcast arrived from the bus.

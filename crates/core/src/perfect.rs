@@ -85,7 +85,7 @@ impl PerfectSystem {
         while !self.core.is_done() && self.core.committed() < self.max_insts {
             self.core.step(&mut self.ms, &mut self.trace, self.cycles)?;
             self.cycles += 1;
-            if self.cycles % 1024 == 0 {
+            if self.cycles.is_multiple_of(1024) {
                 self.trace.trim(self.core.fetch_cursor());
             }
         }
@@ -96,6 +96,7 @@ impl PerfectSystem {
             committed: self.core.committed(),
             nodes: vec![stats],
             bus: Default::default(),
+            trace_window_high_water: self.trace.max_window_len(),
         })
     }
 }

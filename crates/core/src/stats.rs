@@ -84,6 +84,9 @@ pub struct RunResult {
     pub nodes: Vec<NodeStats>,
     /// Global interconnect statistics.
     pub bus: BusStats,
+    /// High-water mark of the shared trace window (worst-case node
+    /// skew plus in-flight instructions) — bounds simulator memory.
+    pub trace_window_high_water: usize,
 }
 
 impl RunResult {

@@ -102,6 +102,8 @@ impl DsSystem {
         let max_insts = self.config.max_insts.unwrap_or(u64::MAX);
         let mut last_progress_cycle = self.cycles;
         let mut last_total = 0u64;
+        // Reused every cycle; the hot loop allocates nothing.
+        let mut deliveries = Vec::new();
         loop {
             let now = self.cycles;
             // 1. Every node simulates this cycle (the paper's simulator
@@ -111,16 +113,17 @@ impl DsSystem {
             }
             // 2. Ready broadcasts enter the bus.
             for node in &mut self.nodes {
-                for msg in node.drain_outgoing(now) {
+                while let Some(msg) = node.next_outgoing(now) {
                     self.bus.enqueue(msg);
                 }
             }
             // 3. The bus advances; completed broadcasts are delivered.
-            for delivery in self.bus.step(now) {
+            self.bus.step_into(now, &mut deliveries);
+            for delivery in &deliveries {
                 debug_assert_eq!(delivery.msg.kind, MsgKind::Broadcast);
                 self.delivered += 1;
                 if let Some(n) = self.config.fault_drop_every {
-                    if self.delivered % n == 0 {
+                    if self.delivered.is_multiple_of(n) {
                         continue; // injected fault: lose the broadcast
                     }
                 }
@@ -128,7 +131,7 @@ impl DsSystem {
             }
             self.cycles += 1;
             // 4. Trim the shared trace behind the slowest node.
-            if now % 1024 == 0 {
+            if now.is_multiple_of(1024) {
                 let min = self.nodes.iter().map(|n| n.fetch_cursor()).min().unwrap_or(0);
                 self.trace.trim(min);
             }
@@ -165,13 +168,15 @@ impl DsSystem {
     fn drain_interconnect(&mut self) {
         let mut t = self.cycles;
         let deadline = t + 100_000_000;
+        let mut deliveries = Vec::new();
         loop {
             for node in &mut self.nodes {
-                for msg in node.drain_outgoing(t) {
+                while let Some(msg) = node.next_outgoing(t) {
                     self.bus.enqueue(msg);
                 }
             }
-            for delivery in self.bus.step(t) {
+            self.bus.step_into(t, &mut deliveries);
+            for delivery in &deliveries {
                 self.nodes[delivery.dest].deliver(&delivery.msg, t);
             }
             t += 1;
@@ -191,6 +196,7 @@ impl DsSystem {
             committed: self.nodes.iter().map(|n| n.committed()).min().unwrap_or(0),
             nodes: self.nodes.iter().map(|n| n.stats()).collect(),
             bus: *self.bus.stats(),
+            trace_window_high_water: self.trace.max_window_len(),
         }
     }
 

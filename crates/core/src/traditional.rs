@@ -11,6 +11,8 @@
 
 use crate::config::DsConfig;
 use crate::cub::Dcub;
+use crate::linemap::LineMap;
+use crate::pending::PendingQueue;
 use crate::stats::{NodeStats, RunResult};
 use crate::Cycle;
 use ds_asm::Program;
@@ -22,7 +24,6 @@ use ds_mem::{
     Tlb, Victim,
 };
 use ds_net::{Bus, Message, MsgKind};
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Configuration of the traditional system.
@@ -58,15 +59,15 @@ struct TradMemSide {
     line_bytes: u64,
     queue_penalty: u64,
     /// Loads blocked on an off-chip response, per line.
-    waiting: HashMap<u64, Vec<RuuTag>>,
-    outgoing: Vec<(Cycle, Message)>,
+    waiting: LineMap<Vec<RuuTag>>,
+    outgoing: PendingQueue,
     seq: u64,
     stats: NodeStats,
 }
 
 impl TradMemSide {
     fn send(&mut self, kind: MsgKind, line: u64, payload: u64, ready: Cycle) {
-        self.outgoing.push((
+        self.outgoing.push(
             ready,
             Message {
                 src: CPU_PORT,
@@ -77,7 +78,7 @@ impl TradMemSide {
                 seq: self.seq,
                 enqueued_at: ready,
             },
-        ));
+        );
         self.seq += 1;
     }
 
@@ -119,7 +120,7 @@ impl MemSystem for TradMemSide {
             return match e.ready_at {
                 Some(r) => (LoadResponse::Ready(r.max(now + 1)), false),
                 None => {
-                    self.waiting.entry(line).or_default().push(tag);
+                    self.waiting.get_mut_or_default(line).push(tag);
                     (LoadResponse::Pending, false)
                 }
             };
@@ -137,7 +138,7 @@ impl MemSystem for TradMemSide {
             self.stats.remote_accesses += 1;
             self.send(MsgKind::Request, line, 0, now + self.queue_penalty);
             self.dcub.insert(line, None, false);
-            self.waiting.entry(line).or_default().push(tag);
+            self.waiting.get_mut_or_default(line).push(tag);
             (LoadResponse::Pending, false)
         }
     }
@@ -210,7 +211,7 @@ pub struct TraditionalSystem {
     /// Off-chip memory chips behind the bus.
     remote_mem: MainMemory,
     /// Responses waiting for their data-ready cycle.
-    pending_responses: Vec<(Cycle, Message)>,
+    pending_responses: PendingQueue,
     trace: TraceSource,
     cycles: Cycle,
     max_insts: u64,
@@ -251,14 +252,14 @@ impl TraditionalSystem {
                 tlb_walk_cycles: base.tlb_walk_cycles,
                 line_bytes: base.dcache.line_bytes,
                 queue_penalty: base.queue_penalty,
-                waiting: HashMap::new(),
-                outgoing: Vec::new(),
+                waiting: LineMap::new(),
+                outgoing: PendingQueue::new(),
                 seq: 0,
                 stats: NodeStats::default(),
             },
             bus: Bus::new(bus_cfg),
             remote_mem: MainMemory::new(base.memory),
-            pending_responses: Vec::new(),
+            pending_responses: PendingQueue::new(),
             trace: TraceSource::new(FuncCore::with_stack(program.entry, program.stack_top), mem),
             cycles: 0,
             max_insts: base.max_insts.unwrap_or(u64::MAX),
@@ -279,37 +280,36 @@ impl TraditionalSystem {
     /// window (a lost response — must not happen).
     pub fn run(&mut self) -> Result<RunResult, ExecError> {
         let mut last_progress = (0u64, 0u64);
+        // Reused every cycle; the hot loop allocates nothing.
+        let mut deliveries = Vec::new();
         while !self.core.is_done() && self.core.committed() < self.max_insts {
             let now = self.cycles;
             self.core.step(&mut self.ms, &mut self.trace, now)?;
-            // CPU-side messages enter the bus when their data is ready.
-            let mut due: Vec<(Cycle, Message)> = Vec::new();
-            self.ms.outgoing.retain(|&(ready, msg)| {
-                if ready <= now {
-                    due.push((ready, msg));
-                    false
-                } else {
-                    true
-                }
-            });
-            // Memory-side responses too.
-            self.pending_responses.retain(|&(ready, msg)| {
-                if ready <= now {
-                    due.push((ready, msg));
-                    false
-                } else {
-                    true
-                }
-            });
-            due.sort_by_key(|&(ready, msg)| (ready, msg.seq));
-            for (_, msg) in due {
+            // Due CPU-side messages and memory-side responses enter the
+            // bus merged in (ready, seq) order, CPU side first on ties
+            // (the order the old merge-and-stable-sort produced).
+            loop {
+                let cpu = self.ms.outgoing.peek_due(now);
+                let mem = self.pending_responses.peek_due(now);
+                let msg = match (cpu, mem) {
+                    (Some(kc), Some(km)) if kc <= km => self.ms.outgoing.pop_due(now),
+                    (Some(_), Some(_)) | (None, Some(_)) => self.pending_responses.pop_due(now),
+                    (Some(_), None) => self.ms.outgoing.pop_due(now),
+                    (None, None) => None,
+                };
+                let Some(msg) = msg else { break };
                 self.bus.enqueue(msg);
             }
-            for d in self.bus.step(now) {
+            self.bus.step_into(now, &mut deliveries);
+            // `deliveries` is a local scratch buffer, so iterating it
+            // while mutating `self` is fine.
+            let batch = std::mem::take(&mut deliveries);
+            for d in &batch {
                 self.on_delivery(d.msg, now);
             }
+            deliveries = batch;
             self.cycles += 1;
-            if now % 1024 == 0 {
+            if now.is_multiple_of(1024) {
                 self.trace.trim(self.core.fetch_cursor());
             }
             if self.core.committed() != last_progress.0 {
@@ -328,7 +328,7 @@ impl TraditionalSystem {
         match msg.kind {
             MsgKind::Request => {
                 let done = self.remote_mem.access(msg.line_addr, self.ms.line_bytes, now);
-                self.pending_responses.push((
+                self.pending_responses.push(
                     done + self.queue_penalty,
                     Message {
                         src: MEM_PORT,
@@ -339,7 +339,7 @@ impl TraditionalSystem {
                         seq: msg.seq,
                         enqueued_at: done + self.queue_penalty,
                     },
-                ));
+                );
             }
             MsgKind::WriteBack | MsgKind::WriteThrough => {
                 self.remote_mem.access(msg.line_addr, msg.payload_bytes.max(1), now);
@@ -347,7 +347,7 @@ impl TraditionalSystem {
             MsgKind::Response => {
                 let ready = now + 1;
                 self.ms.dcub.mark_ready(msg.line_addr, ready);
-                if let Some(waiters) = self.ms.waiting.remove(&msg.line_addr) {
+                if let Some(waiters) = self.ms.waiting.remove(msg.line_addr) {
                     for tag in waiters {
                         self.core.complete_load(tag, ready);
                     }
@@ -367,6 +367,7 @@ impl TraditionalSystem {
             committed: self.core.committed(),
             nodes: vec![stats],
             bus: *self.bus.stats(),
+            trace_window_high_water: self.trace.max_window_len(),
         }
     }
 }

@@ -14,10 +14,11 @@
 use crate::Cycle;
 
 /// Which fetch-redirection model the core uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BranchModel {
     /// The paper's assumption: every control transfer is predicted
     /// perfectly; fetch never stalls on branches.
+    #[default]
     Perfect,
     /// Static backward-taken/forward-not-taken with a fixed redirect
     /// penalty.
@@ -33,12 +34,6 @@ pub enum BranchModel {
         /// Extra cycles after resolution before fetch resumes.
         penalty: Cycle,
     },
-}
-
-impl Default for BranchModel {
-    fn default() -> Self {
-        BranchModel::Perfect
-    }
 }
 
 impl BranchModel {

@@ -106,12 +106,42 @@ pub struct FuncCore {
     fregs: [f64; 32],
     halted: bool,
     icount: u64,
+    /// Direct-mapped decode cache, PC-indexed: the fetch stream re-visits
+    /// the same instructions constantly, so decoding once per line beats
+    /// re-reading and re-decoding the word every retired instruction.
+    /// Stores into cached text invalidate the overlapped slots.
+    dcache: Vec<DecodeSlot>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DecodeSlot {
+    /// Cached PC, or [`NO_PC`] when empty.
+    pc: u64,
+    inst: Inst,
+}
+
+/// Decode-cache empty sentinel — never a real (8-byte aligned) PC.
+const NO_PC: u64 = u64::MAX;
+
+/// Decode-cache entries; covers 32 KiB of text, power of two.
+const DCACHE_ENTRIES: usize = 4096;
+
+#[inline]
+fn dcache_index(pc: u64) -> usize {
+    (pc / INST_BYTES) as usize & (DCACHE_ENTRIES - 1)
 }
 
 impl FuncCore {
     /// Creates a context with `pc` at `entry` and all registers zero.
     pub fn new(entry: u64) -> Self {
-        FuncCore { pc: entry, iregs: [0; 32], fregs: [0.0; 32], halted: false, icount: 0 }
+        FuncCore {
+            pc: entry,
+            iregs: [0; 32],
+            fregs: [0.0; 32],
+            halted: false,
+            icount: 0,
+            dcache: vec![DecodeSlot { pc: NO_PC, inst: Inst::nop() }; DCACHE_ENTRIES],
+        }
     }
 
     /// Creates a context with the stack pointer initialised.
@@ -171,9 +201,16 @@ impl FuncCore {
             return Ok(None);
         }
         let pc = self.pc;
-        let word = mem.read_u64(pc);
-        let inst =
-            Inst::decode(word).map_err(|cause| ExecError::BadInstruction { pc, cause })?;
+        let slot = dcache_index(pc);
+        let inst = if self.dcache[slot].pc == pc {
+            self.dcache[slot].inst
+        } else {
+            let word = mem.read_u64(pc);
+            let inst =
+                Inst::decode(word).map_err(|cause| ExecError::BadInstruction { pc, cause })?;
+            self.dcache[slot] = DecodeSlot { pc, inst };
+            inst
+        };
         let mut next_pc = pc + INST_BYTES;
         let mut taken = false;
         let mut mem_addr = 0u64;
@@ -243,6 +280,17 @@ impl FuncCore {
                     Sd => mem.write_u64(mem_addr, value),
                     Fsd => mem.write_f64(mem_addr, self.fregs[inst.rd as usize]),
                     _ => unreachable!(),
+                }
+                // Self-modifying stores: drop any cached decode of the
+                // (at most two) instruction slots this write overlaps.
+                let first = mem_addr & !(INST_BYTES - 1);
+                let mut a = first;
+                while a < mem_addr + mem_bytes {
+                    let s = dcache_index(a);
+                    if self.dcache[s].pc == a {
+                        self.dcache[s].pc = NO_PC;
+                    }
+                    a += INST_BYTES;
                 }
             }
             Beq | Bne | Blt | Bge | Bltu | Bgeu => {

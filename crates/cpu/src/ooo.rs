@@ -19,7 +19,7 @@ use crate::trace::TraceSource;
 use crate::Cycle;
 use ds_isa::{FuClass, Opcode};
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Identifies an instruction in flight: its global instruction number.
 pub type RuuTag = u64;
@@ -195,8 +195,9 @@ pub struct OooCore {
     fetch_done: bool,
     fetch_stall_until: Cycle,
     last_fetch_line: Option<u64>,
-    /// Tags with all operands ready, oldest first.
-    ready: BTreeSet<RuuTag>,
+    /// Tags with all operands ready, as a bitmap over window slots
+    /// (bit `i` == tag `base_tag + i`), scanned oldest-first at issue.
+    ready: ReadySet,
     /// (completion cycle, tag) min-heap.
     events: BinaryHeap<Reverse<(Cycle, RuuTag)>>,
     /// Latest in-flight producer of each integer / fp register.
@@ -226,6 +227,50 @@ const FU_CLASSES: [FuClass; 7] = [
     FuClass::Mem,
 ];
 
+/// Fixed-capacity bitmap of ready window slots.
+///
+/// The scheduler's working set is bounded by `ruu_entries`, so a few
+/// machine words replace the old `BTreeSet<RuuTag>`: insert and remove
+/// are single bit operations, oldest-first selection is a
+/// `trailing_zeros` scan, and commit re-bases the map with a bit shift.
+#[derive(Debug)]
+struct ReadySet {
+    words: Vec<u64>,
+}
+
+impl ReadySet {
+    fn new(capacity: usize) -> Self {
+        ReadySet { words: vec![0; capacity.div_ceil(64)] }
+    }
+
+    #[inline]
+    fn insert(&mut self, slot: usize) {
+        self.words[slot / 64] |= 1 << (slot % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, slot: usize) {
+        self.words[slot / 64] &= !(1 << (slot % 64));
+    }
+
+    /// Slides every slot down by `k` after `k` instructions committed.
+    fn shift_down(&mut self, k: usize) {
+        let n = self.words.len();
+        let (words, bits) = (k / 64, k % 64);
+        if words > 0 {
+            for i in 0..n {
+                self.words[i] = if i + words < n { self.words[i + words] } else { 0 };
+            }
+        }
+        if bits > 0 {
+            for i in 0..n {
+                let hi = if i + 1 < n { self.words[i + 1] } else { 0 };
+                self.words[i] = (self.words[i] >> bits) | (hi << (64 - bits));
+            }
+        }
+    }
+}
+
 impl OooCore {
     /// Builds an empty core.
     ///
@@ -252,7 +297,7 @@ impl OooCore {
             fetch_done: false,
             fetch_stall_until: 0,
             last_fetch_line: None,
-            ready: BTreeSet::new(),
+            ready: ReadySet::new(config.ruu_entries),
             events: BinaryHeap::new(),
             writer_i: [None; 32],
             writer_f: [None; 32],
@@ -362,7 +407,7 @@ impl OooCore {
                         let n = n - 1;
                         e.state = if n == 0 { EState::Ready } else { EState::Waiting(n) };
                         if n == 0 {
-                            self.ready.insert(c);
+                            self.ready.insert((c - self.base_tag) as usize);
                         }
                     }
                 }
@@ -371,6 +416,7 @@ impl OooCore {
     }
 
     fn commit<M: MemSystem + ?Sized>(&mut self, ms: &mut M, now: Cycle) {
+        let mut retired = 0usize;
         for _ in 0..self.config.commit_width {
             let Some(head) = self.window.front() else { break };
             if head.state != EState::Done {
@@ -379,6 +425,7 @@ impl OooCore {
             let e = self.window.pop_front().expect("head exists");
             let tag = self.base_tag;
             self.base_tag += 1;
+            retired += 1;
             let op = e.rec.inst.op;
             if op.is_mem() {
                 self.mem_in_window -= 1;
@@ -391,62 +438,75 @@ impl OooCore {
                 }
                 ms.mem_committed(&e.rec, e.issue_hit, now);
             }
-            // Retire rename-table pointers to this instruction.
-            for w in self.writer_i.iter_mut().chain(self.writer_f.iter_mut()) {
-                if *w == Some(tag) {
-                    *w = None;
+            // Retire the rename-table pointer to this instruction; only
+            // its own destination can still name it (younger writers of
+            // the same register overwrite the slot at dispatch).
+            match dest_reg(&e.rec) {
+                Some((false, r)) if r != 0 && self.writer_i[r as usize] == Some(tag) => {
+                    self.writer_i[r as usize] = None;
                 }
+                Some((true, r)) if self.writer_f[r as usize] == Some(tag) => {
+                    self.writer_f[r as usize] = None;
+                }
+                _ => {}
             }
             self.stats.committed += 1;
+        }
+        if retired > 0 {
+            self.ready.shift_down(retired);
         }
     }
 
     fn issue<M: MemSystem + ?Sized>(&mut self, ms: &mut M, now: Cycle) {
         let mut issued = 0;
-        let mut deferred: Vec<RuuTag> = Vec::new();
-        while issued < self.config.issue_width {
-            let Some(&tag) = self.ready.iter().next() else { break };
-            self.ready.remove(&tag);
-            let (op, rec, forward_from) = {
-                let e = self.entry_mut(tag).expect("ready entries are in-window");
-                (e.rec.inst.op, e.rec, e.forward_from)
-            };
-            let class = op.fu_class();
-            // LSQ forwarding bypasses the cache port.
-            let forwarding = op.is_load() && forward_from.is_some();
-            let unit = if forwarding { Some(usize::MAX) } else { self.acquire_fu(class, now) };
-            let Some(unit) = unit else {
-                deferred.push(tag);
-                continue;
-            };
-            let _ = unit;
-            issued += 1;
-            if forwarding {
-                self.stats.forwarded_loads += 1;
-                let e = self.entry_mut(tag).unwrap();
-                e.state = EState::Issued;
-                e.issue_hit = Some(true);
-                self.events.push(Reverse((now + 1, tag)));
-            } else if op.is_load() {
-                let (resp, hit) = ms.load_issued(&rec, now, tag);
-                let e = self.entry_mut(tag).unwrap();
-                e.state = EState::Issued;
-                e.issue_hit = Some(hit);
-                match resp {
-                    LoadResponse::Ready(at) => {
-                        self.events.push(Reverse((at.max(now + 1), tag)));
-                    }
-                    LoadResponse::Pending => {}
+        // Scan ready slots oldest-first; each candidate is examined at
+        // most once per cycle. A slot that cannot acquire its unit
+        // keeps its bit and waits for the next cycle.
+        'scan: for w in 0..self.ready.words.len() {
+            let mut bits = self.ready.words[w];
+            while bits != 0 {
+                if issued >= self.config.issue_width {
+                    break 'scan;
                 }
-            } else {
-                let e = self.entry_mut(tag).unwrap();
-                e.state = EState::Issued;
-                let lat = op.latency();
-                self.events.push(Reverse((now + lat, tag)));
+                let slot = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let tag = self.base_tag + slot as u64;
+                let (op, rec, forward_from) = {
+                    let e = self.entry_mut(tag).expect("ready entries are in-window");
+                    (e.rec.inst.op, e.rec, e.forward_from)
+                };
+                let class = op.fu_class();
+                // LSQ forwarding bypasses the cache port.
+                let forwarding = op.is_load() && forward_from.is_some();
+                if !forwarding && self.acquire_fu(class, now).is_none() {
+                    continue;
+                }
+                self.ready.clear(slot);
+                issued += 1;
+                if forwarding {
+                    self.stats.forwarded_loads += 1;
+                    let e = self.entry_mut(tag).unwrap();
+                    e.state = EState::Issued;
+                    e.issue_hit = Some(true);
+                    self.events.push(Reverse((now + 1, tag)));
+                } else if op.is_load() {
+                    let (resp, hit) = ms.load_issued(&rec, now, tag);
+                    let e = self.entry_mut(tag).unwrap();
+                    e.state = EState::Issued;
+                    e.issue_hit = Some(hit);
+                    match resp {
+                        LoadResponse::Ready(at) => {
+                            self.events.push(Reverse((at.max(now + 1), tag)));
+                        }
+                        LoadResponse::Pending => {}
+                    }
+                } else {
+                    let e = self.entry_mut(tag).unwrap();
+                    e.state = EState::Issued;
+                    let lat = op.latency();
+                    self.events.push(Reverse((now + lat, tag)));
+                }
             }
-        }
-        for t in deferred {
-            self.ready.insert(t);
         }
     }
 
@@ -546,18 +606,28 @@ impl OooCore {
         let tag = rec.icount;
         debug_assert_eq!(tag, self.base_tag + self.window.len() as u64);
         let op = rec.inst.op;
-        // Collect producer dependences.
-        let mut producers: Vec<RuuTag> = Vec::new();
-        for r in int_sources(&rec) {
+        // Collect producer dependences: at most 2 int + 2 fp sources
+        // plus 1 store dependence, deduplicated in place — no heap.
+        let mut producers = [0 as RuuTag; 5];
+        let mut np = 0usize;
+        let (iregs, ni) = int_sources(&rec);
+        for &r in &iregs[..ni] {
             if r != 0 {
                 if let Some(p) = self.writer_i[r as usize] {
-                    producers.push(p);
+                    if !producers[..np].contains(&p) {
+                        producers[np] = p;
+                        np += 1;
+                    }
                 }
             }
         }
-        for r in fp_sources(&rec) {
+        let (fregs, nf) = fp_sources(&rec);
+        for &r in &fregs[..nf] {
             if let Some(p) = self.writer_f[r as usize] {
-                producers.push(p);
+                if !producers[..np].contains(&p) {
+                    producers[np] = p;
+                    np += 1;
+                }
             }
         }
         // Loads depend on the youngest older overlapping store.
@@ -567,7 +637,10 @@ impl OooCore {
             for &(stag, saddr, sbytes) in self.store_queue.iter().rev() {
                 let (slo, shi) = (saddr, saddr + sbytes);
                 if lo < shi && slo < hi {
-                    producers.push(stag);
+                    if !producers[..np].contains(&stag) {
+                        producers[np] = stag;
+                        np += 1;
+                    }
                     if slo <= lo && hi <= shi {
                         // Store covers the load: forward.
                         forward_from = Some(stag);
@@ -576,11 +649,9 @@ impl OooCore {
                 }
             }
         }
-        producers.sort_unstable();
-        producers.dedup();
         // Only count producers not already done.
         let mut deps = 0u32;
-        for &p in &producers {
+        for &p in &producers[..np] {
             if let Some(e) = self.entry_mut(p) {
                 if e.state != EState::Done {
                     e.consumers.push(tag);
@@ -590,7 +661,7 @@ impl OooCore {
         }
         let state = if deps == 0 { EState::Ready } else { EState::Waiting(deps) };
         if state == EState::Ready {
-            self.ready.insert(tag);
+            self.ready.insert(self.window.len());
         }
         if op.is_mem() {
             self.mem_in_window += 1;
@@ -621,50 +692,39 @@ fn class_latency(class: FuClass) -> Cycle {
     }
 }
 
-/// Integer source registers of an executed instruction.
-fn int_sources(rec: &ExecRecord) -> Vec<u8> {
+/// Integer source registers of an executed instruction (fixed-size,
+/// no heap: at most two).
+fn int_sources(rec: &ExecRecord) -> ([u8; 2], usize) {
     use Opcode::*;
     let i = rec.inst;
-    let mut v = Vec::with_capacity(2);
     match i.op {
         Add | Sub | Mul | Div | Rem | And | Or | Xor | Nor | Sll | Srl | Sra | Slt | Sltu => {
-            v.push(i.rs);
-            v.push(i.rt);
+            ([i.rs, i.rt], 2)
         }
-        Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai => v.push(i.rs),
-        Lui | Nop | Halt | Jal => {}
-        Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Fld => v.push(i.rs),
-        Sb | Sh | Sw | Sd => {
-            v.push(i.rs);
-            v.push(i.rd); // store value
+        Addi | Andi | Ori | Xori | Slti | Slli | Srli | Srai => ([i.rs, 0], 1),
+        Lui | Nop | Halt | Jal => ([0; 2], 0),
+        Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Fld => ([i.rs, 0], 1),
+        Sb | Sh | Sw | Sd => ([i.rs, i.rd], 2), // rd is the store value
+        Fsd => ([i.rs, 0], 1),
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => ([i.rs, i.rt], 2),
+        Jalr => ([i.rs, 0], 1),
+        Fcvtdw => ([i.rs, 0], 1),
+        Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fmov | Fneg | Fabs | Feq | Flt | Fle | Fcvtwd => {
+            ([0; 2], 0)
         }
-        Fsd => v.push(i.rs),
-        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
-            v.push(i.rs);
-            v.push(i.rt);
-        }
-        Jalr => v.push(i.rs),
-        Fcvtdw => v.push(i.rs),
-        Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fmov | Fneg | Fabs | Feq | Flt | Fle | Fcvtwd => {}
     }
-    v
 }
 
-/// Floating-point source registers.
-fn fp_sources(rec: &ExecRecord) -> Vec<u8> {
+/// Floating-point source registers (fixed-size, no heap).
+fn fp_sources(rec: &ExecRecord) -> ([u8; 2], usize) {
     use Opcode::*;
     let i = rec.inst;
-    let mut v = Vec::with_capacity(2);
     match i.op {
-        Fadd | Fsub | Fmul | Fdiv | Feq | Flt | Fle => {
-            v.push(i.rs);
-            v.push(i.rt);
-        }
-        Fsqrt | Fmov | Fneg | Fabs | Fcvtwd => v.push(i.rs),
-        Fsd => v.push(i.rd), // store value
-        _ => {}
+        Fadd | Fsub | Fmul | Fdiv | Feq | Flt | Fle => ([i.rs, i.rt], 2),
+        Fsqrt | Fmov | Fneg | Fabs | Fcvtwd => ([i.rs, 0], 1),
+        Fsd => ([i.rd, 0], 1), // store value
+        _ => ([0; 2], 0),
     }
-    v
 }
 
 /// Destination register: `(is_fp, reg)`.

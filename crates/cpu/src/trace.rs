@@ -42,6 +42,9 @@ pub struct TraceSource {
     /// Set once the functional core halts; records past the end are
     /// `None`.
     end: Option<u64>,
+    /// High-water mark of `window.len()` — the worst-case node skew
+    /// (datathreading distance) plus in-flight window.
+    max_window: usize,
 }
 
 impl TraceSource {
@@ -50,7 +53,7 @@ impl TraceSource {
     /// The core should be positioned at the program entry; the image
     /// must already contain the loaded program.
     pub fn new(core: FuncCore, mem: MemImage) -> Self {
-        TraceSource { core, mem, window: VecDeque::new(), base: 0, end: None }
+        TraceSource { core, mem, window: VecDeque::new(), base: 0, end: None, max_window: 0 }
     }
 
     /// Returns the record of instruction `idx` (extending the window by
@@ -74,15 +77,19 @@ impl TraceSource {
                 None => self.end = Some(self.base + self.window.len() as u64),
             }
         }
+        if self.window.len() > self.max_window {
+            self.max_window = self.window.len();
+        }
         Ok(self.window.get((idx - self.base) as usize))
     }
 
     /// Drops all records before `min_idx` (the minimum over all
     /// consumers' cursors).
     pub fn trim(&mut self, min_idx: u64) {
-        while self.base < min_idx && !self.window.is_empty() {
-            self.window.pop_front();
-            self.base += 1;
+        let n = (min_idx.saturating_sub(self.base) as usize).min(self.window.len());
+        if n > 0 {
+            self.window.drain(..n);
+            self.base += n as u64;
         }
     }
 
@@ -95,6 +102,11 @@ impl TraceSource {
     /// Instructions currently buffered.
     pub fn window_len(&self) -> usize {
         self.window.len()
+    }
+
+    /// High-water mark of the buffered window over the whole run.
+    pub fn max_window_len(&self) -> usize {
+        self.max_window
     }
 
     /// Read access to the final memory image (useful for checking

@@ -249,8 +249,8 @@ impl<'a> Parser<'a> {
     fn simple_stmt(&mut self) -> Result<Stmt, LangError> {
         let line = self.line();
         if let Some(ty) = self.try_type_lookahead() {
-            let ty = ty; // committed below
-            let _ = self.try_type();
+            let _ = self.try_type(); // commit the lookahead
+
             let name = self.ident()?;
             let init = if self.eat_punct("=") { Some(self.expr()?) } else { None };
             return Ok(Stmt::Local(ty, name, init, line));

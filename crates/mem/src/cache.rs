@@ -73,7 +73,7 @@ impl CacheConfig {
         assert!(self.assoc >= 1, "associativity must be at least 1");
         let lines = self.size_bytes / self.line_bytes;
         assert!(
-            lines >= self.assoc as u64 && lines % self.assoc as u64 == 0,
+            lines >= self.assoc as u64 && lines.is_multiple_of(self.assoc as u64),
             "capacity must be a multiple of assoc * line size"
         );
         let sets = lines / self.assoc as u64;

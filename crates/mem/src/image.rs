@@ -1,11 +1,16 @@
 //! Sparse byte-addressable memory image for functional execution.
 
 use crate::Addr;
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Storage granularity of the sparse image (independent of the
 /// architectural page size configured in the [`crate::PageTable`]).
 const CHUNK: u64 = 4096;
+
+/// Memo sentinel: no chunk cached. No real chunk id can equal this
+/// (it would need an address near `u64::MAX * CHUNK`).
+const NO_CHUNK: u64 = u64::MAX;
 
 /// A sparse, little-endian, byte-addressable memory image.
 ///
@@ -14,6 +19,13 @@ const CHUNK: u64 = 4096;
 /// program and computes every store, so each node's functional image is
 /// the *entire* address space — ownership affects only timing, never
 /// values. One shared `MemImage` therefore backs all nodes.
+///
+/// Chunk storage is a dense `Vec` reached through a `chunk id → index`
+/// map, with a one-entry memo of the last chunk touched: the functional
+/// core's fetch/load/store stream is overwhelmingly sequential within a
+/// chunk, so the common case skips hashing entirely. The memo is a
+/// [`Cell`] so reads (`&self`) refresh it too; this makes the image
+/// `!Sync`, which is fine — a simulation owns its image on one thread.
 ///
 /// # Examples
 ///
@@ -25,9 +37,18 @@ const CHUNK: u64 = 4096;
 /// assert_eq!(m.read_u64(0x1000), 0xdead_beef);
 /// assert_eq!(m.read_u64(0x9_0000), 0, "unmapped reads as zero");
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MemImage {
-    chunks: HashMap<u64, Box<[u8]>>,
+    chunks: Vec<Box<[u8]>>,
+    index: HashMap<u64, u32>,
+    /// Last (chunk id, vec index) resolved — hit on sequential access.
+    memo: Cell<(u64, u32)>,
+}
+
+impl Default for MemImage {
+    fn default() -> Self {
+        MemImage { chunks: Vec::new(), index: HashMap::new(), memo: Cell::new((NO_CHUNK, 0)) }
+    }
 }
 
 impl MemImage {
@@ -36,14 +57,39 @@ impl MemImage {
         Self::default()
     }
 
-    fn chunk(&self, addr: Addr) -> Option<&[u8]> {
-        self.chunks.get(&(addr / CHUNK)).map(|c| &**c)
+    /// Resolves a chunk id to its dense index, consulting the memo
+    /// first.
+    #[inline]
+    fn lookup(&self, id: u64) -> Option<u32> {
+        let (memo_id, memo_idx) = self.memo.get();
+        if memo_id == id {
+            return Some(memo_idx);
+        }
+        let idx = *self.index.get(&id)?;
+        self.memo.set((id, idx));
+        Some(idx)
     }
 
+    #[inline]
+    fn chunk(&self, addr: Addr) -> Option<&[u8]> {
+        let idx = self.lookup(addr / CHUNK)?;
+        Some(&self.chunks[idx as usize])
+    }
+
+    #[inline]
     fn chunk_mut(&mut self, addr: Addr) -> &mut [u8] {
-        self.chunks
-            .entry(addr / CHUNK)
-            .or_insert_with(|| vec![0u8; CHUNK as usize].into_boxed_slice())
+        let id = addr / CHUNK;
+        let idx = match self.lookup(id) {
+            Some(idx) => idx,
+            None => {
+                let idx = u32::try_from(self.chunks.len()).expect("chunk count fits u32");
+                self.chunks.push(vec![0u8; CHUNK as usize].into_boxed_slice());
+                self.index.insert(id, idx);
+                self.memo.set((id, idx));
+                idx
+            }
+        };
+        &mut self.chunks[idx as usize]
     }
 
     /// Reads one byte.
@@ -129,16 +175,36 @@ impl MemImage {
         self.write_u64(addr, value.to_bits());
     }
 
-    /// Copies `bytes` into the image starting at `addr`.
+    /// Copies `bytes` into the image starting at `addr`, one
+    /// chunk-sized `copy_from_slice` at a time.
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, b);
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (addr % CHUNK) as usize;
+            let n = rest.len().min(CHUNK as usize - off);
+            self.chunk_mut(addr)[off..off + n].copy_from_slice(&rest[..n]);
+            addr += n as u64;
+            rest = &rest[n..];
         }
     }
 
-    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    /// Reads `len` bytes starting at `addr` into a fresh vector,
+    /// copying chunk-wise (unmapped chunks read as zeros).
     pub fn read_bytes(&self, addr: Addr, len: usize) -> Vec<u8> {
-        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+        let mut out = vec![0u8; len];
+        let mut addr = addr;
+        let mut dst = &mut out[..];
+        while !dst.is_empty() {
+            let off = (addr % CHUNK) as usize;
+            let n = dst.len().min(CHUNK as usize - off);
+            if let Some(c) = self.chunk(addr) {
+                dst[..n].copy_from_slice(&c[off..off + n]);
+            }
+            addr += n as u64;
+            dst = &mut dst[n..];
+        }
+        out
     }
 
     /// Number of backing chunks allocated (a proxy for touched
@@ -203,10 +269,44 @@ mod tests {
     }
 
     #[test]
+    fn bulk_bytes_span_many_chunks() {
+        let mut m = MemImage::new();
+        // 3 chunks' worth starting mid-chunk, so both the write and the
+        // read cross two boundaries.
+        let data: Vec<u8> = (0..3 * CHUNK).map(|i| (i * 7 + 13) as u8).collect();
+        let addr = 10 * CHUNK + 100;
+        m.write_bytes(addr, &data);
+        assert_eq!(m.read_bytes(addr, data.len()), data);
+        assert_eq!(m.allocated_chunks(), 4);
+        // A read overlapping mapped and unmapped chunks zero-fills the
+        // unmapped tail.
+        let tail = m.read_bytes(addr + data.len() as u64 - 4, 100);
+        assert_eq!(&tail[..4], &data[data.len() - 4..]);
+        assert!(tail[4..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
     fn overwrite_takes_effect() {
         let mut m = MemImage::new();
         m.write_u64(64, 1);
         m.write_u64(64, 2);
         assert_eq!(m.read_u64(64), 2);
+    }
+
+    #[test]
+    fn memo_survives_alternating_chunks() {
+        let mut m = MemImage::new();
+        let a = 0;
+        let b = 100 * CHUNK;
+        m.write_u64(a, 1);
+        m.write_u64(b, 2);
+        // Alternate so the memo is wrong on every access.
+        for _ in 0..10 {
+            assert_eq!(m.read_u64(a), 1);
+            assert_eq!(m.read_u64(b), 2);
+        }
+        let cloned = m.clone();
+        assert_eq!(cloned.read_u64(a), 1);
+        assert_eq!(cloned.read_u64(b), 2);
     }
 }

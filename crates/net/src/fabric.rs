@@ -62,6 +62,15 @@ impl Fabric {
         }
     }
 
+    /// Advances one core cycle, filling `out` with the deliveries
+    /// completing now (cleared first; allocation-free once grown).
+    pub fn step_into(&mut self, now: Cycle, out: &mut Vec<Delivery>) {
+        match self {
+            Fabric::Bus(b) => b.step_into(now, out),
+            Fabric::Ring(r) => r.step_into(now, out),
+        }
+    }
+
     /// True when nothing is queued or in flight.
     pub fn is_idle(&self) -> bool {
         match self {

@@ -245,10 +245,21 @@ impl Bus {
 
     /// Advances one core cycle; returns deliveries completing now.
     ///
-    /// Arbitration and transaction starts happen only on bus-clock edges
-    /// (`now % clock_divisor == 0`); round-robin among ports.
+    /// Convenience wrapper over [`Bus::step_into`] — hot loops should
+    /// pass a reused buffer to `step_into` instead.
     pub fn step(&mut self, now: Cycle) -> Vec<Delivery> {
         let mut out = Vec::new();
+        self.step_into(now, &mut out);
+        out
+    }
+
+    /// Advances one core cycle, clearing `out` and filling it with the
+    /// deliveries completing now — no allocation once `out` has grown.
+    ///
+    /// Arbitration and transaction starts happen only on bus-clock edges
+    /// (`now % clock_divisor == 0`); round-robin among ports.
+    pub fn step_into(&mut self, now: Cycle, out: &mut Vec<Delivery>) {
+        out.clear();
         // Complete an in-flight transaction.
         if let Some(fl) = &self.in_flight {
             if fl.done_at <= now {
@@ -267,14 +278,13 @@ impl Bus {
             }
         }
         // Start a new transaction on a bus-clock edge.
-        if self.in_flight.is_none() && now % self.config.clock_divisor == 0 {
+        if self.in_flight.is_none() && now.is_multiple_of(self.config.clock_divisor) {
             if let Some(msg) = self.arbitrate() {
                 self.account(&msg, now);
                 let busy = self.transfer_cycles(msg.payload_bytes);
                 self.in_flight = Some(InFlight { msg, done_at: now + busy });
             }
         }
-        out
     }
 
     fn arbitrate(&mut self) -> Option<Message> {

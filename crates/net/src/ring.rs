@@ -75,6 +75,9 @@ pub struct Ring {
     /// Cycle each node's outgoing link frees up.
     link_free: Vec<Cycle>,
     in_flight: Vec<Flit>,
+    /// Reused per-step staging buffer (keeps the hot loop allocation
+    /// free).
+    scratch: Vec<Flit>,
     stats: BusStats,
 }
 
@@ -91,6 +94,7 @@ impl Ring {
             queues: vec![VecDeque::new(); config.ports],
             link_free: vec![0; config.ports],
             in_flight: Vec::new(),
+            scratch: Vec::new(),
             config,
             stats: BusStats::default(),
         }
@@ -136,15 +140,30 @@ impl Ring {
     }
 
     /// Advances one core cycle; returns deliveries completing now.
+    ///
+    /// Convenience wrapper over [`Ring::step_into`] — hot loops should
+    /// pass a reused buffer to `step_into` instead.
     pub fn step(&mut self, now: Cycle) -> Vec<Delivery> {
         let mut out = Vec::new();
+        self.step_into(now, &mut out);
+        out
+    }
+
+    /// Advances one core cycle, clearing `out` and filling it with the
+    /// deliveries completing now — no allocation once the buffers have
+    /// grown.
+    pub fn step_into(&mut self, now: Cycle, out: &mut Vec<Delivery>) {
+        out.clear();
         let ports = self.config.ports;
         // Advance in-flight messages that complete a hop this cycle.
-        let mut still_flying = Vec::with_capacity(self.in_flight.len());
-        let flits: Vec<Flit> = self.in_flight.drain(..).collect();
-        for mut flit in flits {
+        // `scratch` takes the flits; survivors go back into `in_flight`
+        // in the same order.
+        let mut flits = std::mem::take(&mut self.scratch);
+        std::mem::swap(&mut flits, &mut self.in_flight);
+        debug_assert!(self.in_flight.is_empty());
+        for mut flit in flits.drain(..) {
             if flit.next_hop_done > now {
-                still_flying.push(flit);
+                self.in_flight.push(flit);
                 continue;
             }
             // Completed the hop to the next node.
@@ -176,9 +195,9 @@ impl Ring {
             let start = self.link_free[flit.at].max(now);
             self.link_free[flit.at] = start + transfer;
             flit.next_hop_done = start + self.config.clock_divisor;
-            still_flying.push(flit);
+            self.in_flight.push(flit);
         }
-        self.in_flight = still_flying;
+        self.scratch = flits;
         // Inject new messages where the outgoing link is free.
         for port in 0..ports {
             if self.link_free[port] > now {
@@ -190,7 +209,6 @@ impl Ring {
             self.account(&msg, now, hop);
             self.in_flight.push(Flit { msg, at: port, hops: 0, next_hop_done: now + hop });
         }
-        out
     }
 
     fn account(&mut self, msg: &Message, now: Cycle, hop: Cycle) {

@@ -49,7 +49,7 @@ pub fn build(scale: Scale) -> Program {
         *cell = if row == 0 || col == 0 || row == SIDE - 1 || col == SIDE - 1 {
             3
         } else {
-            [0, 0, 1, 2][r.gen_range(0..4)]
+            [0, 0, 1, 2][r.gen_range(0..4usize)]
         };
     }
     let boards = b.bytes(&boards);

@@ -34,9 +34,9 @@ pub fn build(scale: Scale) -> Program {
     let (n, iters) = params(scale);
     let row = (n * 8) as i32;
     let mut b = ProgBuilder::new();
-    let grid_u = b.doubles(&util::random_f64s(0x5717_1, n * n));
-    let grid_v = b.doubles(&util::random_f64s(0x5717_2, n * n));
-    let grid_p = b.doubles(&util::random_f64s(0x5717_3, n * n));
+    let grid_u = b.doubles(&util::random_f64s(0x57171, n * n));
+    let grid_v = b.doubles(&util::random_f64s(0x57172, n * n));
+    let grid_p = b.doubles(&util::random_f64s(0x57173, n * n));
     let consts = b.doubles(&[0.05, 0.02]);
 
     b.la(reg::S0, grid_u);

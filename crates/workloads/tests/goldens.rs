@@ -7,22 +7,26 @@ use ds_cpu::FuncCore;
 use ds_mem::MemImage;
 use ds_workloads::{by_name, Scale};
 
+// Regenerated for the vendored deterministic RNG (see crates/compat/rand):
+// the offline stand-in pins a different stream than upstream rand, so any
+// RNG-derived workload input changed once. Regenerate with
+// `cargo test -p ds-workloads --test goldens -- --ignored --nocapture`.
 const GOLDENS: &[(&str, u64, u64)] = &[
-    ("tomcatv", 0xaf0008a054c3bbc9, 15798),
-    ("swim", 0x25d1ddb07dd5d6e9, 37048),
-    ("hydro2d", 0xb00829cc1fc273e7, 22531),
-    ("mgrid", 0x6d8cc7ef949a98c2, 26227),
-    ("applu", 0xff60eac42c30c7ae, 37996),
-    ("m88ksim", 0xa5495110d51c1db3, 151392),
-    ("turb3d", 0x68968940b84d5314, 171163),
-    ("gcc", 0x811bf25606541722, 712585),
-    ("compress", 0x10a48a, 52699),
+    ("tomcatv", 0xb0b108cfaacb4a7b, 15798),
+    ("swim", 0x28ae8420a908825d, 37048),
+    ("hydro2d", 0xb0addc7ef7fb4f59, 22531),
+    ("mgrid", 0x6b569d1c24df72fa, 26227),
+    ("applu", 0xb199266a3eff3e3, 37996),
+    ("m88ksim", 0x4ec689b8f8beb22d, 151314),
+    ("turb3d", 0x6fd47a15049011d5, 171163),
+    ("gcc", 0x86ccf07fdb357ce, 719857),
+    ("compress", 0xcdb1a, 52985),
     ("li", 0x17748690, 72026),
-    ("perl", 0x2be8a0, 130859),
+    ("perl", 0x2be8a0, 131435),
     ("fpppp", 0xe800000000000000, 24691),
-    ("wave5", 0x424eb54d4059ea66, 114025),
-    ("vortex", 0x48e76ab, 315531),
-    ("go", 0x10d3e, 739234),
+    ("wave5", 0x424f9a304efa40f1, 114025),
+    ("vortex", 0x48fbce3, 315819),
+    ("go", 0x114c7, 737639),
 ];
 
 #[test]
@@ -42,6 +46,23 @@ fn every_workload_matches_its_golden_checksum() {
              if intentional, regenerate the goldens"
         );
         assert_eq!(cpu.icount(), want_insts, "{name}: instruction count changed");
+    }
+}
+
+/// Prints a fresh golden table; run with `-- --ignored --nocapture`
+/// after an intentional input-generation change and paste over GOLDENS.
+#[test]
+#[ignore]
+fn print_golden_table() {
+    for w in ds_workloads::all() {
+        let prog = (w.build)(Scale::Tiny);
+        let mut mem = MemImage::new();
+        prog.load(&mut mem);
+        let mut cpu = FuncCore::with_stack(prog.entry, prog.stack_top);
+        cpu.run(&mut mem, 50_000_000).expect("executes");
+        assert!(cpu.halted(), "{} did not halt", w.name);
+        let got = mem.read_u64(prog.symbol("result").expect("result symbol"));
+        println!("    (\"{}\", {:#x}, {}),", w.name, got, cpu.icount());
     }
 }
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full verification: build, tests, lints, and the throughput benchmark.
+#
+# Usage: scripts/verify.sh [--no-bench]
+#
+# The benchmark step rewrites BENCH_throughput.json in place; pass
+# --no-bench to skip it (e.g. on a loaded machine where the numbers
+# would be noise).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --workspace --release
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --all-targets -- -D warnings
+
+if [[ "${1:-}" != "--no-bench" ]]; then
+    echo "== throughput benchmark (writes BENCH_throughput.json)"
+    cargo run --release -p ds-bench --bin bench_throughput
+fi
+
+echo "verify: OK"
