@@ -97,6 +97,15 @@ impl Bshr {
         self.waits.len() + self.buffered_count
     }
 
+    /// True when no state survives: no waiting loads, no buffered
+    /// broadcasts, no pending squashes. At the end of a complete run
+    /// every broadcast has been consumed exactly once per non-owner, so
+    /// a quiescent BSHR is part of the correspondence invariant the
+    /// `audit` feature asserts.
+    pub fn is_quiescent(&self) -> bool {
+        self.waits.is_empty() && self.buffered_count == 0 && self.pending_squashes.is_empty()
+    }
+
     fn note_occupancy(&mut self) {
         let occ = self.occupancy();
         if occ > self.stats.max_occupancy {

@@ -45,12 +45,14 @@
 //! * [`datathread`] — the serialized off-chip-crossing model of
 //!   Figure 3.
 
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod bshr;
 pub mod config;
 pub mod cub;
 pub mod datathread;
 pub mod hybrid;
-mod linemap;
+pub mod linemap;
 pub mod mmm;
 mod node;
 mod pending;

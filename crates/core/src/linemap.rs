@@ -11,7 +11,7 @@
 
 /// A sorted-vector map from line address to `V`.
 #[derive(Debug, Clone)]
-pub(crate) struct LineMap<V> {
+pub struct LineMap<V> {
     entries: Vec<(u64, V)>,
 }
 
@@ -22,7 +22,7 @@ impl<V> Default for LineMap<V> {
 }
 
 impl<V> LineMap<V> {
-    pub(crate) fn new() -> Self {
+    pub fn new() -> Self {
         Self::default()
     }
 
@@ -30,23 +30,23 @@ impl<V> LineMap<V> {
         self.entries.binary_search_by_key(&line, |&(l, _)| l)
     }
 
-    pub(crate) fn get(&self, line: u64) -> Option<&V> {
+    pub fn get(&self, line: u64) -> Option<&V> {
         self.find(line).ok().map(|i| &self.entries[i].1)
     }
 
-    pub(crate) fn get_mut(&mut self, line: u64) -> Option<&mut V> {
+    pub fn get_mut(&mut self, line: u64) -> Option<&mut V> {
         match self.find(line) {
             Ok(i) => Some(&mut self.entries[i].1),
             Err(_) => None,
         }
     }
 
-    pub(crate) fn contains_key(&self, line: u64) -> bool {
+    pub fn contains_key(&self, line: u64) -> bool {
         self.find(line).is_ok()
     }
 
     /// Inserts `value`, returning the previous value if one existed.
-    pub(crate) fn insert(&mut self, line: u64, value: V) -> Option<V> {
+    pub fn insert(&mut self, line: u64, value: V) -> Option<V> {
         match self.find(line) {
             Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
             Err(i) => {
@@ -56,7 +56,7 @@ impl<V> LineMap<V> {
         }
     }
 
-    pub(crate) fn remove(&mut self, line: u64) -> Option<V> {
+    pub fn remove(&mut self, line: u64) -> Option<V> {
         match self.find(line) {
             Ok(i) => Some(self.entries.remove(i).1),
             Err(_) => None,
@@ -64,7 +64,7 @@ impl<V> LineMap<V> {
     }
 
     /// The value for `line`, inserting a default first if absent.
-    pub(crate) fn get_mut_or_default(&mut self, line: u64) -> &mut V
+    pub fn get_mut_or_default(&mut self, line: u64) -> &mut V
     where
         V: Default,
     {
@@ -78,8 +78,19 @@ impl<V> LineMap<V> {
         &mut self.entries[i].1
     }
 
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries in ascending line-address order. Iteration over a
+    /// `LineMap` is deterministic by construction — this is the
+    /// property the d1 lint rule exists to protect.
+    pub fn entries(&self) -> &[(u64, V)] {
+        &self.entries
     }
 }
 

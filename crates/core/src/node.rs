@@ -18,6 +18,7 @@
 use crate::bshr::{Arrival, Bshr};
 use crate::config::DsConfig;
 use crate::cub::Dcub;
+use crate::linemap::LineMap;
 use crate::pending::PendingQueue;
 use crate::stats::NodeStats;
 use crate::Cycle;
@@ -48,9 +49,13 @@ pub(crate) struct MemSide {
     /// bus queue.
     outgoing: PendingQueue,
     /// Per-line broadcast sequence numbers (the paper's supplementary
-    /// tags).
-    seq: std::collections::HashMap<u64, u64>,
+    /// tags). Sorted-vec map: probed once per broadcast and never
+    /// iterated, and its order is deterministic either way.
+    seq: LineMap<u64>,
     stats: NodeStats,
+    /// Commit-time correspondence auditor (observational only).
+    #[cfg(feature = "audit")]
+    pub(crate) audit: crate::audit::NodeAudit,
 }
 
 impl MemSide {
@@ -68,9 +73,24 @@ impl MemSide {
             line_bytes: config.dcache.line_bytes,
             queue_penalty: config.queue_penalty,
             outgoing: PendingQueue::new(),
-            seq: std::collections::HashMap::new(),
+            seq: LineMap::new(),
             stats: NodeStats::default(),
+            #[cfg(feature = "audit")]
+            audit: crate::audit::NodeAudit::default(),
         }
+    }
+
+    /// Hands the auditor one commit-order cache transition.
+    #[cfg(feature = "audit")]
+    fn audit_commit(
+        &mut self,
+        icount: u64,
+        line: u64,
+        store: bool,
+        outcome: crate::audit::CommitOutcome,
+        victim: Option<u64>,
+    ) {
+        self.audit.record(crate::audit::CommitEvent { icount, line, store, outcome, victim });
     }
 
     fn push_broadcast(&mut self, line: u64, ready: Cycle) {
@@ -79,7 +99,7 @@ impl MemSide {
             // broadcasts.
             return;
         }
-        let seq = self.seq.entry(line).or_insert(0);
+        let seq = self.seq.get_mut_or_default(line);
         let msg = Message {
             src: self.id,
             dest: None,
@@ -197,8 +217,19 @@ impl MemSystem for MemSide {
         let line = self.canon.line_addr(addr);
         if rec.is_store() {
             match self.canon.access(addr, AccessKind::Write) {
-                CacheOutcome::Hit => {}
+                CacheOutcome::Hit => {
+                    #[cfg(feature = "audit")]
+                    self.audit_commit(rec.icount, line, true, crate::audit::CommitOutcome::Hit, None);
+                }
                 CacheOutcome::Miss { allocated: false, .. } => {
+                    #[cfg(feature = "audit")]
+                    self.audit_commit(
+                        rec.icount,
+                        line,
+                        true,
+                        crate::audit::CommitOutcome::MissBypassed,
+                        None,
+                    );
                     // Write-no-allocate: the store writes through to the
                     // owner's memory and is dropped everywhere else —
                     // created values never cross the interconnect (§3.1).
@@ -212,6 +243,14 @@ impl MemSystem for MemSide {
                 CacheOutcome::Miss { allocated: true, victim } => {
                     // Write-allocate configurations: the fill behaves
                     // like a repaired miss.
+                    #[cfg(feature = "audit")]
+                    self.audit_commit(
+                        rec.icount,
+                        line,
+                        true,
+                        crate::audit::CommitOutcome::MissAllocated,
+                        victim.as_ref().map(|v| v.line_addr),
+                    );
                     self.handle_victim(victim, now);
                     if self.dcub.remove(line).is_none() {
                         self.fill_repair(line, now, false);
@@ -225,6 +264,8 @@ impl MemSystem for MemSide {
         // Load: replay in commit order against the canonical cache.
         match self.canon.access(addr, AccessKind::Read) {
             CacheOutcome::Hit => {
+                #[cfg(feature = "audit")]
+                self.audit_commit(rec.icount, line, false, crate::audit::CommitOutcome::Hit, None);
                 if issue_hit == Some(false) {
                     // Miss at issue, hit in commit order: a false miss,
                     // already normalised by the DCUB merge.
@@ -232,6 +273,14 @@ impl MemSystem for MemSide {
                 }
             }
             CacheOutcome::Miss { victim, .. } => {
+                #[cfg(feature = "audit")]
+                self.audit_commit(
+                    rec.icount,
+                    line,
+                    false,
+                    crate::audit::CommitOutcome::MissAllocated,
+                    victim.as_ref().map(|v| v.line_addr),
+                );
                 self.handle_victim(victim, now);
                 if self.dcub.remove(line).is_some() {
                     // Normal episode install: the issue-time fetch (and
@@ -334,5 +383,17 @@ impl Node {
     /// correspondence checking: sorted `(line, dirty)` pairs.
     pub fn canonical_cache_lines(&self) -> Vec<(u64, bool)> {
         self.ms.canon.resident()
+    }
+
+    /// Whether the BSHR holds no waits, buffers or pending squashes.
+    #[cfg(feature = "audit")]
+    pub(crate) fn bshr_is_quiescent(&self) -> bool {
+        self.ms.bshr.is_quiescent()
+    }
+
+    /// In-flight DCUB entries.
+    #[cfg(feature = "audit")]
+    pub(crate) fn dcub_occupancy(&self) -> usize {
+        self.ms.dcub.occupancy()
     }
 }

@@ -79,6 +79,7 @@ impl PendingQueue {
         if self.heap.peek()?.ready > now {
             return None;
         }
+        // ds-lint: allow(p1) peek above proved the heap non-empty on this same call
         Some(self.heap.pop().expect("peeked").msg)
     }
 

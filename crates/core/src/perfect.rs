@@ -139,8 +139,7 @@ mod tests {
             ".text\nmain: li t0, 100000\nloop: addi t0, t0, -1\n bnez t0, loop\n halt\n",
         )
         .unwrap();
-        let mut config = DsConfig::default();
-        config.max_insts = Some(500);
+        let config = DsConfig { max_insts: Some(500), ..Default::default() };
         let mut sys = PerfectSystem::new(&config, &prog);
         let r = sys.run().unwrap();
         assert!(r.committed >= 500);

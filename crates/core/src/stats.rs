@@ -6,7 +6,7 @@ use ds_net::BusStats;
 
 /// Per-node statistics of a DataScalar run (a subset applies to the
 /// traditional and perfect systems).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeStats {
     /// Loads that reached the memory side (not forwarded in the LSQ).
     pub loads_issued: u64,
@@ -73,7 +73,7 @@ fn frac(num: u64, den: u64) -> f64 {
 }
 
 /// The result of one timing-simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunResult {
     /// Core-clock cycles simulated.
     pub cycles: u64,
@@ -131,12 +131,8 @@ mod tests {
 
     #[test]
     fn node_mean_averages() {
-        let mut a = NodeStats::default();
-        a.broadcasts_sent = 10;
-        a.late_broadcasts = 5;
-        let mut b = NodeStats::default();
-        b.broadcasts_sent = 10;
-        b.late_broadcasts = 0;
+        let a = NodeStats { broadcasts_sent: 10, late_broadcasts: 5, ..Default::default() };
+        let b = NodeStats { broadcasts_sent: 10, late_broadcasts: 0, ..Default::default() };
         let r = RunResult { cycles: 1, committed: 1, nodes: vec![a, b], ..Default::default() };
         assert!((r.node_mean(|n| n.late_broadcast_frac()) - 0.25).abs() < 1e-12);
     }

@@ -25,6 +25,9 @@ pub struct DsSystem {
     page_table: Rc<PageTable>,
     cycles: Cycle,
     delivered: u64,
+    /// Cross-node commit-stream auditor (observational only).
+    #[cfg(feature = "audit")]
+    audit: crate::audit::SystemAudit,
 }
 
 impl DsSystem {
@@ -65,6 +68,8 @@ impl DsSystem {
             page_table,
             cycles: 0,
             delivered: 0,
+            #[cfg(feature = "audit")]
+            audit: crate::audit::SystemAudit::new(config.nodes),
             config,
         }
     }
@@ -111,6 +116,8 @@ impl DsSystem {
             for node in &mut self.nodes {
                 node.step(&mut self.trace, now)?;
             }
+            #[cfg(feature = "audit")]
+            self.absorb_audit();
             // 2. Ready broadcasts enter the bus.
             for node in &mut self.nodes {
                 while let Some(msg) = node.next_outgoing(now) {
@@ -141,6 +148,7 @@ impl DsSystem {
                 last_total = total;
                 last_progress_cycle = self.cycles;
             } else if self.cycles - last_progress_cycle > self.config.watchdog_cycles {
+                // ds-lint: allow(p1) deliberate abort: a stalled machine means the broadcast/BSHR pairing broke and no recovery exists (docs/protocol.md §5)
                 panic!(
                     "DataScalar deadlock: no commit in {} cycles (committed {:?})",
                     self.config.watchdog_cycles,
@@ -157,6 +165,8 @@ impl DsSystem {
         }
         let result = self.result();
         self.drain_interconnect();
+        #[cfg(feature = "audit")]
+        self.assert_audit_invariants();
         Ok(result)
     }
 
@@ -213,6 +223,71 @@ impl DsSystem {
         self.nodes
             .iter()
             .all(|n| n.canonical_cache_lines() == reference)
+    }
+}
+
+/// Commit-time correspondence auditing (docs/protocol.md §3–§5): the
+/// dynamic counterpart of the `ds-lint` static rules. Observational
+/// only — an audit build produces the same cycles and stats.
+#[cfg(feature = "audit")]
+impl DsSystem {
+    /// Feeds every node's freshly recorded commit events into the
+    /// shared reference stream, panicking at the first divergence.
+    fn absorb_audit(&mut self) {
+        for i in 0..self.nodes.len() {
+            while let Some(ev) = self.nodes[i].ms.audit.pending.pop_front() {
+                self.audit.absorb(i, ev);
+            }
+        }
+    }
+
+    /// End-of-run ledger checks. Only meaningful for complete,
+    /// fault-free runs: with injected faults the machine deadlocks
+    /// before reaching here, and an instruction-budget stop leaves
+    /// episodes legitimately in flight.
+    fn assert_audit_invariants(&mut self) {
+        self.absorb_audit();
+        if self.config.fault_drop_every.is_some() {
+            return;
+        }
+        if !self.nodes.iter().all(|n| n.is_done()) {
+            return;
+        }
+        assert!(
+            self.audit.aligned(),
+            "audit: nodes finished with different mem-commit counts"
+        );
+        assert!(
+            self.correspondence_holds(),
+            "audit: canonical caches differ at end of run"
+        );
+        let sent: Vec<u64> = self.nodes.iter().map(|n| n.stats().broadcasts_sent).collect();
+        let total: u64 = sent.iter().sum();
+        for (i, node) in self.nodes.iter().enumerate() {
+            assert_eq!(
+                node.stats().bshr.arrivals,
+                total - sent[i],
+                "audit: node {i} did not see every peer broadcast exactly once"
+            );
+            assert!(
+                node.bshr_is_quiescent(),
+                "audit: node {i} BSHR retained waits/buffers/squashes after the run"
+            );
+            assert_eq!(
+                node.dcub_occupancy(),
+                0,
+                "audit: node {i} leaked DCUB entries past their residency episodes"
+            );
+        }
+        self.audit.add_checks(2 + 3 * self.nodes.len() as u64);
+    }
+
+    /// Number of audit assertions that have passed so far (per-commit
+    /// residency checks + cross-node stream comparisons + end-of-run
+    /// ledger checks). Exposed so tests can prove the auditor actually
+    /// ran.
+    pub fn audit_checks(&self) -> u64 {
+        self.audit.checks() + self.nodes.iter().map(|n| n.ms.audit.checks()).sum::<u64>()
     }
 }
 

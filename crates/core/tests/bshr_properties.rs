@@ -1,10 +1,14 @@
 //! Property tests over the BSHR under random interleavings of
 //! requests, arrivals and squashes: nothing leaks, nothing double
-//! completes, occupancy accounting stays consistent.
+//! completes, occupancy accounting stays consistent. Also models
+//! `LineMap` (the sorted-vec map under the BSHR, DCUB and traditional
+//! wait lists since PR 1) against `BTreeMap` under random
+//! insert/remove/lookup interleavings.
 
 use ds_core::bshr::{Arrival, Bshr};
+use ds_core::linemap::LineMap;
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
@@ -44,13 +48,18 @@ proptest! {
                 Event::Request(line) => {
                     // Mirror the node's usage: join an existing wait via
                     // the entry map, else request.
-                    if outstanding.contains_key(&line) {
-                        bshr.join_wait(line, tag);
-                        outstanding.get_mut(&line).unwrap().push(tag);
-                    } else if bshr.request(line, tag, now).is_none() {
-                        outstanding.insert(line, vec![tag]);
-                    } else {
-                        completed.push(tag); // satisfied from buffer
+                    match outstanding.get_mut(&line) {
+                        Some(tags) => {
+                            bshr.join_wait(line, tag);
+                            tags.push(tag);
+                        }
+                        None => {
+                            if bshr.request(line, tag, now).is_none() {
+                                outstanding.insert(line, vec![tag]);
+                            } else {
+                                completed.push(tag); // satisfied from buffer
+                            }
+                        }
                     }
                 }
                 Event::Arrive(line) => match bshr.on_arrival(line, now) {
@@ -114,6 +123,72 @@ proptest! {
             last_arrivals = s.arrivals;
             prop_assert!(bshr.occupancy() <= events.len());
             prop_assert!(s.max_occupancy >= bshr.occupancy());
+        }
+    }
+}
+
+/// One `LineMap` operation for the model test.
+#[derive(Debug, Clone, Copy)]
+enum MapOp {
+    Insert(u64, u32),
+    Remove(u64),
+    Lookup(u64),
+    GetOrDefault(u64),
+}
+
+fn map_op_strategy() -> impl Strategy<Value = MapOp> {
+    // A small line universe so inserts, removes and lookups collide
+    // often — the interesting paths are the collisions.
+    (0u64..24, 0u32..1000, 0u8..4).prop_map(|(line, val, kind)| {
+        let line = line * 64;
+        match kind {
+            0 => MapOp::Insert(line, val),
+            1 => MapOp::Remove(line),
+            2 => MapOp::Lookup(line),
+            _ => MapOp::GetOrDefault(line),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `LineMap` behaves exactly like `BTreeMap` — same returns from
+    /// every operation, same contents, same (sorted) iteration order.
+    #[test]
+    fn linemap_matches_btreemap_model(
+        ops in prop::collection::vec(map_op_strategy(), 1..200),
+    ) {
+        let mut map: LineMap<u32> = LineMap::new();
+        let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+        for &op in &ops {
+            match op {
+                MapOp::Insert(line, val) => {
+                    prop_assert_eq!(map.insert(line, val), model.insert(line, val));
+                }
+                MapOp::Remove(line) => {
+                    prop_assert_eq!(map.remove(line), model.remove(&line));
+                }
+                MapOp::Lookup(line) => {
+                    prop_assert_eq!(map.get(line), model.get(&line));
+                    prop_assert_eq!(map.contains_key(line), model.contains_key(&line));
+                }
+                MapOp::GetOrDefault(line) => {
+                    prop_assert_eq!(
+                        *map.get_mut_or_default(line),
+                        *model.entry(line).or_default()
+                    );
+                }
+            }
+            prop_assert_eq!(map.len(), model.len());
+            prop_assert_eq!(map.is_empty(), model.is_empty());
+            // Entry-for-entry identical in the same (ascending) order:
+            // LineMap iteration is deterministic and sorted, which is
+            // what lets it replace hash maps under the d1 lint rule.
+            prop_assert!(
+                map.entries().iter().map(|&(k, v)| (k, v)).eq(model.iter().map(|(&k, &v)| (k, v))),
+                "entry streams diverged"
+            );
         }
     }
 }

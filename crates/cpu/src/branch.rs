@@ -53,7 +53,9 @@ pub struct Predictor {
     /// Two-bit saturating counters (TwoBit model).
     counters: Vec<u8>,
     /// Last-target BTB for indirect jumps (pc -> predicted target).
-    btb: std::collections::HashMap<u64, u64>,
+    /// `BTreeMap` so the structure is order-deterministic (d1): the
+    /// predictor feeds fetch redirects, which feed simulated state.
+    btb: std::collections::BTreeMap<u64, u64>,
     branches: u64,
     mispredicts: u64,
 }
@@ -65,7 +67,7 @@ impl Predictor {
             BranchModel::TwoBit { table_bits, .. } => vec![1u8; 1 << table_bits],
             _ => Vec::new(),
         };
-        Predictor { model, counters: table, btb: std::collections::HashMap::new(), branches: 0, mispredicts: 0 }
+        Predictor { model, counters: table, btb: std::collections::BTreeMap::new(), branches: 0, mispredicts: 0 }
     }
 
     /// The model in use.

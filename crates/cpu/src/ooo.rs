@@ -422,6 +422,7 @@ impl OooCore {
             if head.state != EState::Done {
                 break;
             }
+            // ds-lint: allow(p1) front() above proved the window non-empty
             let e = self.window.pop_front().expect("head exists");
             let tag = self.base_tag;
             self.base_tag += 1;
@@ -472,6 +473,7 @@ impl OooCore {
                 bits &= bits - 1;
                 let tag = self.base_tag + slot as u64;
                 let (op, rec, forward_from) = {
+                    // ds-lint: allow(p1) ready bitmap only holds in-window slots (cleared on retire)
                     let e = self.entry_mut(tag).expect("ready entries are in-window");
                     (e.rec.inst.op, e.rec, e.forward_from)
                 };
@@ -485,12 +487,14 @@ impl OooCore {
                 issued += 1;
                 if forwarding {
                     self.stats.forwarded_loads += 1;
+                    // ds-lint: allow(p1) same tag as the entry_mut above: still in-window
                     let e = self.entry_mut(tag).unwrap();
                     e.state = EState::Issued;
                     e.issue_hit = Some(true);
                     self.events.push(Reverse((now + 1, tag)));
                 } else if op.is_load() {
                     let (resp, hit) = ms.load_issued(&rec, now, tag);
+                    // ds-lint: allow(p1) same tag as the entry_mut above: still in-window
                     let e = self.entry_mut(tag).unwrap();
                     e.state = EState::Issued;
                     e.issue_hit = Some(hit);
@@ -501,6 +505,7 @@ impl OooCore {
                         LoadResponse::Pending => {}
                     }
                 } else {
+                    // ds-lint: allow(p1) same tag as the entry_mut above: still in-window
                     let e = self.entry_mut(tag).unwrap();
                     e.state = EState::Issued;
                     let lat = op.latency();
@@ -515,6 +520,7 @@ impl OooCore {
             .fu_free
             .iter_mut()
             .find(|(c, _)| *c == class)
+            // ds-lint: allow(p1) fu_free is built with every FuClass at construction
             .expect("all classes present");
         let idx = units.iter().position(|&f| f <= now)?;
         units[idx] = if FuPool::pipelined(class) {

@@ -1,0 +1,903 @@
+//! `ds-lint`: static invariants for the DataScalar workspace.
+//!
+//! DataScalar correctness hinges on properties the Rust compiler cannot
+//! check: every node must make *identical, deterministic* decisions in
+//! commit order, or broadcasts and BSHR waits stop pairing up and the
+//! machine deadlocks (see `docs/protocol.md`). These rules encode those
+//! properties as source-level checks:
+//!
+//! - **d1** — no `HashMap`/`HashSet` in the simulation crates
+//!   (`ds-core`, `ds-cpu`, `ds-mem`, `ds-net`), and no iteration over
+//!   hash-based containers. Hash iteration order is seeded per-process;
+//!   any order that reaches simulated state breaks node lockstep.
+//! - **d2** — no wall-clock (`Instant`, `SystemTime`) or ambient
+//!   randomness (`thread_rng`, `from_entropy`, `RandomState`) in the
+//!   simulation crates. Runs must be pure functions of their inputs.
+//! - **p1** — no `unwrap`/`expect`/`panic!`/`unsafe` in the cycle-loop
+//!   hot modules without an annotated reason. A panic mid-cycle leaves
+//!   sibling nodes with unconsumed broadcasts; every unwind point must
+//!   be a deliberate, documented invariant.
+//! - **a1** — no allocation (`Vec::new`, `vec![`, `.collect()`, ...)
+//!   inside `step`/`tick`-named functions in the hot modules. Guards
+//!   PR 1's allocation-free cycle loop.
+//! - **x1** — cross-file drift: every `Opcode` variant must have an
+//!   exec arm in `crates/cpu/src/exec.rs` and a row in `docs/isa.md`.
+//!
+//! Findings are suppressed with `// ds-lint: allow(<rule>) <reason>` on
+//! the offending line, or on a comment line immediately above it. The
+//! reason is mandatory; a bare allow is itself a finding.
+
+pub mod scan;
+
+use scan::{
+    brace_block, fn_bodies, in_regions, method_calls, occurrences, strip, strip_comments,
+    test_regions, word_occurrences, LineIndex,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The rule a finding belongs to (printed lowercase, matching the
+/// `allow(<rule>)` directive spelling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Hash-based containers / iteration in simulation crates.
+    D1,
+    /// Wall-clock or ambient randomness in simulation crates.
+    D2,
+    /// Unannotated panic paths (`unwrap`/`expect`/`panic!`/`unsafe`) in
+    /// hot modules.
+    P1,
+    /// Allocation inside `step`/`tick` functions in hot modules.
+    A1,
+    /// ISA drift between `Opcode`, the exec unit, and `docs/isa.md`.
+    X1,
+    /// A malformed `ds-lint:` directive (unknown rule, missing reason).
+    /// Cannot itself be allowed.
+    Directive,
+}
+
+impl Rule {
+    /// The directive spelling (`allow(d1)` etc.).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::D1 => "d1",
+            Rule::D2 => "d2",
+            Rule::P1 => "p1",
+            Rule::A1 => "a1",
+            Rule::X1 => "x1",
+            Rule::Directive => "directive",
+        }
+    }
+
+    fn from_code(code: &str) -> Option<Rule> {
+        match code {
+            "d1" => Some(Rule::D1),
+            "d2" => Some(Rule::D2),
+            "p1" => Some(Rule::P1),
+            "a1" => Some(Rule::A1),
+            "x1" => Some(Rule::X1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding, addressed `file:line` so editors and CI can jump to it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// What kind of file is being linted — decides which rules apply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// Part of a simulation crate (`ds-core`/`ds-cpu`/`ds-mem`/`ds-net`):
+    /// d1 and d2 apply.
+    pub sim_crate: bool,
+    /// One of the cycle-loop hot modules: p1 and a1 apply.
+    pub hot_module: bool,
+}
+
+/// A parsed `// ds-lint: allow(<rule>) <reason>` directive.
+#[derive(Debug)]
+struct Allow {
+    /// Line the directive suppresses findings on.
+    target_line: usize,
+    rule: Rule,
+}
+
+const DIRECTIVE: &str = "ds-lint:";
+
+/// Extracts allow directives from the raw source. A directive on a code
+/// line suppresses findings on that line; a directive on a comment-only
+/// line suppresses findings on the next non-blank code line. Malformed
+/// directives are returned as findings.
+fn parse_allows(
+    file: &str,
+    raw: &str,
+    cleaned: &str,
+) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let clean_lines: Vec<&str> = cleaned.lines().collect();
+    for (idx, line) in raw_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let Some(at) = line.find(DIRECTIVE) else {
+            continue;
+        };
+        let rest = line[at + DIRECTIVE.len()..].trim_start();
+        let bad = |msg: String| Diagnostic {
+            file: file.to_string(),
+            line: lineno,
+            rule: Rule::Directive,
+            message: msg,
+        };
+        let Some(args) = rest.strip_prefix("allow(") else {
+            diags.push(bad(format!(
+                "malformed ds-lint directive (expected `ds-lint: allow(<rule>) <reason>`): `{}`",
+                line.trim()
+            )));
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            diags.push(bad("unterminated `allow(` directive".to_string()));
+            continue;
+        };
+        let code = args[..close].trim();
+        let Some(rule) = Rule::from_code(code) else {
+            diags.push(bad(format!(
+                "unknown lint rule `{code}` (known: d1 d2 p1 a1 x1)"
+            )));
+            continue;
+        };
+        let reason = args[close + 1..].trim();
+        if reason.is_empty() {
+            diags.push(bad(format!(
+                "allow({code}) requires a reason: `// ds-lint: allow({code}) <why this is safe>`"
+            )));
+            continue;
+        }
+        // Comment-only line (nothing survives stripping) → the allow
+        // applies to the next line that still has code on it.
+        let own_code = clean_lines
+            .get(idx)
+            .map(|l| !l.trim().is_empty())
+            .unwrap_or(false);
+        let target_line = if own_code {
+            lineno
+        } else {
+            let mut t = lineno + 1;
+            while t <= clean_lines.len() && clean_lines[t - 1].trim().is_empty() {
+                t += 1;
+            }
+            t
+        };
+        allows.push(Allow { target_line, rule });
+    }
+    (allows, diags)
+}
+
+/// A candidate finding before allow-filtering: byte offset in the
+/// cleaned text plus rule and message.
+struct Candidate {
+    offset: usize,
+    rule: Rule,
+    message: String,
+}
+
+/// Lints one file's source text. `file` is the label used in
+/// diagnostics (workspace-relative path).
+pub fn lint_source(file: &str, raw: &str, class: FileClass) -> Vec<Diagnostic> {
+    let cleaned = strip(raw);
+    let index = LineIndex::new(&cleaned);
+    let tests = test_regions(&cleaned);
+    let (allows, mut diags) = parse_allows(file, raw, &cleaned);
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    if class.sim_crate {
+        check_d1(&cleaned, &mut candidates);
+        check_d2(&cleaned, &mut candidates);
+    }
+    if class.hot_module {
+        check_p1(&cleaned, &mut candidates);
+        check_a1(&cleaned, &mut candidates);
+    }
+
+    for c in candidates {
+        if in_regions(&tests, c.offset) {
+            continue;
+        }
+        let line = index.line_of(c.offset);
+        if allows
+            .iter()
+            .any(|a| a.target_line == line && a.rule == c.rule)
+        {
+            continue;
+        }
+        diags.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: c.rule,
+            message: c.message,
+        });
+    }
+    diags.sort();
+    diags.dedup();
+    diags
+}
+
+/// d1: hash-based containers anywhere in a simulation crate, plus
+/// iteration calls on bindings declared with a hash-based type (catches
+/// iteration even when the declaration itself carries an allow).
+fn check_d1(cleaned: &str, out: &mut Vec<Candidate>) {
+    let mut tracked: Vec<String> = Vec::new();
+    for ty in ["HashMap", "HashSet"] {
+        for at in word_occurrences(cleaned, ty) {
+            out.push(Candidate {
+                offset: at,
+                rule: Rule::D1,
+                message: format!(
+                    "`{ty}` in a simulation crate: hash iteration order is \
+                     per-process and breaks node lockstep; use `LineMap`, \
+                     `BTreeMap` or a sorted `Vec` (docs/protocol.md §3)"
+                ),
+            });
+            if let Some(name) = binding_before(cleaned, at) {
+                if !tracked.contains(&name) {
+                    tracked.push(name);
+                }
+            }
+        }
+    }
+    for name in &tracked {
+        for method in [
+            "iter",
+            "iter_mut",
+            "into_iter",
+            "keys",
+            "values",
+            "values_mut",
+            "drain",
+            "retain",
+        ] {
+            for at in method_calls(cleaned, method) {
+                if receiver_before(cleaned, at).as_deref() == Some(name) {
+                    out.push(Candidate {
+                        offset: at,
+                        rule: Rule::D1,
+                        message: format!(
+                            "iteration over hash-based container `{name}` \
+                             (`.{method}`): visit order is nondeterministic"
+                        ),
+                    });
+                }
+            }
+        }
+        // `for x in name` / `for x in &name` / `for x in &mut name`.
+        for at in word_occurrences(cleaned, name) {
+            let before = cleaned[..at].trim_end();
+            let before = before
+                .strip_suffix("&mut")
+                .or_else(|| before.strip_suffix('&'))
+                .unwrap_or(before)
+                .trim_end();
+            let seg_start = before
+                .rfind(|c| c == ';' || c == '{' || c == '}')
+                .map(|p| p + 1)
+                .unwrap_or(0);
+            if before.ends_with(" in") && !word_occurrences(&before[seg_start..], "for").is_empty()
+            {
+                out.push(Candidate {
+                    offset: at,
+                    rule: Rule::D1,
+                    message: format!(
+                        "`for .. in {name}` iterates a hash-based container: \
+                         visit order is nondeterministic"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The field/binding name a type annotation belongs to: for an offset
+/// pointing at `HashMap` in `seq: std::collections::HashMap<..>` this
+/// walks back over the path to the `:` and returns `seq`. Also handles
+/// `let seq = HashMap::new()`.
+fn binding_before(cleaned: &str, ty_at: usize) -> Option<String> {
+    let b = cleaned.as_bytes();
+    let mut i = ty_at;
+    // Walk back over a leading path (std::collections::) and whitespace.
+    while i > 0 {
+        let c = b[i - 1];
+        if c.is_ascii_alphanumeric() || c == b'_' || c == b':' {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    let before = cleaned[..i].trim_end();
+    if let Some(stripped) = before.strip_suffix(':') {
+        return last_ident(stripped);
+    }
+    if let Some(stripped) = before.strip_suffix('=') {
+        let lhs = stripped.trim_end();
+        let lhs = lhs.strip_suffix("mut").unwrap_or(lhs).trim_end();
+        return last_ident(lhs);
+    }
+    None
+}
+
+fn last_ident(text: &str) -> Option<String> {
+    let trimmed = text.trim_end();
+    let start = trimmed
+        .rfind(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let ident = &trimmed[start..];
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(ident.to_string())
+    }
+}
+
+/// The identifier immediately left of a `.method` occurrence
+/// (`self.seq.iter()` → `seq`).
+fn receiver_before(cleaned: &str, dot_at: usize) -> Option<String> {
+    last_ident(&cleaned[..dot_at])
+}
+
+/// d2: wall-clock and ambient-randomness tokens.
+fn check_d2(cleaned: &str, out: &mut Vec<Candidate>) {
+    let tokens: [(&str, &str); 5] = [
+        ("Instant", "wall-clock time in a simulation crate: cycle counts must not depend on host timing"),
+        ("SystemTime", "wall-clock time in a simulation crate: cycle counts must not depend on host timing"),
+        ("thread_rng", "ambient randomness in a simulation crate: seed explicitly so runs are reproducible"),
+        ("from_entropy", "ambient randomness in a simulation crate: seed explicitly so runs are reproducible"),
+        ("RandomState", "per-process hasher state in a simulation crate: breaks cross-run determinism"),
+    ];
+    for (tok, msg) in tokens {
+        for at in word_occurrences(cleaned, tok) {
+            out.push(Candidate {
+                offset: at,
+                rule: Rule::D2,
+                message: format!("`{tok}`: {msg}"),
+            });
+        }
+    }
+    for at in occurrences(cleaned, "rand::random") {
+        out.push(Candidate {
+            offset: at,
+            rule: Rule::D2,
+            message: "`rand::random`: ambient randomness in a simulation crate".to_string(),
+        });
+    }
+}
+
+/// p1: panic paths in hot modules.
+fn check_p1(cleaned: &str, out: &mut Vec<Candidate>) {
+    for at in method_calls(cleaned, "unwrap") {
+        out.push(Candidate {
+            offset: at,
+            rule: Rule::P1,
+            message: "`.unwrap()` in a cycle-loop hot module: annotate the invariant that \
+                      makes this infallible (`// ds-lint: allow(p1) <reason>`) or handle the None/Err"
+                .to_string(),
+        });
+    }
+    for at in method_calls(cleaned, "expect") {
+        out.push(Candidate {
+            offset: at,
+            rule: Rule::P1,
+            message: "`.expect(..)` in a cycle-loop hot module: annotate the invariant that \
+                      makes this infallible or handle the None/Err"
+                .to_string(),
+        });
+    }
+    for at in occurrences(cleaned, "panic!") {
+        let boundary = at == 0 || {
+            let c = cleaned.as_bytes()[at - 1];
+            !(c.is_ascii_alphanumeric() || c == b'_')
+        };
+        if boundary {
+            out.push(Candidate {
+                offset: at,
+                rule: Rule::P1,
+                message: "`panic!` in a cycle-loop hot module: a mid-cycle unwind strands \
+                          sibling nodes; annotate why this abort is the right response"
+                    .to_string(),
+            });
+        }
+    }
+    for at in word_occurrences(cleaned, "unsafe") {
+        out.push(Candidate {
+            offset: at,
+            rule: Rule::P1,
+            message: "`unsafe` in a cycle-loop hot module: annotate the soundness argument"
+                .to_string(),
+        });
+    }
+}
+
+/// a1: allocation inside `step`/`tick`-named functions.
+fn check_a1(cleaned: &str, out: &mut Vec<Candidate>) {
+    let bodies = fn_bodies(cleaned, |name| {
+        name.starts_with("step") || name.starts_with("tick")
+    });
+    if bodies.is_empty() {
+        return;
+    }
+    let mut hits: Vec<(usize, String)> = Vec::new();
+    for pat in ["Vec::new", "vec![", "Box::new", "String::new", "format!", "to_vec"] {
+        let found = if pat == "to_vec" {
+            method_calls(cleaned, pat)
+        } else {
+            occurrences(cleaned, pat)
+        };
+        for at in found {
+            hits.push((at, pat.to_string()));
+        }
+    }
+    for at in method_calls(cleaned, "collect") {
+        hits.push((at, ".collect()".to_string()));
+    }
+    for (at, pat) in hits {
+        if in_regions(&bodies, at) {
+            out.push(Candidate {
+                offset: at,
+                rule: Rule::A1,
+                message: format!(
+                    "`{pat}` inside a step/tick function: the cycle loop is \
+                     allocation-free (DESIGN.md §8); hoist the buffer into the owning struct"
+                ),
+            });
+        }
+    }
+}
+
+/// One `(Variant, 0xNN, "mnemonic")` row of the `opcodes!` table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpcodeEntry {
+    /// Enum variant name (`Add`).
+    pub variant: String,
+    /// Assembler mnemonic (`add`, `fcvt.d.w`).
+    pub mnemonic: String,
+    /// 1-based line of the entry in the opcode source.
+    pub line: usize,
+}
+
+/// Parses the `opcodes! { (Name, 0xNN, "mnem"), ... }` macro invocation.
+pub fn parse_opcode_table(opcode_src: &str) -> Vec<OpcodeEntry> {
+    let text = strip_comments(opcode_src);
+    let index = LineIndex::new(&text);
+    let Some(at) = text.find("opcodes!") else {
+        return Vec::new();
+    };
+    let Some((open, close)) = brace_block(&text, at) else {
+        return Vec::new();
+    };
+    let body = &text[open + 1..close];
+    let base = open + 1;
+    let mut entries = Vec::new();
+    let b = body.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] != b'(' {
+            i += 1;
+            continue;
+        }
+        let entry_at = base + i;
+        i += 1;
+        while i < b.len() && (b[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        let variant = body[name_start..i].to_string();
+        // Skip to the mnemonic string within this entry.
+        let mut mnemonic = None;
+        while i < b.len() && b[i] != b')' {
+            if b[i] == b'"' {
+                let lit_start = i + 1;
+                let mut j = lit_start;
+                while j < b.len() && b[j] != b'"' {
+                    j += 1;
+                }
+                mnemonic = Some(body[lit_start..j].to_string());
+                i = j;
+            }
+            i += 1;
+        }
+        if let (false, Some(mnemonic)) = (variant.is_empty(), mnemonic) {
+            entries.push(OpcodeEntry {
+                variant,
+                mnemonic,
+                line: index.line_of(entry_at),
+            });
+        }
+    }
+    entries
+}
+
+/// x1: every opcode variant must appear as an ident token in the exec
+/// unit, and every mnemonic must appear (token-delimited) in the ISA
+/// doc. Paths are only used for diagnostics.
+pub fn check_isa_drift(
+    opcode_path: &str,
+    opcode_src: &str,
+    exec_path: &str,
+    exec_src: &str,
+    doc_path: &str,
+    doc_src: &str,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let entries = parse_opcode_table(opcode_src);
+    if entries.is_empty() {
+        diags.push(Diagnostic {
+            file: opcode_path.to_string(),
+            line: 1,
+            rule: Rule::X1,
+            message: "could not parse any (Variant, opcode, \"mnemonic\") rows from the \
+                      opcodes! table"
+                .to_string(),
+        });
+        return diags;
+    }
+    let exec_clean = strip(exec_src);
+    for e in &entries {
+        if word_occurrences(&exec_clean, &e.variant).is_empty() {
+            diags.push(Diagnostic {
+                file: opcode_path.to_string(),
+                line: e.line,
+                rule: Rule::X1,
+                message: format!(
+                    "opcode `{}` has no exec arm in {exec_path}: the functional core \
+                     would hit the unreachable fallback",
+                    e.variant
+                ),
+            });
+        }
+        if !doc_contains_mnemonic(doc_src, &e.mnemonic) {
+            diags.push(Diagnostic {
+                file: opcode_path.to_string(),
+                line: e.line,
+                rule: Rule::X1,
+                message: format!(
+                    "opcode `{}` (mnemonic `{}`) is not documented in {doc_path}",
+                    e.variant, e.mnemonic
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// True if `doc` contains `mnemonic` delimited by non-identifier
+/// characters. `.` is allowed *inside* the needle (dotted mnemonics like
+/// `fcvt.d.w`) but identifier characters may not abut it, so `lw` does
+/// not match inside `lwu`.
+fn doc_contains_mnemonic(doc: &str, mnemonic: &str) -> bool {
+    let b = doc.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = doc[from..].find(mnemonic) {
+        let at = from + pos;
+        let end = at + mnemonic.len();
+        let before_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let after_ok = end >= b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// The simulation crates d1/d2 police.
+const SIM_CRATES: [&str; 4] = ["core", "cpu", "mem", "net"];
+
+/// The cycle-loop hot modules p1/a1 police (workspace-relative).
+const HOT_MODULES: [&str; 5] = [
+    "crates/core/src/system.rs",
+    "crates/core/src/node.rs",
+    "crates/core/src/pending.rs",
+    "crates/cpu/src/ooo.rs",
+    "crates/net/src/fabric.rs",
+];
+
+/// Lints the whole workspace rooted at `root`. Returns diagnostics
+/// sorted by file then line; I/O problems surface as diagnostics too so
+/// a broken tree can't pass silently.
+pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for krate in SIM_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files);
+        files.sort();
+        for path in files {
+            let rel = rel_label(root, &path);
+            match std::fs::read_to_string(&path) {
+                Ok(raw) => {
+                    let class = FileClass {
+                        sim_crate: true,
+                        hot_module: HOT_MODULES.contains(&rel.as_str()),
+                    };
+                    diags.extend(lint_source(&rel, &raw, class));
+                }
+                Err(e) => diags.push(Diagnostic {
+                    file: rel,
+                    line: 1,
+                    rule: Rule::Directive,
+                    message: format!("unreadable source file: {e}"),
+                }),
+            }
+        }
+    }
+
+    let opcode_path = "crates/isa/src/opcode.rs";
+    let exec_path = "crates/cpu/src/exec.rs";
+    let doc_path = "docs/isa.md";
+    let mut read = |rel: &str| -> Option<String> {
+        match std::fs::read_to_string(root.join(rel)) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                diags.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: 1,
+                    rule: Rule::X1,
+                    message: format!("required for ISA drift check but unreadable: {e}"),
+                });
+                None
+            }
+        }
+    };
+    if let (Some(opcode_src), Some(exec_src), Some(doc_src)) =
+        (read(opcode_path), read(exec_path), read(doc_path))
+    {
+        diags.extend(check_isa_drift(
+            opcode_path,
+            &opcode_src,
+            exec_path,
+            &exec_src,
+            doc_path,
+            &doc_src,
+        ));
+    }
+
+    diags.sort();
+    diags.dedup();
+    diags
+}
+
+fn rel_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Groups diagnostics per rule for the summary line.
+pub fn rule_counts(diags: &[Diagnostic]) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for d in diags {
+        *counts.entry(d.rule.code()).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIM: FileClass = FileClass {
+        sim_crate: true,
+        hot_module: false,
+    };
+    const HOT: FileClass = FileClass {
+        sim_crate: true,
+        hot_module: true,
+    };
+
+    fn rules(diags: &[Diagnostic]) -> Vec<Rule> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn d1_flags_hashmap_presence_and_iteration() {
+        let src = "struct S { seq: std::collections::HashMap<u64, u64> }\n\
+                   impl S { fn f(&self) { for (k, v) in self.seq.iter() {} } }\n";
+        let diags = lint_source("x.rs", src, SIM);
+        assert!(diags.iter().any(|d| d.rule == Rule::D1 && d.line == 1));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::D1 && d.line == 2 && d.message.contains("seq")),
+            "iteration finding expected: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn d1_flags_for_in_loops_over_tracked_names() {
+        let src = "fn f() { let waits = std::collections::HashSet::new();\n\
+                   for w in &waits { use_it(w); } }\n";
+        let diags = lint_source("x.rs", src, SIM);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::D1 && d.line == 2 && d.message.contains("for .. in")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn d1_silent_outside_sim_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(lint_source("x.rs", src, FileClass::default()).is_empty());
+    }
+
+    #[test]
+    fn d2_flags_clock_and_randomness() {
+        let src = "fn f() { let t = std::time::Instant::now(); let r = rand::random::<u8>(); }\n";
+        let got = rules(&lint_source("x.rs", src, SIM));
+        assert_eq!(got, vec![Rule::D2, Rule::D2]);
+    }
+
+    #[test]
+    fn p1_flags_panic_paths_in_hot_modules_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   fn g() { panic!(\"boom\"); }\n\
+                   fn h(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n";
+        let hot = lint_source("x.rs", src, HOT);
+        assert_eq!(rules(&hot), vec![Rule::P1, Rule::P1], "{hot:?}");
+        assert!(lint_source("x.rs", src, SIM).is_empty());
+    }
+
+    #[test]
+    fn a1_flags_allocation_in_step_fns_only() {
+        let src = "fn step(&mut self) { let v: Vec<u8> = Vec::new(); }\n\
+                   fn helper(&mut self) { let v: Vec<u8> = Vec::new(); }\n\
+                   fn tick_all(&mut self) { let xs: Vec<u8> = (0..4).collect(); }\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert_eq!(rules(&diags), vec![Rule::A1, Rule::A1], "{diags:?}");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[1].line, 3);
+    }
+
+    #[test]
+    fn allow_on_same_line_suppresses() {
+        let src = "struct S { m: HashMap<u64, u64> } // ds-lint: allow(d1) probe-only, never iterated\n";
+        assert!(lint_source("x.rs", src, SIM).is_empty());
+    }
+
+    #[test]
+    fn allow_on_preceding_comment_line_suppresses() {
+        let src = "// ds-lint: allow(p1) head checked non-empty by caller\n\
+                   fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(lint_source("x.rs", src, HOT).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // ds-lint: allow(p1)\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::Directive && d.message.contains("requires a reason")),
+            "{diags:?}"
+        );
+        // The unwrap itself stays un-suppressed.
+        assert!(diags.iter().any(|d| d.rule == Rule::P1));
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // ds-lint: allow(d1) wrong rule\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert_eq!(rules(&diags), vec![Rule::P1]);
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_a_finding() {
+        let src = "// ds-lint: allow(zz) nonsense\nfn f() {}\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert!(diags[0].message.contains("unknown lint rule"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n\
+                   fn t(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        assert!(lint_source("x.rs", src, HOT).is_empty());
+    }
+
+    #[test]
+    fn tokens_in_comments_and_strings_are_ignored() {
+        let src = "// HashMap would be wrong here\nfn f() { let s = \"panic! Instant\"; }\n";
+        assert!(lint_source("x.rs", src, HOT).is_empty());
+    }
+
+    const OPCODES: &str = r#"
+opcodes! {
+    (Add, 0x01, "add"),
+    (FcvtDW, 0x2c, "fcvt.d.w"),
+    (Nop, 0x51, "nop"),
+}
+"#;
+
+    #[test]
+    fn parse_opcode_table_reads_rows() {
+        let entries = parse_opcode_table(OPCODES);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[1].variant, "FcvtDW");
+        assert_eq!(entries[1].mnemonic, "fcvt.d.w");
+    }
+
+    #[test]
+    fn x1_flags_missing_exec_arm_and_doc_row() {
+        let exec = "match op { Opcode::Add => {}, Opcode::Nop => {} }";
+        let doc = "| `add` | adds | and `nop` does nothing; also fcvt.d.w converts |";
+        let diags = check_isa_drift("op.rs", OPCODES, "exec.rs", exec, "isa.md", doc);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("FcvtDW"));
+        assert!(diags[0].message.contains("no exec arm"));
+
+        let doc_missing = "| `add` | adds |";
+        let exec_full = "match op { Opcode::Add | Opcode::FcvtDW | Opcode::Nop => {} }";
+        let diags = check_isa_drift("op.rs", OPCODES, "exec.rs", exec_full, "isa.md", doc_missing);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.message.contains("not documented")));
+    }
+
+    #[test]
+    fn x1_mnemonic_matching_respects_token_boundaries() {
+        assert!(doc_contains_mnemonic("`lw lwu ld`", "lw"));
+        assert!(!doc_contains_mnemonic("`lwu`", "lw"));
+        assert!(doc_contains_mnemonic("fcvt.d.w fd, rs1", "fcvt.d.w"));
+        assert!(!doc_contains_mnemonic("xfcvt.d.wx", "fcvt.d.w"));
+    }
+}

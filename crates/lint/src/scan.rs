@@ -1,0 +1,404 @@
+//! Lexical groundwork for the linter: comment/string stripping, line
+//! mapping, brace-matched region discovery and token search.
+//!
+//! The linter is deliberately dependency-free (the build environment is
+//! offline, and `syn` would be a heavyweight answer anyway): rules are
+//! expressed over a *cleaned* view of the source in which comments and
+//! string/char literals are blanked out with spaces. Blanking preserves
+//! byte offsets and newlines, so every position in the cleaned text maps
+//! 1:1 onto the original file for diagnostics.
+
+/// Returns `source` with comments and string/char literals replaced by
+/// spaces (newlines preserved), so token scans cannot match inside
+/// either.
+pub fn strip(source: &str) -> String {
+    strip_impl(source, true)
+}
+
+/// Like [`strip`], but keeps string literal contents (comments are still
+/// blanked). Used to parse the `opcodes!` table, whose mnemonics live in
+/// string literals.
+pub fn strip_comments(source: &str) -> String {
+    strip_impl(source, false)
+}
+
+fn strip_impl(source: &str, blank_strings: bool) -> String {
+    let b = source.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' if i + 1 < b.len() => {
+                            if blank_strings {
+                                out.push(b' ');
+                                out.push(b' ');
+                            } else {
+                                out.push(b[i]);
+                                out.push(b[i + 1]);
+                            }
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(b'"');
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            out.push(b'\n');
+                            i += 1;
+                        }
+                        _ => {
+                            out.push(if blank_strings { b' ' } else { b[i] });
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'r' if starts_raw_string(b, i) => {
+                // r"..." or r#"..."# (any number of #): blank to the
+                // matching close quote.
+                let hash_start = i + 1;
+                let mut hashes = 0;
+                while hash_start + hashes < b.len() && b[hash_start + hashes] == b'#' {
+                    hashes += 1;
+                }
+                out.push(b' ');
+                for _ in 0..hashes {
+                    out.push(b' ');
+                }
+                out.push(b'"');
+                i = hash_start + hashes + 1;
+                'raw: while i < b.len() {
+                    if b[i] == b'"' {
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if i + 1 + k >= b.len() || b[i + 1 + k] != b'#' {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            out.push(b'"');
+                            for _ in 0..hashes {
+                                out.push(b' ');
+                            }
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    if b[i] == b'\n' {
+                        out.push(b'\n');
+                    } else {
+                        out.push(if blank_strings { b' ' } else { b[i] });
+                    }
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal is 'x' or an
+                // escape; anything else (e.g. 'a in generics) is a
+                // lifetime and only the quote is consumed.
+                if i + 2 < b.len() && b[i + 1] == b'\\' {
+                    // Escaped char: blank to the closing quote.
+                    out.push(b' ');
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    out.extend_from_slice(b"   ");
+                    i += 3;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn starts_raw_string(b: &[u8], i: usize) -> bool {
+    // `r` must not be part of a longer identifier (e.g. `var"` is not
+    // possible, but `for"` would need the boundary check anyway).
+    if i > 0 && is_ident(b[i - 1]) {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Byte offsets of the start of every line, for offset → line mapping.
+#[derive(Debug)]
+pub struct LineIndex {
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Builds the index for `source`.
+    pub fn new(source: &str) -> Self {
+        let mut starts = vec![0];
+        for (i, c) in source.bytes().enumerate() {
+            if c == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { starts }
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+}
+
+/// Byte offsets of every occurrence of `word` in `text` delimited by
+/// non-identifier characters on both sides.
+pub fn word_occurrences(text: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let b = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(b[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= b.len() || !is_ident(b[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len().max(1);
+    }
+    out
+}
+
+/// Byte offsets of `.name(` method calls (whitespace allowed between
+/// the name and the parenthesis; `.name_suffix(` does not match).
+pub fn method_calls(text: &str, name: &str) -> Vec<usize> {
+    let needle = format!(".{name}");
+    let b = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(&needle) {
+        let at = from + pos;
+        let mut j = at + needle.len();
+        let boundary = j >= b.len() || !is_ident(b[j]);
+        if boundary {
+            while j < b.len() && (b[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if j < b.len() && (b[j] == b'(' || (b[j] == b':' && j + 1 < b.len() && b[j + 1] == b':'))
+            {
+                out.push(at);
+            }
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+/// Finds the byte range `(open, close]` of the brace block starting at
+/// the first `{` at or after `from`, or `None` if unbalanced. Stops (and
+/// returns `None`) if a `;` appears at depth zero first — a bodyless
+/// declaration.
+pub fn brace_block(text: &str, from: usize) -> Option<(usize, usize)> {
+    let b = text.as_bytes();
+    let mut i = from;
+    while i < b.len() && b[i] != b'{' {
+        if b[i] == b';' {
+            return None;
+        }
+        i += 1;
+    }
+    if i >= b.len() {
+        return None;
+    }
+    let open = i;
+    let mut depth = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, i));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Byte ranges of `#[cfg(test)]`-gated item bodies (test modules and
+/// test-only items): tokens inside them are exempt from every rule.
+pub fn test_regions(cleaned: &str) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for at in occurrences(cleaned, "#[cfg(test)]") {
+        if let Some((open, close)) = brace_block(cleaned, at) {
+            out.push((open, close));
+        }
+    }
+    out
+}
+
+/// Byte ranges of the bodies of functions whose name satisfies `pred`.
+pub fn fn_bodies(cleaned: &str, pred: impl Fn(&str) -> bool) -> Vec<(usize, usize)> {
+    let b = cleaned.as_bytes();
+    let mut out = Vec::new();
+    for at in word_occurrences(cleaned, "fn") {
+        let mut i = at + 2;
+        while i < b.len() && (b[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < b.len() && is_ident(b[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue;
+        }
+        let name = &cleaned[name_start..i];
+        if !pred(name) {
+            continue;
+        }
+        if let Some(range) = brace_block(cleaned, i) {
+            out.push(range);
+        }
+    }
+    out
+}
+
+/// Plain substring occurrences (no boundary requirement).
+pub fn occurrences(text: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(needle) {
+        out.push(from + pos);
+        from = from + pos + needle.len().max(1);
+    }
+    out
+}
+
+/// True if `offset` lies inside any of `regions`.
+pub fn in_regions(regions: &[(usize, usize)], offset: usize) -> bool {
+    regions.iter().any(|&(s, e)| offset >= s && offset <= e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_blanks_comments_and_strings() {
+        let src = "let x = \"HashMap\"; // HashMap\n/* HashMap */ let y = 1;";
+        let c = strip(src);
+        assert_eq!(c.len(), src.len());
+        assert!(!c.contains("HashMap"));
+        assert!(c.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_chars_and_lifetimes() {
+        let src = "let s = r#\"panic!\"#; let c = 'p'; fn f<'a>(x: &'a str) {}";
+        let c = strip(src);
+        assert!(!c.contains("panic!"));
+        assert!(c.contains("fn f<'a>(x: &'a str) {}"));
+        let esc = strip("let c = '\\n'; let d = \"a\\\"b\";");
+        assert!(!esc.contains('n'), "escaped char blanked: {esc}");
+    }
+
+    #[test]
+    fn strip_preserves_line_structure() {
+        let src = "a\n/* x\ny */\nb";
+        let c = strip(src);
+        assert_eq!(c.matches('\n').count(), src.matches('\n').count());
+        let idx = LineIndex::new(&c);
+        assert_eq!(idx.line_of(c.find('b').unwrap()), 4);
+    }
+
+    #[test]
+    fn word_occurrences_respect_boundaries() {
+        let text = "HashMap HashMapX XHashMap x.HashMap<u64>";
+        let hits = word_occurrences(text, "HashMap");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn method_calls_skip_suffixed_names() {
+        let text = "a.unwrap() b.unwrap_or(0) c.unwrap () d.collect::<Vec<_>>()";
+        assert_eq!(method_calls(text, "unwrap").len(), 2);
+        assert_eq!(method_calls(text, "collect").len(), 1);
+    }
+
+    #[test]
+    fn fn_bodies_find_named_functions() {
+        let src = "fn step(&mut self) { let a = 1; }\nfn other() { }\nfn step_into(x: u8);";
+        let bodies = fn_bodies(src, |n| n.starts_with("step"));
+        assert_eq!(bodies.len(), 1, "bodyless decls skipped");
+        let (s, e) = bodies[0];
+        assert!(src[s..e].contains("let a = 1"));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}";
+        let regions = test_regions(src);
+        assert_eq!(regions.len(), 1);
+        let unwrap_at = src.find(".unwrap").unwrap();
+        assert!(in_regions(&regions, unwrap_at));
+        assert!(!in_regions(&regions, src.find("fn c").unwrap()));
+    }
+}

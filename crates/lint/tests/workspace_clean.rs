@@ -1,0 +1,70 @@
+//! The acceptance gate: the real workspace must lint clean. Any rule
+//! violation introduced by a future PR fails `cargo test` here with the
+//! same file:line diagnostics `scripts/verify.sh` prints.
+
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ds-lint"))
+        .arg(workspace_root())
+        .output()
+        .expect("run ds-lint");
+    assert!(
+        out.status.success(),
+        "ds-lint found violations:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn hot_modules_exist_where_the_linter_expects_them() {
+    // If these paths move, ds-lint would silently stop policing them —
+    // fail loudly instead so the path list gets updated.
+    for rel in [
+        "crates/core/src/system.rs",
+        "crates/core/src/node.rs",
+        "crates/core/src/pending.rs",
+        "crates/cpu/src/ooo.rs",
+        "crates/net/src/fabric.rs",
+        "crates/isa/src/opcode.rs",
+        "crates/cpu/src/exec.rs",
+        "docs/isa.md",
+    ] {
+        assert!(
+            workspace_root().join(rel).is_file(),
+            "{rel} is gone: update HOT_MODULES / X1 paths in crates/lint"
+        );
+    }
+}
+
+#[test]
+fn seeded_violations_fail_via_the_binary() {
+    // End-to-end: a doctored tree with one violation must exit non-zero.
+    let dir = std::env::temp_dir().join(format!("ds-lint-fixture-{}", std::process::id()));
+    let src = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("mkdir fixture");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        src.join("bad.rs"),
+        "use std::collections::HashMap;\npub fn f() { let t = std::time::Instant::now(); }\n",
+    )
+    .expect("write fixture");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ds-lint"))
+        .arg(&dir)
+        .output()
+        .expect("run ds-lint");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(!out.status.success(), "seeded violations must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/core/src/bad.rs:1: [d1]"), "{stdout}");
+    assert!(stdout.contains("crates/core/src/bad.rs:2: [d2]"), "{stdout}");
+}

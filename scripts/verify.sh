@@ -1,19 +1,38 @@
 #!/usr/bin/env bash
-# Full verification: build, tests, lints, and the throughput benchmark.
+# Full verification: build, tests, invariant lint, audit, clippy, and
+# the throughput benchmark.
 #
-# Usage: scripts/verify.sh [--no-bench]
+# Usage: scripts/verify.sh [--fast | --no-bench]
 #
-# The benchmark step rewrites BENCH_throughput.json in place; pass
-# --no-bench to skip it (e.g. on a loaded machine where the numbers
-# would be noise).
+#   --fast      invariant lint + unit tests only (quick iteration)
+#   --no-bench  everything except the benchmark (it rewrites
+#               BENCH_throughput.json in place; skip it on a loaded
+#               machine where the numbers would be noise)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fast" ]]; then
+    echo "== ds-lint (workspace invariants)"
+    cargo run -q -p ds-lint -- .
+
+    echo "== cargo test (unit tests only)"
+    cargo test --workspace --lib -q
+
+    echo "verify (fast): OK"
+    exit 0
+fi
 
 echo "== cargo build --release"
 cargo build --workspace --release
 
 echo "== cargo test"
 cargo test --workspace -q
+
+echo "== ds-lint (workspace invariants)"
+cargo run -q --release -p ds-lint -- .
+
+echo "== cargo test -p ds-core --features audit (correspondence auditor)"
+cargo test -p ds-core --features audit -q
 
 echo "== cargo clippy (deny warnings)"
 cargo clippy --all-targets -- -D warnings
