@@ -6,6 +6,7 @@
 //! reports IPC plus the BSHR's found-waiting rate (the runtime
 //! signature of longer datathreads).
 
+use ds_bench::report::Report;
 use ds_bench::{baseline_config, runner, Budget};
 use ds_core::DsSystem;
 use ds_stats::{percent, ratio, Table};
@@ -35,14 +36,18 @@ fn main() {
             percent(r.node_mean(|n| n.found_in_bshr_frac())),
         ]
     });
+    let mut report = Report::new("ablation_blocks");
+    report.budget(budget);
     for (wi, name) in names.iter().enumerate() {
         let mut t = Table::new(&["block pages", "IPC", "broadcasts", "found in BSHR"]);
         for row in &rows[wi * BLOCKS.len()..(wi + 1) * BLOCKS.len()] {
             t.row(row);
         }
         println!("=== {name} ===\n{t}");
+        report.table(name, &t);
     }
     println!("bigger blocks lengthen datathreads (more consecutive misses at one");
     println!("owner) — up to the point where a hot structure lands entirely on");
     println!("one node and the other only ever waits");
+    report.write_if_requested();
 }

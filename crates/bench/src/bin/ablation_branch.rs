@@ -8,6 +8,7 @@
 //! the assumption: mispredictions throttle run-ahead, which is the
 //! engine of datathreading.
 
+use ds_bench::report::Report;
 use ds_bench::{baseline_config, runner, Budget};
 use ds_core::{DsSystem, TraditionalConfig, TraditionalSystem};
 use ds_cpu::BranchModel;
@@ -49,14 +50,18 @@ fn main() {
             percent(rate),
         ]
     });
+    let mut report = Report::new("ablation_branch");
+    report.budget(budget);
     for (wi, w) in set.iter().enumerate() {
         let mut t = Table::new(&["model", "DS IPC", "trad IPC", "DS/trad", "mispredict rate"]);
         for row in &rows[wi * models.len()..(wi + 1) * models.len()] {
             t.row(row);
         }
         println!("=== {} ===\n{t}", w.name);
+        report.table(w.name, &t);
     }
     println!("both systems lose IPC under real prediction, and the DataScalar");
     println!("advantage persists — the paper's perfect-prediction assumption");
     println!("inflates absolute IPCs but not the comparison");
+    report.write_if_requested();
 }

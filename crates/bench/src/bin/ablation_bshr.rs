@@ -5,6 +5,7 @@
 //! both, reporting IPC, peak occupancy and overflows so the choice can
 //! be sanity-checked.
 
+use ds_bench::report::Report;
 use ds_bench::{baseline_config, runner, Budget};
 use ds_core::DsSystem;
 use ds_stats::{ratio, Table};
@@ -39,13 +40,17 @@ fn main() {
             ovf.to_string(),
         ]
     });
+    let mut report = Report::new("ablation_bshr");
+    report.budget(budget);
     for (wi, name) in names.iter().enumerate() {
         let mut t = Table::new(&["entries", "access", "IPC", "max occupancy", "overflows"]);
         for row in &rows[wi * GEOMS.len()..(wi + 1) * GEOMS.len()] {
             t.row(row);
         }
         println!("=== {name} ===\n{t}");
+        report.table(name, &t);
     }
     println!("occupancy stays far below the paper-scale 128 entries; access");
     println!("latency matters only when remote loads dominate");
+    report.write_if_requested();
 }

@@ -6,6 +6,7 @@
 //! benchmarks on all three: the evaluated bus, the slotted ring, and an
 //! "optical" fabric modelled as a core-clocked 64-byte-wide bus.
 
+use ds_bench::report::Report;
 use ds_bench::{baseline_config, runner, Budget};
 use ds_core::DsSystem;
 use ds_net::FabricKind;
@@ -48,6 +49,9 @@ fn main() {
         ]);
     }
     println!("{t}");
+    let mut report = Report::new("ablation_interconnect");
+    report.budget(budget).table("Ablation: interconnect technology (DataScalar x4)", &t);
+    report.write_if_requested();
     println!("at four nodes the cut-through ring roughly matches the bus: it");
     println!("pipelines broadcasts but each one occupies n-1 links and the");
     println!("farthest node waits extra hops — the ordering/latency complication");

@@ -5,6 +5,7 @@
 //! from 1 to 8 nodes (the traditional comparator's on-chip share
 //! shrinking to match).
 
+use ds_bench::report::Report;
 use ds_bench::{runner, run_datascalar, run_traditional, Budget};
 use ds_stats::{ratio, Table};
 use ds_workloads::figure7_set;
@@ -28,14 +29,18 @@ fn main() {
             ds.bus.broadcasts.to_string(),
         ]
     });
+    let mut report = Report::new("ablation_nodes");
+    report.budget(budget);
     for (wi, w) in set.iter().enumerate() {
         let mut t = Table::new(&["nodes", "DS IPC", "trad IPC", "DS/trad", "DS broadcasts"]);
         for row in &rows[wi * NODES.len()..(wi + 1) * NODES.len()] {
             t.row(row);
         }
         println!("=== {} ===\n{t}", w.name);
+        report.table(w.name, &t);
     }
     println!("the DataScalar advantage grows as the on-chip share shrinks: the");
     println!("traditional system's remote fraction rises with n while ESP's");
     println!("broadcast count stays fixed at one per communicated miss");
+    report.write_if_requested();
 }

@@ -6,6 +6,7 @@
 //! (hottest first, by profile) and reports IPC and bus traffic on the
 //! two-node machine.
 
+use ds_bench::report::Report;
 use ds_bench::{baseline_config, runner, Budget};
 use ds_core::DsSystem;
 use ds_stats::{ratio, Table};
@@ -43,14 +44,18 @@ fn main() {
             r.bus.bytes.to_string(),
         ]
     });
+    let mut report = Report::new("ablation_replication");
+    report.budget(budget);
     for (wi, name) in names.iter().enumerate() {
         let mut t = Table::new(&["replicated", "IPC", "broadcasts", "bus bytes"]);
         for row in &rows[wi * FRACTIONS.len()..(wi + 1) * FRACTIONS.len()] {
             t.row(row);
         }
         println!("=== {name} ===\n{t}");
+        report.table(name, &t);
     }
     println!("broadcasts fall monotonically with replication; IPC rises until");
     println!("the replicated capacity would no longer fit (which the model does");
     println!("not charge — the paper's capacity trade-off is the caveat)");
+    report.write_if_requested();
 }

@@ -6,6 +6,7 @@
 //! systems a D-TLB of varying size (misses pay a local page-table
 //! walk).
 
+use ds_bench::report::Report;
 use ds_bench::{baseline_config, runner, Budget};
 use ds_core::{DsSystem, TraditionalConfig, TraditionalSystem};
 use ds_mem::TlbConfig;
@@ -43,14 +44,18 @@ fn main() {
             format!("{:.2}x", ds_r.ipc() / trad_r.ipc()),
         ]
     });
+    let mut report = Report::new("ablation_tlb");
+    report.budget(budget);
     for (wi, name) in names.iter().enumerate() {
         let mut t = Table::new(&["TLB", "DS IPC", "trad IPC", "DS/trad"]);
         for row in &rows[wi * SIZES.len()..(wi + 1) * SIZES.len()] {
             t.row(row);
         }
         println!("=== {name} ===\n{t}");
+        report.table(name, &t);
     }
     println!("translation cost hits both systems alike: the DataScalar/");
     println!("traditional ratio is insensitive to the paper's free-translation");
     println!("simplification");
+    report.write_if_requested();
 }

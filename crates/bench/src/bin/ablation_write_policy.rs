@@ -6,6 +6,7 @@
 //! only to overwrite the received data)". This harness measures both
 //! policies on the two-node DataScalar machine.
 
+use ds_bench::report::Report;
 use ds_bench::{baseline_config, runner, Budget};
 use ds_core::DsSystem;
 use ds_mem::WritePolicy;
@@ -48,4 +49,8 @@ fn main() {
     println!("{t}");
     println!("write-allocate turns every store miss into a broadcast whose data");
     println!("is immediately overwritten — the paper's argument for no-allocate");
+
+    let mut report = Report::new("ablation_write_policy");
+    report.budget(budget).table("Ablation: write-no-allocate vs write-allocate", &t);
+    report.write_if_requested();
 }

@@ -5,14 +5,18 @@
 //! summary (default `BENCH_throughput.json`, override with
 //! `--out <path>`). The JSON also records the pre-overhaul engine's
 //! throughput measured on the same machine at the same budget, so the
-//! speedup of the hot-path work is tracked in-repo.
+//! speedup of the hot-path work is tracked in-repo. `--json <path>`
+//! additionally mirrors the wall-clock counters (insts/s, cycles/s)
+//! in the common `ds-bench-result/v1` schema.
 //!
 //! Simulated *results* are pinned separately by `tests/golden_stats.rs`;
 //! this binary only measures how fast the engine reaches them.
 
 use std::time::Instant;
 
+use ds_bench::report::Report;
 use ds_bench::{run_datascalar, Budget};
+use ds_stats::Table;
 use ds_workloads::by_name;
 
 /// Combined committed-instructions-per-second of the engine before the
@@ -26,15 +30,18 @@ const TIMED_RUNS: u32 = 3;
 struct Row {
     name: &'static str,
     committed: u64,
+    cycles: u64,
     best_secs: f64,
 }
 
 fn main() {
     let mut out_path = String::from("BENCH_throughput.json");
+    let mut report_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out takes a path"),
+            "--json" => report_path = Some(args.next().expect("--json takes a path")),
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -54,20 +61,26 @@ fn main() {
             assert_eq!(r.committed, warm.committed, "nondeterministic run");
             best = best.min(secs);
         }
-        rows.push(Row { name, committed: warm.committed, best_secs: best });
+        rows.push(Row { name, committed: warm.committed, cycles: warm.cycles, best_secs: best });
         println!(
-            "{name:<10} {} insts in {:.3}s  ({:.0} insts/s)",
+            "{name:<10} {} insts in {:.3}s  ({:.0} insts/s, {:.0} cycles/s)",
             warm.committed,
             best,
-            warm.committed as f64 / best
+            warm.committed as f64 / best,
+            warm.cycles as f64 / best
         );
     }
 
     let total_insts: u64 = rows.iter().map(|r| r.committed).sum();
+    let total_cycles: u64 = rows.iter().map(|r| r.cycles).sum();
     let total_secs: f64 = rows.iter().map(|r| r.best_secs).sum();
     let combined = total_insts as f64 / total_secs;
+    let combined_cycles = total_cycles as f64 / total_secs;
     let speedup = if PRE_OVERHAUL_BASELINE > 0.0 { combined / PRE_OVERHAUL_BASELINE } else { 0.0 };
-    println!("combined: {combined:.0} insts/s  ({speedup:.2}x pre-overhaul baseline)");
+    println!(
+        "combined: {combined:.0} insts/s, {combined_cycles:.0} cycles/s  \
+         ({speedup:.2}x pre-overhaul baseline)"
+    );
 
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"2-node DataScalar timing simulation, release build\",\n");
@@ -78,16 +91,20 @@ fn main() {
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"committed\": {}, \"seconds\": {:.6}, \"insts_per_sec\": {:.0}}}{}\n",
+            "    {{\"name\": \"{}\", \"committed\": {}, \"cycles\": {}, \"seconds\": {:.6}, \
+             \"insts_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}}}{}\n",
             r.name,
             r.committed,
+            r.cycles,
             r.best_secs,
             r.committed as f64 / r.best_secs,
+            r.cycles as f64 / r.best_secs,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"combined_insts_per_sec\": {combined:.0},\n"));
+    json.push_str(&format!("  \"combined_cycles_per_sec\": {combined_cycles:.0},\n"));
     json.push_str(&format!(
         "  \"pre_overhaul_insts_per_sec\": {PRE_OVERHAUL_BASELINE:.0},\n"
     ));
@@ -95,4 +112,32 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write JSON");
     println!("wrote {out_path}");
+
+    // `--json` mirrors the measurements in the common ds-bench-result/v1
+    // schema (the `--out` file keeps its historical shape for the
+    // speedup tracking in DESIGN.md).
+    if let Some(path) = report_path {
+        let mut t = Table::new(&["workload", "committed", "cycles", "seconds", "insts/s", "cycles/s"]);
+        for r in &rows {
+            t.row(&[
+                r.name.to_string(),
+                r.committed.to_string(),
+                r.cycles.to_string(),
+                format!("{:.6}", r.best_secs),
+                format!("{:.0}", r.committed as f64 / r.best_secs),
+                format!("{:.0}", r.cycles as f64 / r.best_secs),
+            ]);
+        }
+        let mut report = Report::new("bench_throughput");
+        report
+            .budget(budget)
+            .table("Simulator throughput (best of 3 timed runs)", &t)
+            .number("combined_insts_per_sec", combined)
+            .number("combined_cycles_per_sec", combined_cycles)
+            .number("speedup_vs_pre_overhaul", speedup)
+            .note("wall-clock perf counters; simulated results pinned by tests/golden_stats.rs");
+        std::fs::write(&path, report.render())
+            .unwrap_or_else(|e| panic!("cannot write --json {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
 }

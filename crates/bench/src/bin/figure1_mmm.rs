@@ -5,6 +5,7 @@
 //! by machine 1 (machine 0), showing pipelined broadcasts within a
 //! datathread and stalls at lead changes.
 
+use ds_bench::report::Report;
 use ds_core::mmm;
 
 fn main() {
@@ -29,4 +30,14 @@ fn main() {
         uniform.lead_changes,
         uniform.total_cycles()
     );
+
+    let mut report = Report::new("figure1_mmm");
+    report
+        .number("lead_changes", timeline.lead_changes as f64)
+        .number("mean_run", timeline.mean_run())
+        .number("total_cycles", timeline.total_cycles() as f64)
+        .number("uniform_lead_changes", uniform.lead_changes as f64)
+        .number("uniform_total_cycles", uniform.total_cycles() as f64)
+        .note("reference string w1..w9; w5-w7 at machine 1, rest at machine 0");
+    report.write_if_requested();
 }

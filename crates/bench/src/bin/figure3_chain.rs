@@ -7,6 +7,7 @@
 //! traditional system 8. The binary also sweeps chain layouts to show
 //! where each system's crossings come from.
 
+use ds_bench::report::Report;
 use ds_core::datathread::{compare_chain, datascalar_crossings, mean_thread_length};
 use ds_stats::Table;
 
@@ -49,4 +50,11 @@ fn main() {
     println!("{t}");
     println!("(traditional column assumes no operand lands in the on-chip share,");
     println!(" as in the paper's example; each remote operand costs request+response)");
+
+    let mut report = Report::new("figure3_chain");
+    report
+        .table("Figure 3: serialized off-chip crossings on dependent chains", &t)
+        .number("paper_example_datascalar", c.datascalar as f64)
+        .number("paper_example_traditional", c.traditional as f64);
+    report.write_if_requested();
 }

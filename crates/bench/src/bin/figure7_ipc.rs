@@ -1,7 +1,13 @@
 //! Figure 7: timing-simulation IPC of the six benchmarks across five
 //! systems — perfect data cache, 2- and 4-node DataScalar, and the
 //! traditional system with 1/2 and 1/4 of memory on-chip.
+//!
+//! `--json <path>` additionally writes the table as a
+//! `ds-bench-result/v1` document; `--trace-out <path>` (builds with
+//! `--features obs` only) writes a Chrome trace-event / Perfetto JSON
+//! trace of the 4-node DataScalar `compress` run.
 
+use ds_bench::report::{flag_value, Report};
 use ds_bench::{figure7_rows, Budget};
 use ds_stats::{ratio, Table};
 
@@ -21,8 +27,11 @@ fn main() {
         "trad 1/4",
         "DSx2/trad",
     ]);
-    for r in figure7_rows(budget) {
+    let rows = figure7_rows(budget);
+    let mut speedup_sum = 0.0;
+    for r in &rows {
         let speedup = if r.trad_half > 0.0 { r.ds2 / r.trad_half } else { 0.0 };
+        speedup_sum += speedup;
         t.row(&[
             r.name.clone(),
             ratio(r.perfect),
@@ -37,4 +46,38 @@ fn main() {
     println!("paper: DataScalar from 7% slower to 50% faster at 2 nodes, 9-100% faster");
     println!("       at 4 nodes; compress nearly doubles; perfect bounds everything;");
     println!("       traditional drops sharply from 1/2 to 1/4 on-chip");
+
+    let mut report = Report::new("figure7_ipc");
+    report
+        .budget(budget)
+        .table("Figure 7: instructions per cycle", &t)
+        .number("mean_ds2_speedup_vs_trad_half", speedup_sum / rows.len().max(1) as f64);
+    report.write_if_requested();
+
+    if let Some(path) = flag_value("--trace-out") {
+        write_trace(&path, budget);
+    }
+}
+
+/// Runs the 4-node DataScalar `compress` configuration with event
+/// recording on and writes the Perfetto trace.
+#[cfg(feature = "obs")]
+fn write_trace(path: &str, budget: Budget) {
+    use ds_bench::baseline_config;
+    use ds_core::DsSystem;
+    use ds_workloads::by_name;
+
+    let w = by_name("compress").expect("registered workload");
+    let prog = (w.build)(budget.scale);
+    let mut sys = DsSystem::new(baseline_config(4, budget.max_insts), &prog);
+    sys.run().expect("workload executes");
+    std::fs::write(path, sys.perfetto_trace())
+        .unwrap_or_else(|e| panic!("cannot write --trace-out {path}: {e}"));
+    eprintln!("wrote {path}");
+}
+
+#[cfg(not(feature = "obs"))]
+fn write_trace(_path: &str, _budget: Budget) {
+    eprintln!("--trace-out needs event recording: rebuild with `--features obs`");
+    std::process::exit(2);
 }

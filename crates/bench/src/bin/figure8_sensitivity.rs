@@ -3,6 +3,7 @@
 //! time: data-cache size, memory access time, bus clock divisor, bus
 //! width, and RUU entries.
 
+use ds_bench::report::Report;
 use ds_bench::sweep::{figure8_axes, sweep_point};
 use ds_bench::{runner, Budget};
 use ds_stats::{ratio, Table};
@@ -33,6 +34,8 @@ fn main() {
     let points = runner::map(jobs.clone(), |&(wi, ai, ki)| {
         sweep_point(&ws[wi], axes[ai].1[ki], budget)
     });
+    let mut report = Report::new("figure8_sensitivity");
+    report.budget(budget);
     let mut next = 0;
     for (wi, name) in names.iter().enumerate() {
         println!("\n=== {name} ===");
@@ -59,9 +62,11 @@ fn main() {
                 ]);
             }
             println!("{t}");
+            report.table(&format!("{name}: {axis}"), &t);
         }
     }
     println!("paper: DataScalar consistently outperforms traditional across the sweeps;");
     println!("       the systems converge as memory access time dominates, and diverge");
     println!("       as the global bus gets slower or narrower relative to the core");
+    report.write_if_requested();
 }

@@ -7,6 +7,7 @@
 //! and feeds it into the Amdahl-style hybrid model, sweeping parallel
 //! fraction and node count.
 
+use ds_bench::report::Report;
 use ds_bench::{run_datascalar, run_traditional, Budget};
 use ds_core::hybrid;
 use ds_stats::{ratio, Table};
@@ -16,6 +17,8 @@ fn main() {
     let budget = Budget::from_args();
     println!("Section 5.2: hybrid parallel/DataScalar scalability");
     println!();
+    let mut report = Report::new("section5_hybrid");
+    report.budget(budget);
     for name in ["compress", "go"] {
         let w = by_name(name).expect("registered");
         let ds = run_datascalar(&w, 2, budget).ipc();
@@ -36,7 +39,9 @@ fn main() {
                 ]);
             }
             println!("parallel fraction p = {p}:\n{t}");
+            report.table(&format!("{name}: parallel fraction p = {p}"), &t);
         }
+        report.number(&format!("{name}_serial_speedup"), s);
         if let Some(n) = hybrid::max_cost_effective_nodes(0.8, s, 0.2, 64) {
             println!(
                 "cost-effectiveness (processor = 20% of node cost, p = 0.8): \
@@ -47,4 +52,5 @@ fn main() {
     println!("the gain column is the paper's §5.2 claim made quantitative:");
     println!("SPSD-accelerated serial sections lift the Amdahl asymptote by the");
     println!("measured serial speedup");
+    report.write_if_requested();
 }

@@ -5,6 +5,7 @@
 //! bounds the technique's benefit: collapsing every same-owner run of
 //! communicated misses to a single result broadcast.
 
+use ds_bench::report::Report;
 use ds_bench::Budget;
 use ds_mem::{PageTableBuilder, Segment};
 use ds_stats::{percent, ratio, Table};
@@ -47,4 +48,8 @@ fn main() {
     println!("{t}");
     println!("an upper bound: it assumes every same-owner run is a private");
     println!("computation whose operands are dead once the result is known");
+
+    let mut report = Report::new("section5_result_comm");
+    report.budget(budget).table("Section 5.1: result-communication upper bound", &t);
+    report.write_if_requested();
 }

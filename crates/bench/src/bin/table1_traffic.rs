@@ -6,6 +6,7 @@
 //! transactions (the paper's two rows). Pass `--quick` for a reduced
 //! instruction budget.
 
+use ds_bench::report::Report;
 use ds_bench::Budget;
 use ds_stats::{percent, Table};
 use ds_trace::{measure_traffic, TrafficConfig};
@@ -39,4 +40,8 @@ fn main() {
     }
     println!("{t}");
     println!("paper: traffic 25-50% eliminated; transactions 50-75% (never below 50%)");
+
+    let mut report = Report::new("table1_traffic");
+    report.budget(budget).table("Table 1: off-chip data traffic reduced by ESP", &t);
+    report.write_if_requested();
 }

@@ -7,6 +7,7 @@
 //! paper's rule picks, and measure mean datathread lengths over all /
 //! text / data misses plus the mean replicated-run length.
 
+use ds_bench::report::Report;
 use ds_bench::Budget;
 use ds_mem::PageTableBuilder;
 use ds_stats::Table;
@@ -97,4 +98,8 @@ fn main() {
     println!("paper: text datathreads > 10 everywhere (often 100s-1000s);");
     println!("       FP data datathreads short (< 10 for swim/applu/turb3d/mgrid/hydro2d);");
     println!("       integer codes longer (3 to > 100)");
+
+    let mut report = Report::new("table2_datathreads");
+    report.budget(budget).table("Table 2: approximate datathread measurements", &t);
+    report.write_if_requested();
 }

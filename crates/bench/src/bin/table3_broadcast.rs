@@ -3,6 +3,7 @@
 //! found their data already waiting in the BSHR (datathreading
 //! evidence).
 
+use ds_bench::report::Report;
 use ds_bench::{run_datascalar, Budget};
 use ds_stats::{percent, Table};
 use ds_workloads::figure7_set;
@@ -34,4 +35,8 @@ fn main() {
     }
     println!("{t}");
     println!("paper: late broadcasts 8-29%; squashes 0-59%; data found in BSHR 2-49%");
+
+    let mut report = Report::new("table3_broadcast");
+    report.budget(budget).table("Table 3: DataScalar broadcast statistics", &t);
+    report.write_if_requested();
 }

@@ -1,0 +1,237 @@
+//! Machine-readable results: the `--json <path>` flag every experiment
+//! binary supports.
+//!
+//! Each binary prints its tables to stdout exactly as before (the text
+//! output is golden in several tests and must stay byte-identical) and,
+//! when `--json <path>` is given, *additionally* writes a versioned
+//! JSON document to `path`. The schema, `ds-bench-result/v1`, is
+//! documented in `docs/observability.md`: table cells are the exact
+//! strings of the text output (no re-rounding, so text and JSON can
+//! never disagree), plus free-form named numbers and notes.
+
+use crate::Budget;
+use ds_stats::Table;
+
+/// The schema identifier emitted in every document.
+pub const SCHEMA: &str = "ds-bench-result/v1";
+
+/// A machine-readable mirror of one binary's output.
+#[derive(Debug, Clone)]
+pub struct Report {
+    binary: &'static str,
+    budget: Option<Budget>,
+    tables: Vec<(String, Table)>,
+    numbers: Vec<(String, f64)>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report for `binary` (the `src/bin` file stem).
+    pub fn new(binary: &'static str) -> Self {
+        Report { binary, budget: None, tables: Vec::new(), numbers: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Records the instruction budget the run used.
+    pub fn budget(&mut self, b: Budget) -> &mut Self {
+        self.budget = Some(b);
+        self
+    }
+
+    /// Adds a titled table — pass the same [`Table`] the binary prints.
+    pub fn table(&mut self, title: &str, t: &Table) -> &mut Self {
+        self.tables.push((title.to_string(), t.clone()));
+        self
+    }
+
+    /// Adds a named scalar (derived metrics like means or ratios).
+    pub fn number(&mut self, name: &str, value: f64) -> &mut Self {
+        self.numbers.push((name.to_string(), value));
+        self
+    }
+
+    /// Adds a free-form note (provenance, caveats).
+    pub fn note(&mut self, text: &str) -> &mut Self {
+        self.notes.push(text.to_string());
+        self
+    }
+
+    /// Renders the document.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        push_str_field(&mut out, "schema", SCHEMA);
+        out.push(',');
+        push_str_field(&mut out, "binary", self.binary);
+        out.push(',');
+        out.push_str("\"budget\":");
+        match self.budget {
+            Some(b) => {
+                out.push_str(&format!(
+                    "{{\"max_insts\":{},\"scale\":\"{:?}\"}}",
+                    b.max_insts, b.scale
+                ));
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"tables\":[");
+        for (i, (title, t)) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_str_field(&mut out, "title", title);
+            out.push_str(",\"headers\":[");
+            push_str_list(&mut out, t.headers());
+            out.push_str("],\"rows\":[");
+            for (j, row) in t.rows().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                push_str_list(&mut out, row);
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"numbers\":{");
+        for (i, (name, v)) in self.numbers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape(name));
+            out.push(':');
+            out.push_str(&fmt_f64(*v));
+        }
+        out.push_str("},\"notes\":[");
+        push_str_list(&mut out, &self.notes);
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the document to the path given by `--json <path>` on the
+    /// command line, if any. Progress goes to stderr so stdout stays
+    /// byte-identical to a run without the flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the path cannot be written — a silently dropped
+    /// result file is worse than a failed run.
+    pub fn write_if_requested(&self) {
+        if let Some(path) = flag_value("--json") {
+            std::fs::write(&path, self.render())
+                .unwrap_or_else(|e| panic!("cannot write --json {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// The operand of `flag` in argv (`--json out.json` → `Some("out.json")`).
+pub fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// JSON numbers must be finite; non-finite values (0-cycle IPCs and the
+/// like) degrade to null.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, val: &str) {
+    out.push_str(&escape(key));
+    out.push(':');
+    out.push_str(&escape(val));
+}
+
+fn push_str_list<S: AsRef<str>>(out: &mut String, items: &[S]) {
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&escape(s.as_ref()));
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Budget;
+
+    #[test]
+    fn renders_valid_parseable_json() {
+        let mut t = Table::new(&["bench", "ipc"]);
+        t.row(&["compress", "1.23"]);
+        let mut r = Report::new("unit_test");
+        r.budget(Budget::quick())
+            .table("Figure 7", &t)
+            .number("mean_ipc", 1.23)
+            .note("one \"quoted\" note\nwith a newline");
+        let doc = ds_obs::json::parse(&r.render()).expect("valid JSON");
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some(SCHEMA));
+        assert_eq!(doc.get("binary").and_then(|v| v.as_str()), Some("unit_test"));
+        let tables = doc.get("tables").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(tables.len(), 1);
+        let rows = tables[0].get("rows").and_then(|v| v.as_array()).unwrap();
+        let cells = rows[0].as_array().unwrap();
+        assert_eq!(cells[0].as_str(), Some("compress"));
+        assert_eq!(cells[1].as_str(), Some("1.23"));
+        assert_eq!(
+            doc.get("numbers").unwrap().get("mean_ipc").and_then(|v| v.as_f64()),
+            Some(1.23)
+        );
+    }
+
+    #[test]
+    fn table_cells_mirror_text_output() {
+        // The JSON rows are the exact strings `render` prints.
+        let mut t = Table::new(&["name", "v"]);
+        t.row(&["a", "0.50"]);
+        let text = t.render();
+        assert!(text.contains("0.50"));
+        let mut r = Report::new("unit_test");
+        r.table("t", &t);
+        assert!(r.render().contains("\"0.50\""));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let mut r = Report::new("unit_test");
+        r.number("bad", f64::NAN);
+        let doc = ds_obs::json::parse(&r.render()).expect("valid JSON");
+        assert!(doc.get("numbers").unwrap().get("bad").unwrap().as_f64().is_none());
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        assert_eq!(escape("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape("x\u{1}y"), "\"x\\u0001y\"");
+    }
+}

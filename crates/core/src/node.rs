@@ -27,7 +27,18 @@ use ds_mem::{
     AccessKind, Cache, CacheOutcome, MainMemory, NodeId, PageClass, PageTable, Tlb, Victim,
 };
 use ds_net::{Message, MsgKind};
+use ds_obs::{EventKind, Probe as _};
 use std::rc::Rc;
+
+/// The memory side's observability probe: the ds-obs recorder when the
+/// `obs` feature is on, a zero-sized no-op otherwise. Call sites below
+/// record unconditionally; without the feature each call monomorphises
+/// against the ZST's empty inline default and compiles to nothing.
+#[cfg(feature = "obs")]
+pub(crate) type NodeProbe = ds_obs::Recorder;
+/// The disabled probe (ZST).
+#[cfg(not(feature = "obs"))]
+pub(crate) type NodeProbe = ds_obs::NoopProbe;
 
 /// The memory side of a node (everything in Figure 5 except the CPU
 /// logic).
@@ -53,6 +64,8 @@ pub(crate) struct MemSide {
     /// iterated, and its order is deterministic either way.
     seq: LineMap<u64>,
     stats: NodeStats,
+    /// Cycle-stamped protocol events (no-op unless built with `obs`).
+    probe: NodeProbe,
     /// Commit-time correspondence auditor (observational only).
     #[cfg(feature = "audit")]
     pub(crate) audit: crate::audit::NodeAudit,
@@ -75,6 +88,7 @@ impl MemSide {
             outgoing: PendingQueue::new(),
             seq: LineMap::new(),
             stats: NodeStats::default(),
+            probe: NodeProbe::default(),
             #[cfg(feature = "audit")]
             audit: crate::audit::NodeAudit::default(),
         }
@@ -111,6 +125,7 @@ impl MemSide {
         };
         *seq += 1;
         self.stats.broadcasts_sent += 1;
+        self.probe.record(ready, EventKind::BroadcastSend { line });
         self.outgoing.push(ready, msg);
     }
 
@@ -137,6 +152,9 @@ impl MemSide {
     /// and false for write-allocate store fills, which are ordinary
     /// episode fills that merely happen at commit.
     fn fill_repair(&mut self, line: u64, now: Cycle, reparative: bool) {
+        if reparative {
+            self.probe.record(now, EventKind::FalseHitRepair { line });
+        }
         match self.pt.classify(line) {
             PageClass::Replicated => {
                 self.mem.access(line, self.line_bytes, now);
@@ -152,6 +170,18 @@ impl MemSide {
                 self.bshr.post_squash(line);
             }
         }
+    }
+
+    /// Records a DCUB insertion (occupancy sampled after the push).
+    fn record_dcub_push(&mut self, line: u64, now: Cycle) {
+        self.probe
+            .record(now, EventKind::DcubPush { line, occ: self.dcub.occupancy() as u32 });
+    }
+
+    /// Records a DCUB removal (occupancy sampled after the drain).
+    fn record_dcub_drain(&mut self, line: u64, now: Cycle) {
+        self.probe
+            .record(now, EventKind::DcubDrain { line, occ: self.dcub.occupancy() as u32 });
     }
 }
 
@@ -187,6 +217,7 @@ impl MemSystem for MemSide {
                 self.stats.local_misses += 1;
                 let done = self.mem.access(line, self.line_bytes, now);
                 self.dcub.insert(line, Some(done), false);
+                self.record_dcub_push(line, now);
                 (LoadResponse::Ready(done), false)
             }
             PageClass::Owned(o) if o == self.id => {
@@ -194,17 +225,31 @@ impl MemSystem for MemSide {
                 let done = self.mem.access(line, self.line_bytes, now);
                 self.push_broadcast(line, done + self.queue_penalty);
                 self.dcub.insert(line, Some(done), true);
+                self.record_dcub_push(line, now);
                 (LoadResponse::Ready(done), false)
             }
             PageClass::Owned(_) => {
                 self.stats.remote_accesses += 1;
                 match self.bshr.request(line, tag, now) {
                     Some(ready) => {
+                        self.probe.record(
+                            now,
+                            EventKind::BshrFoundBuffered {
+                                line,
+                                occ: self.bshr.occupancy() as u32,
+                            },
+                        );
                         self.dcub.insert(line, Some(ready), false);
+                        self.record_dcub_push(line, now);
                         (LoadResponse::Ready(ready), false)
                     }
                     None => {
+                        self.probe.record(
+                            now,
+                            EventKind::BshrAllocate { line, occ: self.bshr.occupancy() as u32 },
+                        );
                         self.dcub.insert(line, None, false);
+                        self.record_dcub_push(line, now);
                         (LoadResponse::Pending, false)
                     }
                 }
@@ -254,6 +299,8 @@ impl MemSystem for MemSide {
                     self.handle_victim(victim, now);
                     if self.dcub.remove(line).is_none() {
                         self.fill_repair(line, now, false);
+                    } else {
+                        self.record_dcub_drain(line, now);
                     }
                 }
             }
@@ -285,6 +332,7 @@ impl MemSystem for MemSide {
                 if self.dcub.remove(line).is_some() {
                     // Normal episode install: the issue-time fetch (and
                     // any broadcast/wait) pairs with this canonical miss.
+                    self.record_dcub_drain(line, now);
                 } else {
                     // Hit at issue, miss in commit order: false hit.
                     if issue_hit == Some(true) {
@@ -337,16 +385,35 @@ impl Node {
     /// A broadcast arrived from the bus.
     pub(crate) fn deliver(&mut self, msg: &Message, now: Cycle) {
         debug_assert_eq!(msg.kind, MsgKind::Broadcast);
-        match self.ms.bshr.on_arrival(msg.line_addr, now) {
+        let line = msg.line_addr;
+        self.ms.probe.record(
+            now,
+            EventKind::BroadcastArrive { line, latency: now.saturating_sub(msg.enqueued_at) },
+        );
+        match self.ms.bshr.on_arrival(line, now) {
             Arrival::Completed(waiters) => {
+                self.ms.probe.record(
+                    now,
+                    EventKind::BshrFill {
+                        line,
+                        waiters: waiters.len() as u32,
+                        occ: self.ms.bshr.occupancy() as u32,
+                    },
+                );
                 if let Some(&(_, ready)) = waiters.first() {
-                    self.ms.dcub.mark_ready(msg.line_addr, ready);
+                    self.ms.dcub.mark_ready(line, ready);
                 }
                 for (tag, ready) in waiters {
                     self.core.complete_load(tag, ready);
                 }
             }
-            Arrival::Buffered | Arrival::Squashed => {}
+            Arrival::Squashed => {
+                self.ms.probe.record(
+                    now,
+                    EventKind::BshrSquash { line, occ: self.ms.bshr.occupancy() as u32 },
+                );
+            }
+            Arrival::Buffered => {}
         }
     }
 
@@ -368,6 +435,19 @@ impl Node {
     /// True when no broadcast is waiting for its data-ready cycle.
     pub(crate) fn outgoing_is_empty(&self) -> bool {
         self.ms.outgoing.is_empty()
+    }
+
+    /// The memory side's recorded protocol events (instrumented builds
+    /// only).
+    #[cfg(feature = "obs")]
+    pub fn events(&self) -> &ds_obs::EventRing {
+        self.ms.probe.ring()
+    }
+
+    /// The core's recorded commit events (instrumented builds only).
+    #[cfg(feature = "obs")]
+    pub fn core_events(&self) -> &ds_obs::EventRing {
+        self.core.events()
     }
 
     /// Snapshot of this node's statistics.

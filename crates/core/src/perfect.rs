@@ -97,6 +97,7 @@ impl PerfectSystem {
             nodes: vec![stats],
             bus: Default::default(),
             trace_window_high_water: self.trace.max_window_len(),
+            metrics: None,
         })
     }
 }

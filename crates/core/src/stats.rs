@@ -3,6 +3,7 @@
 use crate::bshr::BshrStats;
 use ds_cpu::OooStats;
 use ds_net::BusStats;
+use ds_obs::MetricsReport;
 
 /// Per-node statistics of a DataScalar run (a subset applies to the
 /// traditional and perfect systems).
@@ -87,6 +88,12 @@ pub struct RunResult {
     /// High-water mark of the shared trace window (worst-case node
     /// skew plus in-flight instructions) — bounds simulator memory.
     pub trace_window_high_water: usize,
+    /// Derived event-stream metrics (broadcast latency, BSHR/DCUB
+    /// occupancy, datathread run lengths). `Some` only for DataScalar
+    /// runs under the `obs` feature; `None` otherwise. Deliberately
+    /// excluded from the golden fingerprints — observation must not
+    /// perturb the pinned counters.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl RunResult {

@@ -28,6 +28,13 @@ pub struct DsSystem {
     /// Cross-node commit-stream auditor (observational only).
     #[cfg(feature = "audit")]
     audit: crate::audit::SystemAudit,
+    /// System-level events (lead changes) — observational only.
+    #[cfg(feature = "obs")]
+    probe: ds_obs::Recorder,
+    /// Node currently holding the commit lead (argmax committed, ties
+    /// to the lowest id) and the cycle it took the lead.
+    #[cfg(feature = "obs")]
+    lead: (usize, Cycle),
 }
 
 impl DsSystem {
@@ -70,6 +77,10 @@ impl DsSystem {
             delivered: 0,
             #[cfg(feature = "audit")]
             audit: crate::audit::SystemAudit::new(config.nodes),
+            #[cfg(feature = "obs")]
+            probe: ds_obs::Recorder::default(),
+            #[cfg(feature = "obs")]
+            lead: (0, 0),
             config,
         }
     }
@@ -118,6 +129,8 @@ impl DsSystem {
             }
             #[cfg(feature = "audit")]
             self.absorb_audit();
+            #[cfg(feature = "obs")]
+            self.track_lead(now);
             // 2. Ready broadcasts enter the bus.
             for node in &mut self.nodes {
                 while let Some(msg) = node.next_outgoing(now) {
@@ -163,6 +176,8 @@ impl DsSystem {
                 break;
             }
         }
+        #[cfg(feature = "obs")]
+        self.close_lead_segment();
         let result = self.result();
         self.drain_interconnect();
         #[cfg(feature = "audit")]
@@ -207,7 +222,14 @@ impl DsSystem {
             nodes: self.nodes.iter().map(|n| n.stats()).collect(),
             bus: *self.bus.stats(),
             trace_window_high_water: self.trace.max_window_len(),
+            metrics: self.metrics(),
         }
+    }
+
+    /// Derived event-stream metrics: `None` unless built with `obs`.
+    #[cfg(not(feature = "obs"))]
+    fn metrics(&self) -> Option<ds_obs::MetricsReport> {
+        None
     }
 
     /// Checks the cache-correspondence invariant: with all nodes at the
@@ -223,6 +245,93 @@ impl DsSystem {
         self.nodes
             .iter()
             .all(|n| n.canonical_cache_lines() == reference)
+    }
+}
+
+/// Event-stream observability (docs/observability.md): cycle-stamped
+/// protocol events per node plus system-level lead tracking.
+/// Observational only — an `obs` build produces the same cycles and
+/// stats (asserted by `tests/golden_stats.rs` under `--features obs`).
+#[cfg(feature = "obs")]
+impl DsSystem {
+    /// Per-cycle lead tracking: the node with the most committed
+    /// instructions holds the lead (ties to the lowest id, so lead
+    /// changes are deterministic). A change of leader ends one
+    /// datathread run; the closed segment's length feeds the
+    /// datathread-run histogram.
+    fn track_lead(&mut self, now: Cycle) {
+        use ds_obs::Probe as _;
+        let mut leader = 0usize;
+        let mut best = 0u64;
+        for (i, n) in self.nodes.iter().enumerate() {
+            let c = n.committed();
+            if c > best {
+                best = c;
+                leader = i;
+            }
+        }
+        let (prev, since) = self.lead;
+        if leader != prev {
+            self.probe.record(
+                now,
+                ds_obs::EventKind::LeadChange {
+                    node: prev as u32,
+                    held_cycles: now.saturating_sub(since),
+                },
+            );
+            self.lead = (leader, now);
+        }
+    }
+
+    /// Closes the final lead segment when the run ends, so every cycle
+    /// of the run is covered by exactly one datathread run.
+    fn close_lead_segment(&mut self) {
+        use ds_obs::Probe as _;
+        let (prev, since) = self.lead;
+        self.probe.record(
+            self.cycles,
+            ds_obs::EventKind::LeadChange {
+                node: prev as u32,
+                held_cycles: self.cycles.saturating_sub(since),
+            },
+        );
+        self.lead = (prev, self.cycles);
+    }
+
+    /// Folds every ring — per-node memory sides and cores, the
+    /// interconnect, and the system's own lead events — into one
+    /// [`ds_obs::MetricsReport`].
+    fn metrics(&self) -> Option<ds_obs::MetricsReport> {
+        let mut m = ds_obs::MetricsReport::default();
+        for n in &self.nodes {
+            m.absorb(n.events());
+            m.absorb(n.core_events());
+        }
+        if let Some(ring) = self.bus.events() {
+            m.absorb(ring);
+        }
+        m.absorb(self.probe.ring());
+        Some(m)
+    }
+
+    /// Renders the run's event rings as a Chrome trace-event / Perfetto
+    /// JSON document: one process per node (broadcast / BSHR / DCUB /
+    /// commit tracks), one for the system (lead changes), one for the
+    /// interconnect (grants).
+    pub fn perfetto_trace(&self) -> String {
+        use ds_obs::perfetto::TraceSource;
+        let n = self.nodes.len() as u32;
+        let names: Vec<String> = (0..n).map(|i| format!("node{i}")).collect();
+        let mut sources: Vec<TraceSource<'_>> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            sources.push(TraceSource { pid: i as u32, name: &names[i], ring: node.events() });
+            sources.push(TraceSource { pid: i as u32, name: &names[i], ring: node.core_events() });
+        }
+        sources.push(TraceSource { pid: n, name: "system", ring: self.probe.ring() });
+        if let Some(ring) = self.bus.events() {
+            sources.push(TraceSource { pid: n + 1, name: "interconnect", ring });
+        }
+        ds_obs::perfetto::trace_json(&sources)
     }
 }
 

@@ -368,6 +368,7 @@ impl TraditionalSystem {
             nodes: vec![stats],
             bus: *self.bus.stats(),
             trace_window_high_water: self.trace.max_window_len(),
+            metrics: None,
         }
     }
 }

@@ -18,8 +18,18 @@ use crate::exec::{ExecError, ExecRecord};
 use crate::trace::TraceSource;
 use crate::Cycle;
 use ds_isa::{FuClass, Opcode};
+use ds_obs::Probe as _;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+
+/// The core's observability probe: the ds-obs recorder when the `obs`
+/// feature is on, a zero-sized no-op otherwise (every `record` call
+/// compiles away — see `ds_obs` crate docs on the zero-cost guarantee).
+#[cfg(feature = "obs")]
+pub(crate) type CoreProbe = ds_obs::Recorder;
+/// The disabled probe (ZST).
+#[cfg(not(feature = "obs"))]
+pub(crate) type CoreProbe = ds_obs::NoopProbe;
 
 /// Identifies an instruction in flight: its global instruction number.
 pub type RuuTag = u64;
@@ -215,6 +225,8 @@ pub struct OooCore {
     predictor: Predictor,
     /// A mispredicted control transfer fetch is waiting on.
     redirect_tag: Option<RuuTag>,
+    /// Cycle-stamped commit events (no-op unless built with `obs`).
+    probe: CoreProbe,
 }
 
 const FU_CLASSES: [FuClass; 7] = [
@@ -308,7 +320,14 @@ impl OooCore {
             fetch_line_bytes,
             predictor: Predictor::new(config.branch),
             redirect_tag: None,
+            probe: CoreProbe::default(),
         }
+    }
+
+    /// The recorded commit events (instrumented builds only).
+    #[cfg(feature = "obs")]
+    pub fn events(&self) -> &ds_obs::EventRing {
+        self.probe.ring()
     }
 
     /// The core configuration.
@@ -455,6 +474,7 @@ impl OooCore {
         }
         if retired > 0 {
             self.ready.shift_down(retired);
+            self.probe.record(now, ds_obs::EventKind::Commit { n: retired as u32 });
         }
     }
 

@@ -7,9 +7,11 @@
 //! properties as source-level checks:
 //!
 //! - **d1** — no `HashMap`/`HashSet` in the simulation crates
-//!   (`ds-core`, `ds-cpu`, `ds-mem`, `ds-net`), and no iteration over
-//!   hash-based containers. Hash iteration order is seeded per-process;
-//!   any order that reaches simulated state breaks node lockstep.
+//!   (`ds-core`, `ds-cpu`, `ds-mem`, `ds-net`, `ds-trace`, `ds-obs`),
+//!   and no iteration over hash-based containers. Hash iteration order
+//!   is seeded per-process; any order that reaches simulated state (or
+//!   replication selection, or recorded event streams) breaks node
+//!   lockstep or run-to-run reproducibility.
 //! - **d2** — no wall-clock (`Instant`, `SystemTime`) or ambient
 //!   randomness (`thread_rng`, `from_entropy`, `RandomState`) in the
 //!   simulation crates. Runs must be pure functions of their inputs.
@@ -18,8 +20,9 @@
 //!   sibling nodes with unconsumed broadcasts; every unwind point must
 //!   be a deliberate, documented invariant.
 //! - **a1** — no allocation (`Vec::new`, `vec![`, `.collect()`, ...)
-//!   inside `step`/`tick`-named functions in the hot modules. Guards
-//!   PR 1's allocation-free cycle loop.
+//!   inside `step`/`tick`/`record`-named functions in the hot modules.
+//!   Guards PR 1's allocation-free cycle loop and PR 3's per-event
+//!   observability ring writes.
 //! - **x1** — cross-file drift: every `Opcode` variant must have an
 //!   exec arm in `crates/cpu/src/exec.rs` and a row in `docs/isa.md`.
 //!
@@ -48,7 +51,8 @@ pub enum Rule {
     /// Unannotated panic paths (`unwrap`/`expect`/`panic!`/`unsafe`) in
     /// hot modules.
     P1,
-    /// Allocation inside `step`/`tick` functions in hot modules.
+    /// Allocation inside `step`/`tick`/`record` functions in hot
+    /// modules.
     A1,
     /// ISA drift between `Opcode`, the exec unit, and `docs/isa.md`.
     X1,
@@ -444,10 +448,11 @@ fn check_p1(cleaned: &str, out: &mut Vec<Candidate>) {
     }
 }
 
-/// a1: allocation inside `step`/`tick`-named functions.
+/// a1: allocation inside `step`/`tick`/`record`-named functions
+/// (`record*` covers the observability probe's per-event hot path).
 fn check_a1(cleaned: &str, out: &mut Vec<Candidate>) {
     let bodies = fn_bodies(cleaned, |name| {
-        name.starts_with("step") || name.starts_with("tick")
+        name.starts_with("step") || name.starts_with("tick") || name.starts_with("record")
     });
     if bodies.is_empty() {
         return;
@@ -619,16 +624,20 @@ fn doc_contains_mnemonic(doc: &str, mnemonic: &str) -> bool {
     false
 }
 
-/// The simulation crates d1/d2 police.
-const SIM_CRATES: [&str; 4] = ["core", "cpu", "mem", "net"];
+/// The simulation crates d1/d2 police. `trace` is included because
+/// replication selection feeds simulated state (a hash-ordered page
+/// profile once produced run-to-run drift); `obs` because recorded
+/// event streams must replay identically.
+const SIM_CRATES: [&str; 6] = ["core", "cpu", "mem", "net", "trace", "obs"];
 
 /// The cycle-loop hot modules p1/a1 police (workspace-relative).
-const HOT_MODULES: [&str; 5] = [
+const HOT_MODULES: [&str; 6] = [
     "crates/core/src/system.rs",
     "crates/core/src/node.rs",
     "crates/core/src/pending.rs",
     "crates/cpu/src/ooo.rs",
     "crates/net/src/fabric.rs",
+    "crates/obs/src/ring.rs",
 ];
 
 /// Lints the whole workspace rooted at `root`. Returns diagnostics

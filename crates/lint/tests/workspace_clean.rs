@@ -33,6 +33,7 @@ fn hot_modules_exist_where_the_linter_expects_them() {
         "crates/core/src/pending.rs",
         "crates/cpu/src/ooo.rs",
         "crates/net/src/fabric.rs",
+        "crates/obs/src/ring.rs",
         "crates/isa/src/opcode.rs",
         "crates/cpu/src/exec.rs",
         "docs/isa.md",
@@ -67,4 +68,38 @@ fn seeded_violations_fail_via_the_binary() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("crates/core/src/bad.rs:1: [d1]"), "{stdout}");
     assert!(stdout.contains("crates/core/src/bad.rs:2: [d2]"), "{stdout}");
+}
+
+#[test]
+fn seeded_probe_allocation_fails_a1() {
+    // The observability ring is a hot module: an allocation smuggled
+    // into a `record*` function (the per-event probe path) must be
+    // caught by a1, and hash containers in the trace crate by d1.
+    let dir = std::env::temp_dir().join(format!("ds-lint-obs-fixture-{}", std::process::id()));
+    let obs_src = dir.join("crates/obs/src");
+    let trace_src = dir.join("crates/trace/src");
+    std::fs::create_dir_all(&obs_src).expect("mkdir obs fixture");
+    std::fs::create_dir_all(&trace_src).expect("mkdir trace fixture");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        obs_src.join("ring.rs"),
+        "pub fn record_event(&mut self) { self.scratch = Vec::new(); }\n",
+    )
+    .expect("write obs fixture");
+    std::fs::write(
+        trace_src.join("profile.rs"),
+        "use std::collections::HashMap;\n",
+    )
+    .expect("write trace fixture");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_ds-lint"))
+        .arg(&dir)
+        .output()
+        .expect("run ds-lint");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(!out.status.success(), "seeded violations must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crates/obs/src/ring.rs:1: [a1]"), "{stdout}");
+    assert!(stdout.contains("crates/trace/src/profile.rs:1: [d1]"), "{stdout}");
 }

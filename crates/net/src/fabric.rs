@@ -86,6 +86,16 @@ impl Fabric {
             Fabric::Ring(r) => r.stats(),
         }
     }
+
+    /// The recorded grant events (instrumented builds only; the ring
+    /// fabric is not yet instrumented and reports no events).
+    #[cfg(feature = "obs")]
+    pub fn events(&self) -> Option<&ds_obs::EventRing> {
+        match self {
+            Fabric::Bus(b) => Some(b.events()),
+            Fabric::Ring(_) => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -29,7 +29,16 @@ mod ring;
 pub use fabric::{Fabric, FabricKind};
 pub use ring::{Ring, RingConfig};
 
+use ds_obs::Probe as _;
 use std::collections::VecDeque;
+
+/// The interconnect's observability probe: the ds-obs recorder when the
+/// `obs` feature is on, a zero-sized no-op otherwise.
+#[cfg(feature = "obs")]
+pub(crate) type NetProbe = ds_obs::Recorder;
+/// The disabled probe (ZST).
+#[cfg(not(feature = "obs"))]
+pub(crate) type NetProbe = ds_obs::NoopProbe;
 
 /// A core-clock cycle count.
 pub type Cycle = u64;
@@ -181,6 +190,8 @@ pub struct Bus {
     in_flight: Option<InFlight>,
     next_port: usize,
     stats: BusStats,
+    /// Cycle-stamped grant events (no-op unless built with `obs`).
+    probe: NetProbe,
 }
 
 impl Bus {
@@ -200,7 +211,14 @@ impl Bus {
             in_flight: None,
             next_port: 0,
             stats: BusStats::default(),
+            probe: NetProbe::default(),
         }
+    }
+
+    /// The recorded grant events (instrumented builds only).
+    #[cfg(feature = "obs")]
+    pub fn events(&self) -> &ds_obs::EventRing {
+        self.probe.ring()
     }
 
     /// The bus configuration.
@@ -301,6 +319,13 @@ impl Bus {
 
     fn account(&mut self, msg: &Message, now: Cycle) {
         let busy = self.transfer_cycles(msg.payload_bytes);
+        self.probe.record(
+            now,
+            ds_obs::EventKind::BusGrant {
+                bytes: msg.payload_bytes + self.config.header_bytes,
+                queue_delay: now.saturating_sub(msg.enqueued_at),
+            },
+        );
         let s = &mut self.stats;
         s.transactions += 1;
         s.bytes += msg.payload_bytes + self.config.header_bytes;

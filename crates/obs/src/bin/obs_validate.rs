@@ -1,0 +1,98 @@
+//! Validates machine-readable experiment output: parses each argument
+//! as JSON and, when the document carries a known schema, checks its
+//! required members. Used by `scripts/verify.sh` to gate the `--json`
+//! and `--trace-out` emitters.
+//!
+//! Exit status: 0 when every file parses (and passes its schema
+//! check), 1 otherwise.
+
+use ds_obs::json::{self, Value};
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let v = json::parse(&text).map_err(|e| e.to_string())?;
+    match v.get("schema").and_then(Value::as_str) {
+        Some("ds-bench-result/v1") => check_bench_result(&v),
+        Some(other) => Err(format!("unknown schema `{other}`")),
+        None if v.get("traceEvents").is_some() => check_trace(&v),
+        None => Ok(()), // plain JSON (e.g. BENCH_throughput.json): parsing is the check
+    }
+}
+
+fn check_bench_result(v: &Value) -> Result<(), String> {
+    for key in ["binary", "tables"] {
+        if v.get(key).is_none() {
+            return Err(format!("ds-bench-result/v1 document lacks `{key}`"));
+        }
+    }
+    let tables = v
+        .get("tables")
+        .and_then(Value::as_array)
+        .ok_or("`tables` must be an array")?;
+    for t in tables {
+        let headers = t
+            .get("headers")
+            .and_then(Value::as_array)
+            .ok_or("table lacks `headers`")?;
+        let rows = t.get("rows").and_then(Value::as_array).ok_or("table lacks `rows`")?;
+        for row in rows {
+            let row = row.as_array().ok_or("row must be an array")?;
+            if row.len() != headers.len() {
+                return Err(format!(
+                    "row width {} does not match header width {}",
+                    row.len(),
+                    headers.len()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_trace(v: &Value) -> Result<(), String> {
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("`traceEvents` must be an array")?;
+    // Monotonically non-decreasing ts per (pid, tid) track.
+    let mut last: Vec<((u64, u64), f64)> = Vec::new();
+    for e in events {
+        if e.get("ph").and_then(Value::as_str) == Some("M") {
+            continue;
+        }
+        let pid = e.get("pid").and_then(Value::as_f64).ok_or("event lacks pid")? as u64;
+        let tid = e.get("tid").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        let ts = e.get("ts").and_then(Value::as_f64).ok_or("event lacks ts")?;
+        match last.iter_mut().find(|(k, _)| *k == (pid, tid)) {
+            Some((_, prev)) => {
+                if *prev > ts {
+                    return Err(format!("track ({pid},{tid}) ts went backwards: {prev} > {ts}"));
+                }
+                *prev = ts;
+            }
+            None => last.push(((pid, tid), ts)),
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: obs_validate <file.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        match check(path) {
+            Ok(()) => println!("{path}: ok"),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

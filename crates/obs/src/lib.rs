@@ -1,0 +1,277 @@
+//! `ds-obs`: the observability layer of the DataScalar workspace.
+//!
+//! The simulation crates report *what* happened through aggregate
+//! counters (`NodeStats`, `BusStats`); this crate records *when* —
+//! cycle-stamped [`Event`]s pushed through a [`Probe`] into
+//! pre-allocated per-component [`EventRing`]s. Three consumers sit on
+//! top of the event stream:
+//!
+//! * [`perfetto::trace_json`] renders rings as a Chrome trace-event /
+//!   Perfetto JSON timeline (per-node broadcast, BSHR, DCUB and commit
+//!   tracks);
+//! * [`MetricsReport`] derives `ds-stats` histograms — broadcast
+//!   latency, BSHR occupancy, datathread run lengths — carried on
+//!   `RunResult`;
+//! * [`json`] is a minimal parser used to validate emitted reports and
+//!   traces without external dependencies.
+//!
+//! # The zero-cost guarantee
+//!
+//! [`Probe`] has two implementations: [`Recorder`] (a ring buffer) and
+//! [`NoopProbe`] (a zero-sized type whose `record` is an inlined empty
+//! default). Consumer crates hold a `Probe` alias switched by their own
+//! `obs` cargo feature, so with the feature off every call site
+//! monomorphises against the ZST and compiles to nothing — no branch,
+//! no field, no cache pressure. With the feature on, recording is a
+//! bounds-free slot write into a buffer allocated at construction: the
+//! cycle loop still allocates nothing (ds-lint rule a1 polices the
+//! recorder in `ring.rs` like any other hot module).
+
+pub mod json;
+pub mod perfetto;
+mod ring;
+
+pub use ring::{EventRing, Recorder};
+
+use ds_stats::Histogram;
+
+/// A simulated core-clock cycle count (mirrors `ds_core::Cycle`; kept
+/// local so the dependency points the other way).
+pub type Cycle = u64;
+
+/// Default [`EventRing`] capacity: big enough to hold the interesting
+/// tail of a full-budget Figure 7 run, small enough (~16 K events,
+/// ~0.5 MiB) that an instrumented 4-node system stays cheap.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 14;
+
+/// What happened. Field meanings:
+///
+/// * `line` — the line-aligned address the event concerns;
+/// * `occ` — the structure's occupancy *after* the operation;
+/// * `latency` — arrival cycle minus send-queue cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An ESP broadcast entered the sender's output queue.
+    BroadcastSend {
+        /// Line broadcast.
+        line: u64,
+    },
+    /// A broadcast arrived at a consumer node.
+    BroadcastArrive {
+        /// Line delivered.
+        line: u64,
+        /// Core cycles from send-queue entry to arrival.
+        latency: u64,
+    },
+    /// A remote load blocked: a BSHR wait entry was allocated.
+    BshrAllocate {
+        /// Line waited on.
+        line: u64,
+        /// BSHR occupancy after allocation.
+        occ: u32,
+    },
+    /// An arrival satisfied an outstanding BSHR wait.
+    BshrFill {
+        /// Line filled.
+        line: u64,
+        /// Loads released by the fill.
+        waiters: u32,
+        /// BSHR occupancy after the fill.
+        occ: u32,
+    },
+    /// An arrival was consumed by a pending squash (reparative
+    /// broadcast for a falsely-hit line).
+    BshrSquash {
+        /// Line squashed.
+        line: u64,
+        /// BSHR occupancy after the squash.
+        occ: u32,
+    },
+    /// A remote load found its data already buffered — the paper's
+    /// datathreading evidence.
+    BshrFoundBuffered {
+        /// Line found.
+        line: u64,
+        /// BSHR occupancy after consuming the buffer.
+        occ: u32,
+    },
+    /// A line entered the Data Commit Update Buffer.
+    DcubPush {
+        /// Line inserted.
+        line: u64,
+        /// DCUB occupancy after the push.
+        occ: u32,
+    },
+    /// A line left the DCUB at commit.
+    DcubDrain {
+        /// Line removed.
+        line: u64,
+        /// DCUB occupancy after the drain.
+        occ: u32,
+    },
+    /// Commit-time false hit: the repair (late broadcast at the owner,
+    /// squash post at non-owners) started.
+    FalseHitRepair {
+        /// Line repaired.
+        line: u64,
+    },
+    /// Instructions retired this cycle (recorded only on non-zero
+    /// cycles).
+    Commit {
+        /// Instructions retired.
+        n: u32,
+    },
+    /// The lead node changed — one datathread ended.
+    LeadChange {
+        /// The node that just *lost* the lead.
+        node: u32,
+        /// Cycles it held the lead.
+        held_cycles: u64,
+    },
+    /// The interconnect granted a transaction.
+    BusGrant {
+        /// Payload + header bytes moved.
+        bytes: u64,
+        /// Core cycles the message waited for the grant.
+        queue_delay: u64,
+    },
+}
+
+/// One cycle-stamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Core cycle the event happened on.
+    pub cycle: Cycle,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The recording interface the simulation crates call. Default methods
+/// are no-ops, so the disabled configuration ([`NoopProbe`]) costs
+/// nothing.
+pub trait Probe {
+    /// Records one event.
+    #[inline(always)]
+    fn record(&mut self, _cycle: Cycle, _kind: EventKind) {}
+
+    /// True when events are actually retained (lets callers skip
+    /// expensive event *construction*, not just recording).
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// The compile-time no-op probe: a zero-sized type whose inherited
+/// `record` is empty. This is what every call site monomorphises
+/// against when the `obs` feature is off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {}
+
+/// Derived metrics over one run's event stream, exposed on
+/// `RunResult::metrics`. Deterministic: two identical runs produce
+/// equal reports (asserted by `tests/determinism.rs` under
+/// `--features obs`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Broadcast latency (send-queue entry to arrival), one sample per
+    /// arrival at each consumer.
+    pub broadcast_latency: Histogram,
+    /// BSHR occupancy sampled after every BSHR transition — its max is
+    /// the high-water mark, its quantiles the occupancy curve.
+    pub bshr_occupancy: Histogram,
+    /// DCUB occupancy sampled after every push/drain.
+    pub dcub_occupancy: Histogram,
+    /// Datathread run lengths: cycles each lead-holding node kept the
+    /// lead before a lead change.
+    pub datathread_run_cycles: Histogram,
+    /// Instructions retired per busy commit cycle.
+    pub commit_burst: Histogram,
+    /// Events recorded across all rings (retained + overwritten).
+    pub events_recorded: u64,
+    /// Events overwritten after ring wraparound.
+    pub events_dropped: u64,
+}
+
+impl MetricsReport {
+    /// Folds one ring's retained events (and its drop counter) into the
+    /// report.
+    pub fn absorb(&mut self, ring: &EventRing) {
+        self.events_recorded += ring.len() as u64 + ring.dropped();
+        self.events_dropped += ring.dropped();
+        for ev in ring.iter() {
+            match ev.kind {
+                EventKind::BroadcastArrive { latency, .. } => {
+                    self.broadcast_latency.record(latency);
+                }
+                EventKind::BshrAllocate { occ, .. }
+                | EventKind::BshrFill { occ, .. }
+                | EventKind::BshrSquash { occ, .. }
+                | EventKind::BshrFoundBuffered { occ, .. } => {
+                    self.bshr_occupancy.record(occ as u64);
+                }
+                EventKind::DcubPush { occ, .. } | EventKind::DcubDrain { occ, .. } => {
+                    self.dcub_occupancy.record(occ as u64);
+                }
+                EventKind::LeadChange { held_cycles, .. } => {
+                    self.datathread_run_cycles.record(held_cycles);
+                }
+                EventKind::Commit { n } => {
+                    self.commit_burst.record(n as u64);
+                }
+                EventKind::BroadcastSend { .. }
+                | EventKind::FalseHitRepair { .. }
+                | EventKind::BusGrant { .. } => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_probe_records_nothing_and_reports_disabled() {
+        let mut p = NoopProbe;
+        p.record(1, EventKind::Commit { n: 4 });
+        assert!(!p.enabled());
+        assert_eq!(std::mem::size_of::<NoopProbe>(), 0);
+    }
+
+    #[test]
+    fn metrics_absorb_classifies_events() {
+        let mut r = Recorder::with_capacity(64);
+        r.record(5, EventKind::BroadcastSend { line: 0x100 });
+        r.record(9, EventKind::BroadcastArrive { line: 0x100, latency: 4 });
+        r.record(9, EventKind::BshrFill { line: 0x100, waiters: 2, occ: 1 });
+        r.record(10, EventKind::DcubPush { line: 0x140, occ: 3 });
+        r.record(12, EventKind::Commit { n: 6 });
+        r.record(20, EventKind::LeadChange { node: 1, held_cycles: 15 });
+        let mut m = MetricsReport::default();
+        m.absorb(r.ring());
+        assert_eq!(m.events_recorded, 6);
+        assert_eq!(m.events_dropped, 0);
+        assert_eq!(m.broadcast_latency.total(), 1);
+        assert_eq!(m.broadcast_latency.max(), Some(4));
+        assert_eq!(m.bshr_occupancy.count(1), 1);
+        assert_eq!(m.dcub_occupancy.count(3), 1);
+        assert_eq!(m.commit_burst.count(6), 1);
+        assert_eq!(m.datathread_run_cycles.max(), Some(15));
+    }
+
+    #[test]
+    fn metrics_count_dropped_events_after_wraparound() {
+        let mut r = Recorder::with_capacity(4);
+        for c in 0..10u64 {
+            r.record(c, EventKind::Commit { n: 1 });
+        }
+        let mut m = MetricsReport::default();
+        m.absorb(r.ring());
+        assert_eq!(m.events_recorded, 10);
+        assert_eq!(m.events_dropped, 6);
+        assert_eq!(m.commit_burst.total(), 4, "only retained events feed histograms");
+    }
+}

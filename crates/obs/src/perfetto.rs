@@ -1,0 +1,248 @@
+//! Chrome trace-event / Perfetto JSON export.
+//!
+//! Renders event rings as a timeline loadable in `ui.perfetto.dev` or
+//! `chrome://tracing`: one *process* per simulated component (node,
+//! system, interconnect), one *thread* per track. Instant events
+//! (`"ph":"i"`) mark protocol actions; counter events (`"ph":"C"`)
+//! chart BSHR/DCUB occupancy and commit throughput. `ts` is the
+//! simulated core cycle (the trace declares no time unit — read the
+//! axis as cycles).
+//!
+//! Within one track (a `(pid, tid)` pair) timestamps are monotonically
+//! non-decreasing. Rings are recorded in simulation order, but some
+//! events carry *future* cycle stamps (a broadcast send is stamped with
+//! the cycle its memory access completes, and bank queueing reorders
+//! those), so the exporter stable-sorts each source by cycle before
+//! emitting (asserted by the shape tests here and at workspace level).
+
+use crate::{EventKind, EventRing};
+use std::fmt::Write as _;
+
+/// One ring rendered under one process id.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSource<'a> {
+    /// Perfetto process id (we use node index; `N` = system,
+    /// `N + 1` = interconnect).
+    pub pid: u32,
+    /// Process name shown in the UI.
+    pub name: &'a str,
+    /// The events.
+    pub ring: &'a EventRing,
+}
+
+/// Track ids within a process. Disjoint per source kind so two sources
+/// sharing a pid (a node's memory side and its core) never interleave
+/// on one track.
+const TID_BROADCAST: u32 = 1;
+const TID_BSHR: u32 = 2;
+const TID_DCUB: u32 = 3;
+const TID_COMMIT: u32 = 4;
+const TID_LEAD: u32 = 5;
+const TID_BUS: u32 = 6;
+
+const TRACK_NAMES: [(u32, &str); 6] = [
+    (TID_BROADCAST, "broadcast"),
+    (TID_BSHR, "bshr"),
+    (TID_DCUB, "dcub"),
+    (TID_COMMIT, "commit"),
+    (TID_LEAD, "lead"),
+    (TID_BUS, "bus"),
+];
+
+/// Renders `sources` as one Chrome trace-event JSON document.
+pub fn trace_json(sources: &[TraceSource<'_>]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push_str(",\n");
+        }
+    };
+
+    // Process/thread name metadata: one process_name per distinct pid,
+    // thread names for every track a source's events actually use.
+    let mut named_pids: Vec<u32> = Vec::new();
+    let mut named_tracks: Vec<(u32, u32)> = Vec::new();
+    for s in sources {
+        if !named_pids.contains(&s.pid) {
+            named_pids.push(s.pid);
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                s.pid, s.name
+            );
+        }
+        for ev in s.ring.iter() {
+            let tid = tid_of(&ev.kind);
+            if !named_tracks.contains(&(s.pid, tid)) {
+                named_tracks.push((s.pid, tid));
+                let tname = TRACK_NAMES
+                    .iter()
+                    .find(|&&(t, _)| t == tid)
+                    .map(|&(_, n)| n)
+                    .unwrap_or("events");
+                sep(&mut out);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{tname}\"}}}}",
+                    s.pid
+                );
+            }
+        }
+    }
+
+    for s in sources {
+        let mut events: Vec<crate::Event> = s.ring.iter().copied().collect();
+        events.sort_by_key(|ev| ev.cycle); // stable: same-cycle order kept
+        for ev in &events {
+            sep(&mut out);
+            emit_event(&mut out, s.pid, ev.cycle, &ev.kind);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn tid_of(kind: &EventKind) -> u32 {
+    match kind {
+        EventKind::BroadcastSend { .. }
+        | EventKind::BroadcastArrive { .. }
+        | EventKind::FalseHitRepair { .. } => TID_BROADCAST,
+        EventKind::BshrAllocate { .. }
+        | EventKind::BshrFill { .. }
+        | EventKind::BshrSquash { .. }
+        | EventKind::BshrFoundBuffered { .. } => TID_BSHR,
+        EventKind::DcubPush { .. } | EventKind::DcubDrain { .. } => TID_DCUB,
+        EventKind::Commit { .. } => TID_COMMIT,
+        EventKind::LeadChange { .. } => TID_LEAD,
+        EventKind::BusGrant { .. } => TID_BUS,
+    }
+}
+
+fn emit_event(out: &mut String, pid: u32, ts: u64, kind: &EventKind) {
+    let tid = tid_of(kind);
+    let instant = |out: &mut String, name: &str, args: std::fmt::Arguments<'_>| {
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{pid},\
+             \"tid\":{tid},\"args\":{{{args}}}}}"
+        );
+    };
+    let counter = |out: &mut String, name: &str, key: &str, value: u64| {
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"{key}\":{value}}}}}"
+        );
+    };
+    match *kind {
+        EventKind::BroadcastSend { line } => {
+            instant(out, "send", format_args!("\"line\":{line}"));
+        }
+        EventKind::BroadcastArrive { line, latency } => {
+            instant(out, "arrive", format_args!("\"line\":{line},\"latency\":{latency}"));
+        }
+        EventKind::FalseHitRepair { line } => {
+            instant(out, "repair", format_args!("\"line\":{line}"));
+        }
+        EventKind::BshrAllocate { line, occ } => {
+            instant(out, "allocate", format_args!("\"line\":{line},\"occ\":{occ}"));
+        }
+        EventKind::BshrFill { line, waiters, occ } => {
+            instant(
+                out,
+                "fill",
+                format_args!("\"line\":{line},\"waiters\":{waiters},\"occ\":{occ}"),
+            );
+        }
+        EventKind::BshrSquash { line, occ } => {
+            instant(out, "squash", format_args!("\"line\":{line},\"occ\":{occ}"));
+        }
+        EventKind::BshrFoundBuffered { line, occ } => {
+            instant(out, "found-buffered", format_args!("\"line\":{line},\"occ\":{occ}"));
+        }
+        EventKind::DcubPush { occ, .. } => counter(out, "dcub occupancy", "occ", occ as u64),
+        EventKind::DcubDrain { occ, .. } => counter(out, "dcub occupancy", "occ", occ as u64),
+        EventKind::Commit { n } => counter(out, "committed", "n", n as u64),
+        EventKind::LeadChange { node, held_cycles } => {
+            instant(
+                out,
+                "lead-change",
+                format_args!("\"node\":{node},\"held_cycles\":{held_cycles}"),
+            );
+        }
+        EventKind::BusGrant { bytes, queue_delay } => {
+            instant(out, "grant", format_args!("\"bytes\":{bytes},\"queue_delay\":{queue_delay}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use crate::{EventKind, Probe, Recorder};
+
+    fn sample_sources() -> Vec<(String, Recorder)> {
+        let mut n0 = Recorder::with_capacity(64);
+        n0.record(2, EventKind::BroadcastSend { line: 0x100 });
+        n0.record(4, EventKind::DcubPush { line: 0x100, occ: 1 });
+        n0.record(9, EventKind::BshrAllocate { line: 0x200, occ: 1 });
+        n0.record(14, EventKind::BshrFill { line: 0x200, waiters: 1, occ: 0 });
+        n0.record(14, EventKind::BroadcastArrive { line: 0x200, latency: 8 });
+        let mut sys = Recorder::with_capacity(16);
+        sys.record(40, EventKind::LeadChange { node: 0, held_cycles: 40 });
+        vec![("node0".to_string(), n0), ("system".to_string(), sys)]
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_monotonic_tracks() {
+        let sources = sample_sources();
+        let refs: Vec<TraceSource<'_>> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, (name, r))| TraceSource { pid: i as u32, name, ring: r.ring() })
+            .collect();
+        let text = trace_json(&refs);
+        let v = crate::json::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_array).expect("traceEvents array");
+        assert!(!events.is_empty());
+        // ts monotonically non-decreasing per (pid, tid) track.
+        let mut last: Vec<((u64, u64), f64)> = Vec::new();
+        for e in events {
+            if e.get("ph").and_then(Value::as_str) == Some("M") {
+                continue;
+            }
+            let pid = e.get("pid").and_then(Value::as_f64).unwrap() as u64;
+            let tid = e.get("tid").and_then(Value::as_f64).unwrap() as u64;
+            let ts = e.get("ts").and_then(Value::as_f64).expect("ts");
+            match last.iter_mut().find(|(k, _)| *k == (pid, tid)) {
+                Some((_, prev)) => {
+                    assert!(*prev <= ts, "track ({pid},{tid}) went backwards");
+                    *prev = ts;
+                }
+                None => last.push(((pid, tid), ts)),
+            }
+        }
+        assert!(last.len() >= 3, "expected broadcast, bshr, dcub and lead tracks");
+    }
+
+    #[test]
+    fn trace_names_processes_and_threads() {
+        let sources = sample_sources();
+        let refs: Vec<TraceSource<'_>> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, (name, r))| TraceSource { pid: i as u32, name, ring: r.ring() })
+            .collect();
+        let text = trace_json(&refs);
+        assert!(text.contains("\"process_name\""));
+        assert!(text.contains("\"node0\""));
+        assert!(text.contains("\"broadcast\""));
+        assert!(text.contains("\"bshr\""));
+    }
+}

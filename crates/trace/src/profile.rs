@@ -6,21 +6,22 @@
 
 use crate::stream::{for_each_ref, RefEvent};
 use ds_asm::Program;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Access counts per virtual page.
 #[derive(Debug, Clone, Default)]
 pub struct PageProfile {
     /// Page size the profile was taken at.
     pub page_bytes: u64,
-    /// vpn -> reference count.
-    pub counts: HashMap<u64, u64>,
+    /// vpn -> reference count. Ordered so iteration (and everything
+    /// derived from it) is deterministic without re-sorting.
+    pub counts: BTreeMap<u64, u64>,
 }
 
 impl PageProfile {
     /// Profiles every reference (instruction and data) of `program`.
     pub fn collect(program: &Program, page_bytes: u64, max_insts: u64) -> Self {
-        let mut profile = PageProfile { page_bytes, counts: HashMap::new() };
+        let mut profile = PageProfile { page_bytes, counts: BTreeMap::new() };
         for_each_ref(program, max_insts, |e: RefEvent| {
             *profile.counts.entry(e.addr / page_bytes).or_insert(0) += 1;
         });

@@ -34,6 +34,19 @@ cargo run -q --release -p ds-lint -- .
 echo "== cargo test -p ds-core --features audit (correspondence auditor)"
 cargo test -p ds-core --features audit -q
 
+echo "== cargo test --features obs (instrumented build: goldens must stay byte-identical)"
+cargo test --features obs -q
+cargo test -p ds-core --features obs -q
+
+echo "== obs smoke: figure7_ipc --json/--trace-out, validated by obs_validate"
+cargo build -q --release -p ds-bench --features obs --bin figure7_ipc
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+target/release/figure7_ipc --quick \
+    --json "$obs_tmp/fig7.json" --trace-out "$obs_tmp/trace.json" > /dev/null
+cargo run -q --release -p ds-obs --bin obs_validate -- \
+    "$obs_tmp/fig7.json" "$obs_tmp/trace.json" BENCH_throughput.json
+
 echo "== cargo clippy (deny warnings)"
 cargo clippy --all-targets -- -D warnings
 

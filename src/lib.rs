@@ -22,6 +22,7 @@
 //! | [`lang`] | `ds-lang` | DSC, a small C-like language compiling to DS-1 |
 //! | [`workloads`] | `ds-workloads` | fifteen SPEC95-analog kernels |
 //! | [`stats`] | `ds-stats` | means, histograms, table rendering |
+//! | [`obs`] | `ds-obs` | event probes, derived metrics, Perfetto export |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@ pub use ds_isa as isa;
 pub use ds_lang as lang;
 pub use ds_mem as mem;
 pub use ds_net as net;
+pub use ds_obs as obs;
 pub use ds_stats as stats;
 pub use ds_trace as trace;
 pub use ds_workloads as workloads;

@@ -1,0 +1,111 @@
+//! Observability acceptance tests (built with `--features obs` only).
+//!
+//! The contract of the `obs` feature is *observation without
+//! perturbation*: `tests/golden_stats.rs` already re-asserts the exact
+//! pinned counters under this feature (it is not feature-gated, so
+//! `cargo test --features obs` runs it against the instrumented build).
+//! This file checks the other half — that the instrumented build
+//! actually *observes*: metrics are populated for DataScalar runs,
+//! deterministic across runs, and the Perfetto export is well-formed.
+
+#![cfg(feature = "obs")]
+
+use datascalar::core_model::DsSystem;
+use datascalar::obs::json::{self, Value};
+use datascalar::workloads::by_name;
+use ds_bench::{baseline_config, run_datascalar, run_perfect, run_traditional, Budget};
+
+#[test]
+fn metrics_populated_for_all_five_figure7_systems() {
+    let b = Budget::quick();
+    let w = by_name("compress").expect("registered workload");
+
+    // DataScalar runs observe broadcast traffic and commits.
+    for nodes in [2, 4] {
+        let r = run_datascalar(&w, nodes, b);
+        let m = r.metrics.as_ref().unwrap_or_else(|| panic!("ds{nodes}: metrics missing"));
+        assert!(m.events_recorded > 0, "ds{nodes}: no events recorded");
+        assert!(
+            m.broadcast_latency.total() > 0,
+            "ds{nodes}: no broadcast arrivals observed"
+        );
+        assert!(m.bshr_occupancy.total() > 0, "ds{nodes}: no BSHR transitions observed");
+        assert!(m.commit_burst.total() > 0, "ds{nodes}: no commits observed");
+        assert!(
+            m.datathread_run_cycles.total() > 0,
+            "ds{nodes}: no lead segments observed"
+        );
+    }
+
+    // The single-node comparison systems carry no event stream.
+    assert!(run_perfect(&w, b).metrics.is_none(), "perfect must not report metrics");
+    for nodes in [2, 4] {
+        assert!(
+            run_traditional(&w, nodes, b).metrics.is_none(),
+            "trad{nodes} must not report metrics"
+        );
+    }
+}
+
+#[test]
+fn metrics_deterministic_across_runs() {
+    let b = Budget::quick();
+    for name in ["compress", "go"] {
+        let w = by_name(name).expect("registered workload");
+        let a = run_datascalar(&w, 2, b);
+        let c = run_datascalar(&w, 2, b);
+        // Full RunResult equality includes the MetricsReport: the event
+        // stream itself must replay identically.
+        assert_eq!(a, c, "{name}: instrumented runs diverged");
+    }
+}
+
+#[test]
+fn perfetto_trace_is_valid_json_with_monotonic_tracks() {
+    let b = Budget::quick();
+    let w = by_name("compress").expect("registered workload");
+    let prog = (w.build)(b.scale);
+    let mut sys = DsSystem::new(baseline_config(4, b.max_insts), &prog);
+    sys.run().expect("workload executes");
+    let text = sys.perfetto_trace();
+
+    let v = json::parse(&text).expect("trace parses as JSON");
+    let events = v.get("traceEvents").and_then(Value::as_array).expect("traceEvents array");
+    assert!(events.len() > 100, "trace suspiciously small: {} events", events.len());
+
+    // Per-node broadcast, BSHR and commit tracks must exist (the
+    // acceptance criterion for `figure7_ipc --trace-out`).
+    for track in ["broadcast", "bshr", "commit"] {
+        assert!(
+            text.contains(&format!("\"name\":\"{track}\"")),
+            "missing {track} track metadata"
+        );
+    }
+    for pid in 0..4 {
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(Value::as_str) != Some("M")
+                    && e.get("pid").and_then(Value::as_f64) == Some(pid as f64)
+            }),
+            "node {pid} contributed no events"
+        );
+    }
+
+    // ts monotonically non-decreasing per (pid, tid) track.
+    let mut last: Vec<((u64, u64), f64)> = Vec::new();
+    for e in events {
+        if e.get("ph").and_then(Value::as_str) == Some("M") {
+            continue;
+        }
+        let pid = e.get("pid").and_then(Value::as_f64).expect("pid") as u64;
+        let tid = e.get("tid").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        let ts = e.get("ts").and_then(Value::as_f64).expect("ts");
+        match last.iter_mut().find(|(k, _)| *k == (pid, tid)) {
+            Some((_, prev)) => {
+                assert!(*prev <= ts, "track ({pid},{tid}) ts went backwards: {prev} > {ts}");
+                *prev = ts;
+            }
+            None => last.push(((pid, tid), ts)),
+        }
+    }
+}
