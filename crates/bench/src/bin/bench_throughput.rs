@@ -5,17 +5,24 @@
 //! summary (default `BENCH_throughput.json`, override with
 //! `--out <path>`). The JSON also records the pre-overhaul engine's
 //! throughput measured on the same machine at the same budget, so the
-//! speedup of the hot-path work is tracked in-repo. `--json <path>`
-//! additionally mirrors the wall-clock counters (insts/s, cycles/s)
-//! in the common `ds-bench-result/v1` schema.
+//! speedup of the hot-path work is tracked in-repo, and — when built
+//! with `--features obs` — each workload's stall-bucket shares, so a
+//! change that keeps throughput but moves cycles between buckets is
+//! visible. `--json <path>` additionally mirrors the wall-clock
+//! counters (insts/s, cycles/s) in the common `ds-bench-result/v1`
+//! schema. `--baseline <path>` diffs the fresh measurement against a
+//! committed summary with the same thresholds as `ds-report` and exits
+//! nonzero on a regression.
 //!
 //! Simulated *results* are pinned separately by `tests/golden_stats.rs`;
 //! this binary only measures how fast the engine reaches them.
 
 use std::time::Instant;
 
+use ds_bench::regress::{diff_documents, DiffOptions};
 use ds_bench::report::Report;
 use ds_bench::{run_datascalar, Budget};
+use ds_obs::StallBucket;
 use ds_stats::Table;
 use ds_workloads::by_name;
 
@@ -32,16 +39,24 @@ struct Row {
     committed: u64,
     cycles: u64,
     best_secs: f64,
+    /// Machine-wide stall buckets (`None` when built without `obs`).
+    account: Option<ds_obs::CycleAccount>,
 }
 
 fn main() {
     let mut out_path = String::from("BENCH_throughput.json");
     let mut report_path = None;
+    let mut baseline_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out takes a path"),
             "--json" => report_path = Some(args.next().expect("--json takes a path")),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline takes a path")),
+            // Consumed via flag_value when --baseline diffs.
+            "--max-drop" => {
+                args.next().expect("--max-drop takes a number");
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -61,7 +76,13 @@ fn main() {
             assert_eq!(r.committed, warm.committed, "nondeterministic run");
             best = best.min(secs);
         }
-        rows.push(Row { name, committed: warm.committed, cycles: warm.cycles, best_secs: best });
+        rows.push(Row {
+            name,
+            committed: warm.committed,
+            cycles: warm.cycles,
+            best_secs: best,
+            account: warm.stall_totals(),
+        });
         println!(
             "{name:<10} {} insts in {:.3}s  ({:.0} insts/s, {:.0} cycles/s)",
             warm.committed,
@@ -103,6 +124,28 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    // Stall-bucket shares of total machine cycles per workload, so the
+    // baseline diff can flag "same speed, different reason" changes.
+    // `null` in obs-off builds (no cycle accounting to report).
+    if rows.iter().all(|r| r.account.is_some()) {
+        json.push_str("  \"cycle_accounting\": {\n");
+        for (i, r) in rows.iter().enumerate() {
+            let acct = r.account.as_ref().expect("checked above");
+            json.push_str(&format!("    \"{}\": {{", r.name));
+            for (j, b) in StallBucket::ALL.iter().enumerate() {
+                json.push_str(&format!(
+                    "{}\"{}\": {:.6}",
+                    if j == 0 { "" } else { ", " },
+                    b.label(),
+                    acct.share(*b)
+                ));
+            }
+            json.push_str(&format!("}}{}\n", if i + 1 < rows.len() { "," } else { "" }));
+        }
+        json.push_str("  },\n");
+    } else {
+        json.push_str("  \"cycle_accounting\": null,\n");
+    }
     json.push_str(&format!("  \"combined_insts_per_sec\": {combined:.0},\n"));
     json.push_str(&format!("  \"combined_cycles_per_sec\": {combined_cycles:.0},\n"));
     json.push_str(&format!(
@@ -110,8 +153,34 @@ fn main() {
     ));
     json.push_str(&format!("  \"speedup_vs_pre_overhaul\": {speedup:.2}\n"));
     json.push_str("}\n");
-    std::fs::write(&out_path, json).expect("write JSON");
+    std::fs::write(&out_path, &json).expect("write JSON");
     println!("wrote {out_path}");
+
+    // `--baseline` gates the fresh measurement against a committed
+    // summary with the same thresholds (and overrides) as `ds-report`.
+    if let Some(path) = baseline_path {
+        let base_text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read --baseline {path}: {e}"));
+        let base = ds_obs::json::parse(&base_text)
+            .unwrap_or_else(|e| panic!("--baseline {path}: parse error: {e:?}"));
+        let new = ds_obs::json::parse(&json).expect("own output parses");
+        let mut opts = DiffOptions::default();
+        if let Some(v) = ds_bench::report::flag_value("--max-drop") {
+            opts.max_drop = v.parse().expect("--max-drop takes a number");
+        }
+        let diff = diff_documents(&base, &new, opts).expect("comparable documents");
+        for line in &diff.lines {
+            println!("  {line}");
+        }
+        if !diff.passed() {
+            eprintln!("FAIL vs baseline {path}: {} regression(s)", diff.failures.len());
+            for f in &diff.failures {
+                eprintln!("  REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("PASS vs baseline {path}");
+    }
 
     // `--json` mirrors the measurements in the common ds-bench-result/v1
     // schema (the `--out` file keeps its historical shape for the

@@ -1,0 +1,86 @@
+//! `ds-report` — regression-diff gate between two benchmark result
+//! documents.
+//!
+//! ```text
+//! ds-report <baseline.json> <current.json> [--max-drop F] [--max-bucket-shift F]
+//! ```
+//!
+//! Both files must be the same shape: two `ds-bench-result/v1`
+//! documents (any experiment binary's `--json` output) or two
+//! `BENCH_throughput.json` documents. Prints a per-cell diff and exits
+//! 0 when every gated number is within tolerance, 1 when a regression
+//! threshold is breached, 2 on usage/parse errors.
+
+use ds_bench::regress::{diff_documents, DiffOptions};
+use ds_bench::report::flag_value;
+use ds_obs::json::{parse, Value};
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: ds-report <baseline.json> <current.json> [--max-drop F] [--max-bucket-shift F]";
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: parse error: {e:?}"))
+}
+
+fn run() -> Result<bool, String> {
+    let files: Vec<String> = {
+        let mut args = std::env::args().skip(1).peekable();
+        let mut files = Vec::new();
+        while let Some(a) = args.next() {
+            if a.starts_with("--") {
+                // Flag values are re-read via flag_value below.
+                args.next();
+            } else {
+                files.push(a);
+            }
+        }
+        files
+    };
+    let [base_path, new_path] = files.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+
+    let mut opts = DiffOptions::default();
+    if let Some(v) = flag_value("--max-drop") {
+        opts.max_drop = v.parse().map_err(|_| format!("--max-drop: not a number: {v}"))?;
+    }
+    if let Some(v) = flag_value("--max-bucket-shift") {
+        opts.max_bucket_shift =
+            v.parse().map_err(|_| format!("--max-bucket-shift: not a number: {v}"))?;
+    }
+
+    let base = load(base_path)?;
+    let new = load(new_path)?;
+    let diff = diff_documents(&base, &new, opts)?;
+
+    println!("ds-report: {base_path} -> {new_path}");
+    for line in &diff.lines {
+        println!("  {line}");
+    }
+    if diff.passed() {
+        println!(
+            "PASS: within tolerance (max drop {:.0}%, max bucket shift {:.0} points)",
+            opts.max_drop * 100.0,
+            opts.max_bucket_shift * 100.0
+        );
+    } else {
+        println!("FAIL: {} regression(s)", diff.failures.len());
+        for f in &diff.failures {
+            println!("  REGRESSION: {f}");
+        }
+    }
+    Ok(diff.passed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("ds-report: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -20,6 +20,7 @@
 use ds_core::{DsConfig, DsSystem, PerfectSystem, RunResult, TraditionalConfig, TraditionalSystem};
 use ds_workloads::{figure7_set, Scale, Workload};
 
+pub mod regress;
 pub mod report;
 pub mod runner;
 pub mod sweep;

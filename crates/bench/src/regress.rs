@@ -1,0 +1,385 @@
+//! Regression diffing between two benchmark result documents — the
+//! logic behind the `ds-report` binary and `bench_throughput
+//! --baseline`.
+//!
+//! Two shapes are understood:
+//!
+//! * `ds-bench-result/v1` documents (any experiment binary's `--json`
+//!   output): table cells are diffed informationally; named numbers
+//!   whose key marks them higher-is-better (`*_per_sec`, `*ipc*`,
+//!   `*speedup*`) gate on a relative drop.
+//! * `BENCH_throughput.json` (the historical `--out` shape): combined
+//!   and per-workload `insts_per_sec` gate on a relative drop, and the
+//!   `cycle_accounting` bucket shares gate on an absolute shift —
+//!   catching a run that is as fast as before but spends its cycles
+//!   somewhere new.
+//!
+//! Pure comparison, no I/O: callers parse with [`ds_obs::json`] and
+//! decide what to do with a failed [`Diff`].
+
+use ds_obs::json::Value;
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Maximum tolerated relative drop in a higher-is-better number
+    /// (0.08 = new may be up to 8% below baseline).
+    pub max_drop: f64,
+    /// Maximum tolerated absolute shift in a stall bucket's share of
+    /// total cycles (0.10 = ten share points).
+    pub max_bucket_shift: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        // A synthetic 10% throughput drop must fail the gate; timing
+        // noise on a loaded machine must not. 8% splits those.
+        DiffOptions { max_drop: 0.08, max_bucket_shift: 0.10 }
+    }
+}
+
+/// The rendered comparison: human-readable lines plus the subset that
+/// breached a threshold.
+#[derive(Debug, Clone, Default)]
+pub struct Diff {
+    /// Per-cell/per-number report lines, in document order.
+    pub lines: Vec<String>,
+    /// Threshold breaches (empty == gate passes).
+    pub failures: Vec<String>,
+}
+
+impl Diff {
+    /// True when no threshold was breached.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares `base` against `new`, dispatching on document shape.
+///
+/// # Errors
+///
+/// Returns a message when the documents are of different or unknown
+/// shapes.
+pub fn diff_documents(base: &Value, new: &Value, opts: DiffOptions) -> Result<Diff, String> {
+    let schema = |v: &Value| v.get("schema").and_then(Value::as_str).map(str::to_string);
+    match (schema(base), schema(new)) {
+        (Some(a), Some(b)) if a == b => Ok(diff_reports(base, new, opts)),
+        (Some(a), Some(b)) => Err(format!("schema mismatch: baseline {a}, current {b}")),
+        (None, None)
+            if base.get("combined_insts_per_sec").is_some()
+                && new.get("combined_insts_per_sec").is_some() =>
+        {
+            Ok(diff_throughput(base, new, opts))
+        }
+        _ => Err("unrecognised document shape (expected two ds-bench-result/v1 \
+                  documents or two BENCH_throughput.json documents)"
+            .to_string()),
+    }
+}
+
+/// True for number names where bigger is better (gate on drops).
+fn higher_is_better(name: &str) -> bool {
+    name.contains("per_sec") || name.contains("ipc") || name.contains("speedup")
+}
+
+fn pct(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (new - old) / old * 100.0
+    }
+}
+
+fn diff_reports(base: &Value, new: &Value, opts: DiffOptions) -> Diff {
+    let mut d = Diff::default();
+
+    // Tables: cell-level diff, informational (cells are strings; the
+    // numeric gate lives on the named numbers).
+    let tables = |v: &Value| -> Vec<(String, Vec<Vec<String>>)> {
+        let mut out = Vec::new();
+        for t in v.get("tables").and_then(Value::as_array).unwrap_or(&[]) {
+            let title =
+                t.get("title").and_then(Value::as_str).unwrap_or("untitled").to_string();
+            let rows = t
+                .get("rows")
+                .and_then(Value::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .map(|r| {
+                    r.as_array()
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(|c| c.as_str().unwrap_or("?").to_string())
+                        .collect()
+                })
+                .collect();
+            out.push((title, rows));
+        }
+        out
+    };
+    let bt = tables(base);
+    let nt = tables(new);
+    const MAX_CELL_DIFFS: usize = 20;
+    let mut cell_diffs = 0usize;
+    for (title, base_rows) in &bt {
+        let Some((_, new_rows)) = nt.iter().find(|(t, _)| t == title) else {
+            d.lines.push(format!("table \"{title}\": missing from current document"));
+            continue;
+        };
+        if base_rows.len() != new_rows.len() {
+            d.lines.push(format!(
+                "table \"{title}\": {} rows -> {} rows",
+                base_rows.len(),
+                new_rows.len()
+            ));
+        }
+        for (i, (br, nr)) in base_rows.iter().zip(new_rows).enumerate() {
+            for (j, (bc, nc)) in br.iter().zip(nr).enumerate() {
+                if bc != nc {
+                    cell_diffs += 1;
+                    if cell_diffs <= MAX_CELL_DIFFS {
+                        d.lines.push(format!(
+                            "table \"{title}\" row {i} col {j}: {bc} -> {nc}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if cell_diffs > MAX_CELL_DIFFS {
+        d.lines.push(format!("... and {} more cell diffs", cell_diffs - MAX_CELL_DIFFS));
+    }
+    if cell_diffs == 0 && !bt.is_empty() {
+        d.lines.push("tables: identical".to_string());
+    }
+
+    // Numbers: the gate.
+    let numbers = |v: &Value| -> Vec<(String, f64)> {
+        match v.get("numbers") {
+            Some(Value::Obj(members)) => members
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    for (name, old) in numbers(base) {
+        let Some((_, new_v)) = numbers(new).into_iter().find(|(k, _)| *k == name) else {
+            d.lines.push(format!("number {name}: missing from current document"));
+            continue;
+        };
+        d.lines.push(format!(
+            "number {name}: {old:.4} -> {new_v:.4} ({:+.2}%)",
+            pct(old, new_v)
+        ));
+        if higher_is_better(&name) && new_v < old * (1.0 - opts.max_drop) {
+            d.failures.push(format!(
+                "{name} dropped {:.2}% (limit {:.0}%): {old:.2} -> {new_v:.2}",
+                -pct(old, new_v),
+                opts.max_drop * 100.0
+            ));
+        }
+    }
+    d
+}
+
+fn diff_throughput(base: &Value, new: &Value, opts: DiffOptions) -> Diff {
+    let mut d = Diff::default();
+    let mut gate = |name: &str, old: Option<f64>, new_v: Option<f64>, max_drop: f64| {
+        match (old, new_v) {
+            (Some(o), Some(n)) => {
+                d.lines.push(format!("{name}: {o:.0} -> {n:.0} ({:+.2}%)", pct(o, n)));
+                if n < o * (1.0 - max_drop) {
+                    d.failures.push(format!(
+                        "{name} dropped {:.2}% (limit {:.0}%): {o:.0} -> {n:.0}",
+                        -pct(o, n),
+                        max_drop * 100.0
+                    ));
+                }
+            }
+            _ => d.lines.push(format!("{name}: missing on one side, skipped")),
+        }
+    };
+
+    let num = |v: &Value, k: &str| v.get(k).and_then(Value::as_f64);
+    gate(
+        "combined_insts_per_sec",
+        num(base, "combined_insts_per_sec"),
+        num(new, "combined_insts_per_sec"),
+        opts.max_drop,
+    );
+
+    let workloads = |v: &Value| -> Vec<(String, f64)> {
+        v.get("workloads")
+            .and_then(Value::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(|w| {
+                Some((
+                    w.get("name")?.as_str()?.to_string(),
+                    w.get("insts_per_sec")?.as_f64()?,
+                ))
+            })
+            .collect()
+    };
+    // Single-workload wall-clock timings jitter more than the combined
+    // figure (observed ~7% run-to-run on a loaded machine vs ~4% for
+    // the sum), so the per-workload gate gets double slack: it exists
+    // to catch one workload cratering while the other masks it in the
+    // combined number, not to re-gate the combined threshold twice.
+    let new_w = workloads(new);
+    for (name, old) in workloads(base) {
+        let cur = new_w.iter().find(|(n, _)| *n == name).map(|&(_, v)| v);
+        gate(&format!("{name} insts_per_sec"), Some(old), cur, opts.max_drop * 2.0);
+    }
+
+    // Stall-bucket shares: absolute shift gate. A null/missing block on
+    // either side (an obs-off measurement) is noted and skipped.
+    match (base.get("cycle_accounting"), new.get("cycle_accounting")) {
+        (Some(Value::Obj(bw)), Some(Value::Obj(nw))) => {
+            for (wname, bshares) in bw {
+                let Some((_, nshares)) = nw.iter().find(|(k, _)| k == wname) else {
+                    d.lines.push(format!(
+                        "cycle_accounting {wname}: missing from current document"
+                    ));
+                    continue;
+                };
+                let (Value::Obj(bs), Value::Obj(ns)) = (bshares, nshares) else {
+                    continue;
+                };
+                for (bucket, old_share) in bs {
+                    let Some(o) = old_share.as_f64() else { continue };
+                    let n = ns
+                        .iter()
+                        .find(|(k, _)| k == bucket)
+                        .and_then(|(_, v)| v.as_f64())
+                        .unwrap_or(0.0);
+                    let shift = n - o;
+                    if shift.abs() > 1e-4 {
+                        d.lines.push(format!(
+                            "{wname} {bucket}: {:.1}% -> {:.1}% of cycles",
+                            o * 100.0,
+                            n * 100.0
+                        ));
+                    }
+                    if shift.abs() > opts.max_bucket_shift {
+                        d.failures.push(format!(
+                            "{wname} stall bucket {bucket} shifted {:+.1} share points \
+                             (limit {:.0}): {:.1}% -> {:.1}%",
+                            shift * 100.0,
+                            opts.max_bucket_shift * 100.0,
+                            o * 100.0,
+                            n * 100.0
+                        ));
+                    }
+                }
+            }
+        }
+        (a, b) if a.is_some() || b.is_some() => {
+            d.lines.push(
+                "cycle_accounting: absent or null on one side (obs-off \
+                 measurement?), bucket gate skipped"
+                    .to_string(),
+            );
+        }
+        _ => {}
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_obs::json::parse;
+
+    fn throughput_doc(combined: f64, compress: f64, committing: f64) -> Value {
+        parse(&format!(
+            r#"{{
+              "workloads": [
+                {{"name": "compress", "committed": 1, "insts_per_sec": {compress}}}
+              ],
+              "combined_insts_per_sec": {combined},
+              "cycle_accounting": {{
+                "compress": {{"committing": {committing}, "idle": {}}}
+              }}
+            }}"#,
+            1.0 - committing
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_throughput_docs_pass() {
+        let a = throughput_doc(1000.0, 1000.0, 0.5);
+        let d = diff_documents(&a, &a, DiffOptions::default()).unwrap();
+        assert!(d.passed(), "{:?}", d.failures);
+        assert!(!d.lines.is_empty());
+    }
+
+    #[test]
+    fn ten_percent_drop_fails_default_gate() {
+        let base = throughput_doc(1000.0, 1000.0, 0.5);
+        let new = throughput_doc(900.0, 900.0, 0.5);
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(!d.passed());
+        assert!(d.failures.iter().any(|f| f.contains("combined_insts_per_sec")));
+    }
+
+    #[test]
+    fn small_drop_passes_default_gate() {
+        let base = throughput_doc(1000.0, 1000.0, 0.5);
+        let new = throughput_doc(950.0, 950.0, 0.5);
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(d.passed(), "{:?}", d.failures);
+    }
+
+    #[test]
+    fn bucket_shift_fails_gate() {
+        let base = throughput_doc(1000.0, 1000.0, 0.5);
+        let new = throughput_doc(1000.0, 1000.0, 0.3);
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(!d.passed());
+        assert!(d.failures.iter().any(|f| f.contains("committing")));
+    }
+
+    #[test]
+    fn null_cycle_accounting_is_skipped_not_failed() {
+        let base = throughput_doc(1000.0, 1000.0, 0.5);
+        let new = parse(
+            r#"{"workloads": [{"name": "compress", "insts_per_sec": 1000}],
+                "combined_insts_per_sec": 1000,
+                "cycle_accounting": null}"#,
+        )
+        .unwrap();
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(d.passed(), "{:?}", d.failures);
+        assert!(d.lines.iter().any(|l| l.contains("bucket gate skipped")));
+    }
+
+    #[test]
+    fn v1_reports_gate_on_throughput_numbers() {
+        let doc = |ipc: f64| {
+            parse(&format!(
+                r#"{{"schema": "ds-bench-result/v1", "binary": "x", "budget": null,
+                    "tables": [{{"title": "t", "headers": ["a"], "rows": [["1.0"]]}}],
+                    "numbers": {{"mean_ipc": {ipc}, "note_count": 3}},
+                    "notes": []}}"#
+            ))
+            .unwrap()
+        };
+        let d = diff_documents(&doc(2.0), &doc(1.5), DiffOptions::default()).unwrap();
+        assert!(!d.passed());
+        assert!(d.failures.iter().any(|f| f.contains("mean_ipc")));
+        // Lower note_count is not a failure: not higher-is-better.
+        let d2 = diff_documents(&doc(2.0), &doc(2.0), DiffOptions::default()).unwrap();
+        assert!(d2.passed());
+    }
+
+    #[test]
+    fn mismatched_shapes_error() {
+        let v1 = parse(r#"{"schema": "ds-bench-result/v1", "tables": []}"#).unwrap();
+        let tp = throughput_doc(1.0, 1.0, 0.5);
+        assert!(diff_documents(&v1, &tp, DiffOptions::default()).is_err());
+    }
+}

@@ -106,6 +106,14 @@ impl Bshr {
         self.waits.is_empty() && self.buffered_count == 0 && self.pending_squashes.is_empty()
     }
 
+    /// True while any arrival is still due to be squashed on sight — a
+    /// false-hit repair is in flight (used by cycle accounting to
+    /// charge remote waits to commit-repair instead of plain BSHR
+    /// latency).
+    pub fn has_pending_squashes(&self) -> bool {
+        !self.pending_squashes.is_empty()
+    }
+
     fn note_occupancy(&mut self) {
         let occ = self.occupancy();
         if occ > self.stats.max_occupancy {

@@ -361,13 +361,23 @@ impl MemSystem for MemSide {
 pub struct Node {
     pub(crate) core: OooCore,
     pub(crate) ms: MemSide,
+    /// Cumulative `CycleAccount` snapshots for the Perfetto stall
+    /// counter track, taken every [`SAMPLE_INTERVAL`] cycles.
+    #[cfg(feature = "obs")]
+    samples: Vec<(Cycle, ds_obs::CycleAccount)>,
 }
+
+/// Cycles between stall-counter snapshots in the Perfetto export.
+#[cfg(feature = "obs")]
+const SAMPLE_INTERVAL: u64 = 4096;
 
 impl Node {
     pub(crate) fn new(id: NodeId, pt: Rc<PageTable>, config: &DsConfig) -> Self {
         Node {
             core: OooCore::new(config.core, config.icache.line_bytes),
             ms: MemSide::new(id, pt, config),
+            #[cfg(feature = "obs")]
+            samples: Vec::with_capacity(256),
         }
     }
 
@@ -448,6 +458,70 @@ impl Node {
     #[cfg(feature = "obs")]
     pub fn core_events(&self) -> &ds_obs::EventRing {
         self.core.events()
+    }
+
+    /// Charges `now` to exactly one stall bucket (top-down cycle
+    /// accounting). Called once per simulated cycle by `DsSystem::run`,
+    /// after the node stepped; `bus_busy` is whether the interconnect
+    /// was occupied this cycle. Hot path: one classification, one array
+    /// increment, no allocation.
+    #[cfg(feature = "obs")]
+    pub(crate) fn charge_cycle(&mut self, now: Cycle, bus_busy: bool) {
+        use ds_cpu::CoreStall;
+        use ds_obs::{PcStallKind, StallBucket};
+        if now.is_multiple_of(SAMPLE_INTERVAL) {
+            // Snapshot *before* charging: the sample at cycle C covers
+            // charges for cycles [0, C).
+            self.samples.push((now, *self.ms.probe.account()));
+        }
+        let bucket = match self.core.stall_class(now) {
+            CoreStall::Committing => StallBucket::Committing,
+            CoreStall::RemoteMemWait { pc } => {
+                // Refine the remote wait: a pending squash means a
+                // false-hit repair is in flight (commit-repair); a busy
+                // bus means the wait is contention, not pure broadcast
+                // latency. Only the residual pure wait is attributed to
+                // the PC, so per-PC cycles sum to the bshr-wait-remote
+                // bucket exactly.
+                if self.ms.bshr.has_pending_squashes() {
+                    StallBucket::CommitRepair
+                } else if bus_busy {
+                    StallBucket::BusContentionWait
+                } else {
+                    self.ms.probe.charge_pc(pc, PcStallKind::RemoteWait);
+                    StallBucket::BshrWaitRemote
+                }
+            }
+            CoreStall::LocalMemWait { pc } => {
+                self.ms.probe.charge_pc(pc, PcStallKind::LocalWait);
+                StallBucket::LocalMemWait
+            }
+            CoreStall::RuuFull => StallBucket::RuuFull,
+            CoreStall::LsqFull => StallBucket::LsqFull,
+            CoreStall::SquashReplay => StallBucket::SquashReplay,
+            CoreStall::FetchStall => StallBucket::FetchStall,
+            CoreStall::Idle => StallBucket::Idle,
+        };
+        self.ms.probe.charge(bucket);
+    }
+
+    /// This node's cycle ledger (instrumented builds only).
+    #[cfg(feature = "obs")]
+    pub fn cycle_account(&self) -> &ds_obs::CycleAccount {
+        self.ms.probe.account()
+    }
+
+    /// This node's per-PC memory-wait profile (instrumented builds
+    /// only).
+    #[cfg(feature = "obs")]
+    pub fn pc_profile(&self) -> &ds_obs::PcProfile {
+        self.ms.probe.pc_profile()
+    }
+
+    /// Cumulative account snapshots for the stall counter track.
+    #[cfg(feature = "obs")]
+    pub(crate) fn samples(&self) -> &[(Cycle, ds_obs::CycleAccount)] {
+        &self.samples
     }
 
     /// Snapshot of this node's statistics.

@@ -54,6 +54,9 @@ pub struct PerfectSystem {
     trace: TraceSource,
     cycles: Cycle,
     max_insts: u64,
+    /// Cycle accounting (observational; instrumented builds only).
+    #[cfg(feature = "obs")]
+    probe: crate::node::NodeProbe,
 }
 
 impl PerfectSystem {
@@ -73,6 +76,8 @@ impl PerfectSystem {
             trace: TraceSource::new(FuncCore::with_stack(program.entry, program.stack_top), mem),
             cycles: 0,
             max_insts: config.max_insts.unwrap_or(u64::MAX),
+            #[cfg(feature = "obs")]
+            probe: Default::default(),
         }
     }
 
@@ -84,6 +89,8 @@ impl PerfectSystem {
     pub fn run(&mut self) -> Result<RunResult, ExecError> {
         while !self.core.is_done() && self.core.committed() < self.max_insts {
             self.core.step(&mut self.ms, &mut self.trace, self.cycles)?;
+            #[cfg(feature = "obs")]
+            self.charge_cycle(self.cycles);
             self.cycles += 1;
             if self.cycles.is_multiple_of(1024) {
                 self.trace.trim(self.core.fetch_cursor());
@@ -97,8 +104,51 @@ impl PerfectSystem {
             nodes: vec![stats],
             bus: Default::default(),
             trace_window_high_water: self.trace.max_window_len(),
-            metrics: None,
+            metrics: self.metrics(),
         })
+    }
+
+    /// Charges `now` to one stall bucket. Loads are always serviced in
+    /// one cycle here, so a remote wait can never arise; the arm is
+    /// kept for totality.
+    #[cfg(feature = "obs")]
+    fn charge_cycle(&mut self, now: Cycle) {
+        use ds_cpu::CoreStall;
+        use ds_obs::{PcStallKind, Probe as _, StallBucket};
+        let bucket = match self.core.stall_class(now) {
+            CoreStall::Committing => StallBucket::Committing,
+            CoreStall::RemoteMemWait { pc } => {
+                self.probe.charge_pc(pc, PcStallKind::RemoteWait);
+                StallBucket::BshrWaitRemote
+            }
+            CoreStall::LocalMemWait { pc } => {
+                self.probe.charge_pc(pc, PcStallKind::LocalWait);
+                StallBucket::LocalMemWait
+            }
+            CoreStall::RuuFull => StallBucket::RuuFull,
+            CoreStall::LsqFull => StallBucket::LsqFull,
+            CoreStall::SquashReplay => StallBucket::SquashReplay,
+            CoreStall::FetchStall => StallBucket::FetchStall,
+            CoreStall::Idle => StallBucket::Idle,
+        };
+        self.probe.charge(bucket);
+    }
+
+    #[cfg(not(feature = "obs"))]
+    fn metrics(&self) -> Option<ds_obs::MetricsReport> {
+        None
+    }
+
+    #[cfg(feature = "obs")]
+    fn metrics(&self) -> Option<ds_obs::MetricsReport> {
+        let mut m = ds_obs::MetricsReport::default();
+        m.absorb(self.core.events());
+        let acct = *self.probe.account();
+        #[cfg(any(debug_assertions, feature = "audit"))]
+        assert_eq!(acct.total(), self.cycles, "stall buckets must sum to total cycles");
+        m.node_accounts.push(acct);
+        m.hot_pcs = ds_obs::top_hot_pcs([self.probe.pc_profile()], 16);
+        Some(m)
     }
 }
 

@@ -89,10 +89,12 @@ pub struct RunResult {
     /// skew plus in-flight instructions) — bounds simulator memory.
     pub trace_window_high_water: usize,
     /// Derived event-stream metrics (broadcast latency, BSHR/DCUB
-    /// occupancy, datathread run lengths). `Some` only for DataScalar
-    /// runs under the `obs` feature; `None` otherwise. Deliberately
-    /// excluded from the golden fingerprints — observation must not
-    /// perturb the pinned counters.
+    /// occupancy, datathread run lengths, per-node cycle accounts and
+    /// hot-PC tables). `Some` under the `obs` feature — DataScalar runs
+    /// carry the full event stream, traditional/perfect runs commit
+    /// events plus cycle accounting — and `None` otherwise.
+    /// Deliberately excluded from the golden fingerprints —
+    /// observation must not perturb the pinned counters.
     pub metrics: Option<MetricsReport>,
 }
 
@@ -113,6 +115,21 @@ impl RunResult {
             return 0.0;
         }
         self.nodes.iter().map(f).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// The per-node stall buckets merged into one machine-wide ledger
+    /// (its total is `cycles * nodes`). `None` without cycle-accounting
+    /// metrics (the `obs` feature off).
+    pub fn stall_totals(&self) -> Option<ds_obs::CycleAccount> {
+        let m = self.metrics.as_ref()?;
+        if m.node_accounts.is_empty() {
+            return None;
+        }
+        let mut total = ds_obs::CycleAccount::default();
+        for a in &m.node_accounts {
+            total.merge(a);
+        }
+        Some(total)
     }
 }
 

@@ -131,6 +131,16 @@ impl DsSystem {
             self.absorb_audit();
             #[cfg(feature = "obs")]
             self.track_lead(now);
+            // Top-down cycle accounting: charge this cycle to exactly
+            // one bucket per node. Runs before `cycles += 1`, so every
+            // node's account total equals `cycles` exactly.
+            #[cfg(feature = "obs")]
+            {
+                let bus_busy = !self.bus.is_idle();
+                for node in &mut self.nodes {
+                    node.charge_cycle(now, bus_busy);
+                }
+            }
             // 2. Ready broadcasts enter the bus.
             for node in &mut self.nodes {
                 while let Some(msg) = node.next_outgoing(now) {
@@ -303,15 +313,79 @@ impl DsSystem {
     /// [`ds_obs::MetricsReport`].
     fn metrics(&self) -> Option<ds_obs::MetricsReport> {
         let mut m = ds_obs::MetricsReport::default();
-        for n in &self.nodes {
+        for (i, n) in self.nodes.iter().enumerate() {
             m.absorb(n.events());
             m.absorb(n.core_events());
+            let acct = *n.cycle_account();
+            // The tentpole invariant: every simulated cycle was charged
+            // to exactly one bucket.
+            #[cfg(any(debug_assertions, feature = "audit"))]
+            assert_eq!(
+                acct.total(),
+                self.cycles,
+                "node {i} stall buckets must sum to total cycles"
+            );
+            let _ = i;
+            m.node_accounts.push(acct);
         }
+        m.hot_pcs = ds_obs::top_hot_pcs(self.nodes.iter().map(|n| n.pc_profile()), 16);
         if let Some(ring) = self.bus.events() {
             m.absorb(ring);
         }
         m.absorb(self.probe.ring());
         Some(m)
+    }
+
+    /// Renders the per-node cycle accounts (and per-PC memory-wait
+    /// profiles) in the flamegraph folded-stacks text format: one
+    /// `frame;frame value` line per leaf. Feed to `flamegraph.pl` or
+    /// any folded-stacks viewer. Per node, the leaf values sum exactly
+    /// to the run's total cycles.
+    pub fn folded_stacks(&self) -> String {
+        use ds_obs::StallBucket;
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let acct = node.cycle_account();
+            let profile = node.pc_profile();
+            for b in StallBucket::ALL {
+                let cycles = acct.get(b);
+                if cycles == 0 {
+                    continue;
+                }
+                match b {
+                    // PC-attributed buckets: the per-PC leaves (plus any
+                    // overflow remainder) sum exactly to the bucket, so
+                    // the bucket frame itself is emitted only via its
+                    // children to avoid double counting.
+                    StallBucket::BshrWaitRemote | StallBucket::LocalMemWait => {
+                        let remote = b == StallBucket::BshrWaitRemote;
+                        let mut attributed = 0u64;
+                        for e in profile.entries() {
+                            let n = if remote { e.remote_wait } else { e.local_wait };
+                            if n > 0 {
+                                let _ = writeln!(
+                                    out,
+                                    "node{i};{};0x{:x} {n}",
+                                    b.label(),
+                                    e.pc
+                                );
+                                attributed += n;
+                            }
+                        }
+                        let rest = cycles - attributed;
+                        if rest > 0 {
+                            let _ =
+                                writeln!(out, "node{i};{};(overflow) {rest}", b.label());
+                        }
+                    }
+                    _ => {
+                        let _ = writeln!(out, "node{i};{} {cycles}", b.label());
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Renders the run's event rings as a Chrome trace-event / Perfetto
@@ -331,7 +405,19 @@ impl DsSystem {
         if let Some(ring) = self.bus.events() {
             sources.push(TraceSource { pid: n + 1, name: "interconnect", ring });
         }
-        ds_obs::perfetto::trace_json(&sources)
+        // Stall-bucket occupancy counter tracks, sampled from the
+        // cycle accounts (they live outside the rings).
+        let mut extras: Vec<String> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            ds_obs::perfetto::stall_counter_events(
+                i as u32,
+                node.samples(),
+                self.cycles,
+                node.cycle_account(),
+                &mut extras,
+            );
+        }
+        ds_obs::perfetto::trace_json_with(&sources, &extras)
     }
 }
 

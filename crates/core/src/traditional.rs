@@ -217,6 +217,9 @@ pub struct TraditionalSystem {
     max_insts: u64,
     watchdog_cycles: u64,
     queue_penalty: u64,
+    /// Cycle accounting (observational; instrumented builds only).
+    #[cfg(feature = "obs")]
+    probe: crate::node::NodeProbe,
 }
 
 impl TraditionalSystem {
@@ -265,6 +268,8 @@ impl TraditionalSystem {
             max_insts: base.max_insts.unwrap_or(u64::MAX),
             watchdog_cycles: base.watchdog_cycles,
             queue_penalty: base.queue_penalty,
+            #[cfg(feature = "obs")]
+            probe: Default::default(),
         }
     }
 
@@ -285,6 +290,8 @@ impl TraditionalSystem {
         while !self.core.is_done() && self.core.committed() < self.max_insts {
             let now = self.cycles;
             self.core.step(&mut self.ms, &mut self.trace, now)?;
+            #[cfg(feature = "obs")]
+            self.charge_cycle(now);
             // Due CPU-side messages and memory-side responses enter the
             // bus merged in (ready, seq) order, CPU side first on ties
             // (the order the old merge-and-stable-sort produced).
@@ -357,6 +364,38 @@ impl TraditionalSystem {
         }
     }
 
+    /// Charges `now` to one stall bucket. No BSHR exists here, so a
+    /// remote wait is a generic off-chip request/response wait: charged
+    /// to bus contention while the bus is occupied, otherwise to the
+    /// `bshr-wait-remote` bucket in its generic "waiting on remote
+    /// data" reading.
+    #[cfg(feature = "obs")]
+    fn charge_cycle(&mut self, now: Cycle) {
+        use ds_cpu::CoreStall;
+        use ds_obs::{PcStallKind, Probe as _, StallBucket};
+        let bucket = match self.core.stall_class(now) {
+            CoreStall::Committing => StallBucket::Committing,
+            CoreStall::RemoteMemWait { pc } => {
+                if !self.bus.is_idle() {
+                    StallBucket::BusContentionWait
+                } else {
+                    self.probe.charge_pc(pc, PcStallKind::RemoteWait);
+                    StallBucket::BshrWaitRemote
+                }
+            }
+            CoreStall::LocalMemWait { pc } => {
+                self.probe.charge_pc(pc, PcStallKind::LocalWait);
+                StallBucket::LocalMemWait
+            }
+            CoreStall::RuuFull => StallBucket::RuuFull,
+            CoreStall::LsqFull => StallBucket::LsqFull,
+            CoreStall::SquashReplay => StallBucket::SquashReplay,
+            CoreStall::FetchStall => StallBucket::FetchStall,
+            CoreStall::Idle => StallBucket::Idle,
+        };
+        self.probe.charge(bucket);
+    }
+
     /// The results accumulated so far.
     pub fn result(&self) -> RunResult {
         let mut stats = self.ms.stats;
@@ -368,8 +407,25 @@ impl TraditionalSystem {
             nodes: vec![stats],
             bus: *self.bus.stats(),
             trace_window_high_water: self.trace.max_window_len(),
-            metrics: None,
+            metrics: self.metrics(),
         }
+    }
+
+    #[cfg(not(feature = "obs"))]
+    fn metrics(&self) -> Option<ds_obs::MetricsReport> {
+        None
+    }
+
+    #[cfg(feature = "obs")]
+    fn metrics(&self) -> Option<ds_obs::MetricsReport> {
+        let mut m = ds_obs::MetricsReport::default();
+        m.absorb(self.core.events());
+        let acct = *self.probe.account();
+        #[cfg(any(debug_assertions, feature = "audit"))]
+        assert_eq!(acct.total(), self.cycles, "stall buckets must sum to total cycles");
+        m.node_accounts.push(acct);
+        m.hot_pcs = ds_obs::top_hot_pcs([self.probe.pc_profile()], 16);
+        Some(m)
     }
 }
 

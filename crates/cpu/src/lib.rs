@@ -28,7 +28,7 @@ mod trace;
 pub use branch::{BranchModel, Predictor};
 pub use exec::{ExecError, ExecRecord, FuncCore};
 pub use ooo::{
-    FuPool, LoadResponse, MemSystem, OooConfig, OooCore, OooStats, RuuTag,
+    CoreStall, FuPool, LoadResponse, MemSystem, OooConfig, OooCore, OooStats, RuuTag,
 };
 pub use trace::TraceSource;
 

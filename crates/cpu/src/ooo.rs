@@ -189,6 +189,56 @@ struct RuuEntry {
     issue_hit: Option<bool>,
     /// For loads: the older store that covers this load's bytes, if any.
     forward_from: Option<RuuTag>,
+    /// True once the load was answered [`LoadResponse::Pending`] —
+    /// its data is coming from a remote node (or off chip), not local
+    /// service. Distinguishes remote from local waits in the stall
+    /// classifier.
+    pending_remote: bool,
+}
+
+/// Per-cycle facts the stall classifier needs that the pipeline stages
+/// would otherwise discard: whether anything retired and whether fetch
+/// hit a structural limit *this* cycle. Maintained only when the probe
+/// is enabled (see [`OooCore::step`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct StepFlags {
+    retired: u32,
+    ruu_full: bool,
+    lsq_full: bool,
+}
+
+/// What one zero-or-more-commit cycle was spent on, classified
+/// top-down from the head of the commit window: on a cycle where
+/// nothing retires, the oldest instruction is what the machine is
+/// truly waiting on. Meaningful only on instrumented builds (the
+/// flags feeding it are maintained only while the probe is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreStall {
+    /// At least one instruction retired.
+    Committing,
+    /// Head is a memory op waiting on remotely-serviced data
+    /// ([`LoadResponse::Pending`]); `pc` is its static PC.
+    RemoteMemWait {
+        /// Static PC of the blocked memory op.
+        pc: u64,
+    },
+    /// Head is a memory op waiting on locally-serviced data.
+    LocalMemWait {
+        /// Static PC of the blocked memory op.
+        pc: u64,
+    },
+    /// Fetch was blocked by a full RUU this cycle.
+    RuuFull,
+    /// Fetch was blocked by a full LSQ this cycle.
+    LsqFull,
+    /// The window is draining/refilling behind an unresolved
+    /// mispredicted transfer.
+    SquashReplay,
+    /// Fetch is stalled (I-cache miss or post-redirect refill penalty).
+    FetchStall,
+    /// Nothing retired and nothing identifiably blocked (dependence
+    /// chains, startup, or the program finished).
+    Idle,
 }
 
 /// The out-of-order core of one node.
@@ -227,6 +277,9 @@ pub struct OooCore {
     redirect_tag: Option<RuuTag>,
     /// Cycle-stamped commit events (no-op unless built with `obs`).
     probe: CoreProbe,
+    /// Current-cycle facts for [`OooCore::stall_class`] (instrumented
+    /// builds only; stays zeroed otherwise).
+    flags: StepFlags,
 }
 
 const FU_CLASSES: [FuClass; 7] = [
@@ -321,6 +374,7 @@ impl OooCore {
             predictor: Predictor::new(config.branch),
             redirect_tag: None,
             probe: CoreProbe::default(),
+            flags: StepFlags::default(),
         }
     }
 
@@ -393,11 +447,56 @@ impl OooCore {
         trace: &mut TraceSource,
         now: Cycle,
     ) -> Result<(), ExecError> {
+        if self.probe.enabled() {
+            self.flags = StepFlags::default();
+        }
         self.writeback(now);
         self.commit(ms, now);
         self.issue(ms, now);
         self.fetch(ms, trace, now)?;
         Ok(())
+    }
+
+    /// Classifies what this cycle was spent on, for top-down cycle
+    /// accounting. Call after [`OooCore::step`] for the same `now`.
+    /// Meaningful only on instrumented builds.
+    pub fn stall_class(&self, now: Cycle) -> CoreStall {
+        if self.flags.retired > 0 {
+            return CoreStall::Committing;
+        }
+        match self.window.front() {
+            Some(head) => {
+                let op = head.rec.inst.op;
+                if op.is_mem() && matches!(head.state, EState::Ready | EState::Issued) {
+                    if head.pending_remote {
+                        CoreStall::RemoteMemWait { pc: head.rec.pc }
+                    } else {
+                        CoreStall::LocalMemWait { pc: head.rec.pc }
+                    }
+                } else if self.redirect_tag.is_some() {
+                    CoreStall::SquashReplay
+                } else if self.flags.ruu_full {
+                    CoreStall::RuuFull
+                } else if self.flags.lsq_full {
+                    CoreStall::LsqFull
+                } else if !self.fetch_done && self.fetch_stall_until > now {
+                    CoreStall::FetchStall
+                } else {
+                    CoreStall::Idle
+                }
+            }
+            None => {
+                if !self.fetch_done && self.fetch_stall_until > now {
+                    if self.fetch_stall_until == Cycle::MAX {
+                        CoreStall::SquashReplay
+                    } else {
+                        CoreStall::FetchStall
+                    }
+                } else {
+                    CoreStall::Idle
+                }
+            }
+        }
     }
 
     fn writeback(&mut self, now: Cycle) {
@@ -474,6 +573,9 @@ impl OooCore {
         }
         if retired > 0 {
             self.ready.shift_down(retired);
+            if self.probe.enabled() {
+                self.flags.retired = retired as u32;
+            }
             self.probe.record(now, ds_obs::EventKind::Commit { n: retired as u32 });
         }
     }
@@ -518,6 +620,7 @@ impl OooCore {
                     let e = self.entry_mut(tag).unwrap();
                     e.state = EState::Issued;
                     e.issue_hit = Some(hit);
+                    e.pending_remote = matches!(resp, LoadResponse::Pending);
                     match resp {
                         LoadResponse::Ready(at) => {
                             self.events.push(Reverse((at.max(now + 1), tag)));
@@ -567,6 +670,9 @@ impl OooCore {
         for _ in 0..self.config.fetch_width {
             if self.window.len() >= self.config.ruu_entries {
                 self.stats.ruu_full_stalls += 1;
+                if self.probe.enabled() {
+                    self.flags.ruu_full = true;
+                }
                 break;
             }
             let rec = match trace.get(self.next_fetch)? {
@@ -578,6 +684,9 @@ impl OooCore {
             };
             if rec.inst.op.is_mem() && self.mem_in_window >= self.config.lsq_entries {
                 self.stats.lsq_full_stalls += 1;
+                if self.probe.enabled() {
+                    self.flags.lsq_full = true;
+                }
                 break;
             }
             // I-cache: consult the memory system once per line crossed.
@@ -707,6 +816,7 @@ impl OooCore {
             consumers: Vec::new(),
             issue_hit: None,
             forward_from,
+            pending_remote: false,
         });
     }
 }

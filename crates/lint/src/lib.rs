@@ -20,9 +20,10 @@
 //!   sibling nodes with unconsumed broadcasts; every unwind point must
 //!   be a deliberate, documented invariant.
 //! - **a1** — no allocation (`Vec::new`, `vec![`, `.collect()`, ...)
-//!   inside `step`/`tick`/`record`-named functions in the hot modules.
-//!   Guards PR 1's allocation-free cycle loop and PR 3's per-event
-//!   observability ring writes.
+//!   inside `step`/`tick`/`record`/`charge`-named functions in the hot
+//!   modules. Guards PR 1's allocation-free cycle loop, PR 3's
+//!   per-event observability ring writes, and PR 4's per-cycle stall
+//!   accounting.
 //! - **x1** — cross-file drift: every `Opcode` variant must have an
 //!   exec arm in `crates/cpu/src/exec.rs` and a row in `docs/isa.md`.
 //!
@@ -51,8 +52,8 @@ pub enum Rule {
     /// Unannotated panic paths (`unwrap`/`expect`/`panic!`/`unsafe`) in
     /// hot modules.
     P1,
-    /// Allocation inside `step`/`tick`/`record` functions in hot
-    /// modules.
+    /// Allocation inside `step`/`tick`/`record`/`charge` functions in
+    /// hot modules.
     A1,
     /// ISA drift between `Opcode`, the exec unit, and `docs/isa.md`.
     X1,
@@ -448,11 +449,15 @@ fn check_p1(cleaned: &str, out: &mut Vec<Candidate>) {
     }
 }
 
-/// a1: allocation inside `step`/`tick`/`record`-named functions
-/// (`record*` covers the observability probe's per-event hot path).
+/// a1: allocation inside `step`/`tick`/`record`/`charge`-named
+/// functions (`record*` covers the observability probe's per-event hot
+/// path; `charge*` the per-cycle stall accounting).
 fn check_a1(cleaned: &str, out: &mut Vec<Candidate>) {
     let bodies = fn_bodies(cleaned, |name| {
-        name.starts_with("step") || name.starts_with("tick") || name.starts_with("record")
+        name.starts_with("step")
+            || name.starts_with("tick")
+            || name.starts_with("record")
+            || name.starts_with("charge")
     });
     if bodies.is_empty() {
         return;
@@ -477,7 +482,7 @@ fn check_a1(cleaned: &str, out: &mut Vec<Candidate>) {
                 offset: at,
                 rule: Rule::A1,
                 message: format!(
-                    "`{pat}` inside a step/tick function: the cycle loop is \
+                    "`{pat}` inside a step/tick/charge function: the cycle loop is \
                      allocation-free (DESIGN.md §8); hoist the buffer into the owning struct"
                 ),
             });
@@ -631,12 +636,13 @@ fn doc_contains_mnemonic(doc: &str, mnemonic: &str) -> bool {
 const SIM_CRATES: [&str; 6] = ["core", "cpu", "mem", "net", "trace", "obs"];
 
 /// The cycle-loop hot modules p1/a1 police (workspace-relative).
-const HOT_MODULES: [&str; 6] = [
+const HOT_MODULES: [&str; 7] = [
     "crates/core/src/system.rs",
     "crates/core/src/node.rs",
     "crates/core/src/pending.rs",
     "crates/cpu/src/ooo.rs",
     "crates/net/src/fabric.rs",
+    "crates/obs/src/account.rs",
     "crates/obs/src/ring.rs",
 ];
 
@@ -814,6 +820,17 @@ mod tests {
         assert_eq!(rules(&diags), vec![Rule::A1, Rule::A1], "{diags:?}");
         assert_eq!(diags[0].line, 1);
         assert_eq!(diags[1].line, 3);
+    }
+
+    #[test]
+    fn a1_flags_allocation_in_charge_fns() {
+        let src = "fn charge_cycle(&mut self) { let labels: Vec<String> = Vec::new(); }\n\
+                   fn charge_pc(&mut self, pc: u64) { let s = format!(\"{pc:x}\"); }\n\
+                   fn chart(&mut self) { let v: Vec<u8> = Vec::new(); }\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert_eq!(rules(&diags), vec![Rule::A1, Rule::A1], "{diags:?}");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[1].line, 2);
     }
 
     #[test]

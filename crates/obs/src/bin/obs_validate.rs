@@ -56,8 +56,31 @@ fn check_trace(v: &Value) -> Result<(), String> {
         .ok_or("`traceEvents` must be an array")?;
     // Monotonically non-decreasing ts per (pid, tid) track.
     let mut last: Vec<((u64, u64), f64)> = Vec::new();
+    let mut dropped_total = 0.0;
     for e in events {
         if e.get("ph").and_then(Value::as_str) == Some("M") {
+            // `ds_dropped_events` metadata: an over-capacity EventRing
+            // means the trace is a suffix of the run. Visibly warn —
+            // but an incomplete trace is still a valid trace, so this
+            // never fails the gate.
+            if e.get("name").and_then(Value::as_str) == Some("ds_dropped_events") {
+                let args = e.get("args");
+                let dropped = args
+                    .and_then(|a| a.get("dropped"))
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0);
+                if dropped > 0.0 {
+                    let source = args
+                        .and_then(|a| a.get("source"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("?");
+                    eprintln!(
+                        "warning: source `{source}` dropped {dropped:.0} events \
+                         (ring over capacity; trace is a suffix of the run)"
+                    );
+                    dropped_total += dropped;
+                }
+            }
             continue;
         }
         let pid = e.get("pid").and_then(Value::as_f64).ok_or("event lacks pid")? as u64;
@@ -72,6 +95,9 @@ fn check_trace(v: &Value) -> Result<(), String> {
             }
             None => last.push(((pid, tid), ts)),
         }
+    }
+    if dropped_total > 0.0 {
+        eprintln!("warning: {dropped_total:.0} events dropped in total across sources");
     }
     Ok(())
 }

@@ -27,10 +27,14 @@
 //! cycle loop still allocates nothing (ds-lint rule a1 polices the
 //! recorder in `ring.rs` like any other hot module).
 
+pub mod account;
 pub mod json;
 pub mod perfetto;
 mod ring;
 
+pub use account::{
+    top_hot_pcs, CycleAccount, HotPc, PcProfile, PcStallKind, StallBucket, BUCKET_COUNT,
+};
 pub use ring::{EventRing, Recorder};
 
 use ds_stats::Histogram;
@@ -154,6 +158,15 @@ pub trait Probe {
     #[inline(always)]
     fn record(&mut self, _cycle: Cycle, _kind: EventKind) {}
 
+    /// Charges one cycle to a stall bucket (top-down cycle accounting).
+    #[inline(always)]
+    fn charge(&mut self, _bucket: StallBucket) {}
+
+    /// Charges one memory-wait cycle to the static PC at the head of
+    /// the commit window.
+    #[inline(always)]
+    fn charge_pc(&mut self, _pc: u64, _kind: PcStallKind) {}
+
     /// True when events are actually retained (lets callers skip
     /// expensive event *construction*, not just recording).
     #[inline(always)]
@@ -193,6 +206,11 @@ pub struct MetricsReport {
     pub events_recorded: u64,
     /// Events overwritten after ring wraparound.
     pub events_dropped: u64,
+    /// Per-node cycle ledgers, indexed by node id. Each sums exactly
+    /// to the run's total simulated cycles.
+    pub node_accounts: Vec<CycleAccount>,
+    /// Top memory-wait PCs merged across nodes, hottest first.
+    pub hot_pcs: Vec<HotPc>,
 }
 
 impl MetricsReport {

@@ -15,6 +15,7 @@
 //! those), so the exporter stable-sorts each source by cycle before
 //! emitting (asserted by the shape tests here and at workspace level).
 
+use crate::account::{CycleAccount, StallBucket};
 use crate::{EventKind, EventRing};
 use std::fmt::Write as _;
 
@@ -39,18 +40,30 @@ const TID_DCUB: u32 = 3;
 const TID_COMMIT: u32 = 4;
 const TID_LEAD: u32 = 5;
 const TID_BUS: u32 = 6;
+/// Stall-bucket occupancy counter track (fed by `stall_counter_events`,
+/// not by ring events).
+pub const TID_STALLS: u32 = 7;
 
-const TRACK_NAMES: [(u32, &str); 6] = [
+const TRACK_NAMES: [(u32, &str); 7] = [
     (TID_BROADCAST, "broadcast"),
     (TID_BSHR, "bshr"),
     (TID_DCUB, "dcub"),
     (TID_COMMIT, "commit"),
     (TID_LEAD, "lead"),
     (TID_BUS, "bus"),
+    (TID_STALLS, "stalls"),
 ];
 
 /// Renders `sources` as one Chrome trace-event JSON document.
 pub fn trace_json(sources: &[TraceSource<'_>]) -> String {
+    trace_json_with(sources, &[])
+}
+
+/// Like [`trace_json`], appending pre-rendered event objects (one JSON
+/// object per string, no trailing separators) after the ring events —
+/// used for the cycle-accounting counter tracks, which are sampled
+/// outside the rings.
+pub fn trace_json_with(sources: &[TraceSource<'_>], extras: &[String]) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     let mut first = true;
     let mut sep = |out: &mut String| {
@@ -75,6 +88,20 @@ pub fn trace_json(sources: &[TraceSource<'_>]) -> String {
                 s.pid, s.name
             );
         }
+        // Per-source drop accounting: a wrapped ring means the trace is
+        // truncated, and that must be visible *in* the trace. Always
+        // emitted (dropped == 0 positively asserts completeness);
+        // `obs_validate` warns when the sum is nonzero.
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"ds_dropped_events\",\"ph\":\"M\",\"pid\":{},\
+             \"args\":{{\"source\":\"{}\",\"dropped\":{},\"retained\":{}}}}}",
+            s.pid,
+            s.name,
+            s.ring.dropped(),
+            s.ring.len()
+        );
         for ev in s.ring.iter() {
             let tid = tid_of(&ev.kind);
             if !named_tracks.contains(&(s.pid, tid)) {
@@ -103,8 +130,67 @@ pub fn trace_json(sources: &[TraceSource<'_>]) -> String {
             emit_event(&mut out, s.pid, ev.cycle, &ev.kind);
         }
     }
+    for e in extras {
+        sep(&mut out);
+        out.push_str(e);
+    }
     out.push_str("\n]}\n");
     out
+}
+
+/// Renders one node's stall-bucket occupancy as a Perfetto counter
+/// track (`tid` [`TID_STALLS`]) and appends the event objects to `out`
+/// (for [`trace_json_with`]'s `extras`).
+///
+/// `samples` are `(cycle, cumulative_account)` snapshots taken *before*
+/// charging that cycle, in ascending cycle order; each emitted counter
+/// sample carries the per-bucket cycles spent since the previous
+/// snapshot. A final sample covers the partial interval from the last
+/// snapshot to `end_cycle` using `final_account`.
+pub fn stall_counter_events(
+    pid: u32,
+    samples: &[(u64, CycleAccount)],
+    end_cycle: u64,
+    final_account: &CycleAccount,
+    out: &mut Vec<String>,
+) {
+    let mut obj = String::with_capacity(256);
+    let _ = write!(
+        obj,
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{TID_STALLS},\
+         \"args\":{{\"name\":\"stalls\"}}}}"
+    );
+    out.push(obj);
+
+    let mut emit = |ts: u64, prev: &CycleAccount, cur: &CycleAccount| {
+        let mut obj = String::with_capacity(256);
+        let _ = write!(
+            obj,
+            "{{\"name\":\"stall cycles\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\
+             \"tid\":{TID_STALLS},\"args\":{{"
+        );
+        for (i, b) in StallBucket::ALL.iter().enumerate() {
+            if i > 0 {
+                obj.push(',');
+            }
+            let _ = write!(obj, "\"{}\":{}", b.label(), cur.get(*b) - prev.get(*b));
+        }
+        obj.push_str("}}");
+        out.push(obj);
+    };
+
+    let mut prev = CycleAccount::default();
+    let mut prev_cycle = 0u64;
+    for (cycle, acct) in samples {
+        if *cycle > prev_cycle || prev_cycle == 0 {
+            emit(*cycle, &prev, acct);
+            prev = *acct;
+            prev_cycle = *cycle;
+        }
+    }
+    if end_cycle > prev_cycle && final_account.total() > prev.total() {
+        emit(end_cycle, &prev, final_account);
+    }
 }
 
 fn tid_of(kind: &EventKind) -> u32 {
@@ -229,6 +315,62 @@ mod tests {
             }
         }
         assert!(last.len() >= 3, "expected broadcast, bshr, dcub and lead tracks");
+    }
+
+    #[test]
+    fn trace_reports_dropped_events_per_source() {
+        let sources = sample_sources();
+        let refs: Vec<TraceSource<'_>> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, (name, r))| TraceSource { pid: i as u32, name, ring: r.ring() })
+            .collect();
+        let text = trace_json(&refs);
+        let v = crate::json::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        let drops: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("ds_dropped_events"))
+            .collect();
+        assert_eq!(drops.len(), sources.len(), "one drop record per source");
+        for d in drops {
+            let args = d.get("args").unwrap();
+            assert_eq!(args.get("dropped").and_then(Value::as_f64), Some(0.0));
+            assert!(args.get("retained").and_then(Value::as_f64).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn stall_counter_track_emits_interval_deltas() {
+        use crate::account::{CycleAccount, StallBucket};
+        let mut mid = CycleAccount::default();
+        for _ in 0..3 {
+            mid.charge(StallBucket::Committing);
+        }
+        mid.charge(StallBucket::Idle);
+        let mut fin = mid;
+        fin.charge(StallBucket::BshrWaitRemote);
+        fin.charge(StallBucket::BshrWaitRemote);
+        let samples = vec![(0u64, CycleAccount::default()), (4u64, mid)];
+        let mut extras = Vec::new();
+        stall_counter_events(0, &samples, 6, &fin, &mut extras);
+        let text = trace_json_with(&[], &extras);
+        let v = crate::json::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        let counters: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("stall cycles"))
+            .collect();
+        assert_eq!(counters.len(), 3, "start, mid and final samples");
+        // The mid sample carries the cycles since the start snapshot.
+        let args = counters[1].get("args").unwrap();
+        assert_eq!(args.get("committing").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(args.get("idle").and_then(Value::as_f64), Some(1.0));
+        // The final partial interval carries only the tail.
+        let args = counters[2].get("args").unwrap();
+        assert_eq!(args.get("bshr-wait-remote").and_then(Value::as_f64), Some(2.0));
+        assert_eq!(args.get("committing").and_then(Value::as_f64), Some(0.0));
+        assert!(text.contains("\"name\":\"stalls\""), "stalls track named");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! `OooCore::step`. All storage is allocated once at construction;
 //! recording is a slot write plus two index updates.
 
+use crate::account::{CycleAccount, PcProfile, PcStallKind, StallBucket};
 use crate::{Cycle, Event, EventKind, Probe, DEFAULT_RING_CAPACITY};
 
 /// A fixed-capacity ring of [`Event`]s. When full, the oldest event is
@@ -87,6 +88,8 @@ impl Default for EventRing {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Recorder {
     ring: EventRing,
+    account: CycleAccount,
+    pcs: PcProfile,
 }
 
 impl Recorder {
@@ -96,12 +99,27 @@ impl Recorder {
     ///
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
-        Recorder { ring: EventRing::with_capacity(capacity) }
+        Recorder {
+            ring: EventRing::with_capacity(capacity),
+            account: CycleAccount::default(),
+            pcs: PcProfile::default(),
+        }
     }
 
     /// The recorded events.
     pub fn ring(&self) -> &EventRing {
         &self.ring
+    }
+
+    /// The cycle ledger accumulated through [`Probe::charge`].
+    pub fn account(&self) -> &CycleAccount {
+        &self.account
+    }
+
+    /// The per-PC memory-wait profile accumulated through
+    /// [`Probe::charge_pc`].
+    pub fn pc_profile(&self) -> &PcProfile {
+        &self.pcs
     }
 }
 
@@ -109,6 +127,16 @@ impl Probe for Recorder {
     #[inline]
     fn record(&mut self, cycle: Cycle, kind: EventKind) {
         self.ring.record(Event { cycle, kind });
+    }
+
+    #[inline]
+    fn charge(&mut self, bucket: StallBucket) {
+        self.account.charge(bucket);
+    }
+
+    #[inline]
+    fn charge_pc(&mut self, pc: u64, kind: PcStallKind) {
+        self.pcs.charge_pc(pc, kind);
     }
 
     #[inline]

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Full verification: build, tests, invariant lint, audit, clippy, and
-# the throughput benchmark.
+# the throughput benchmark gated against the committed baseline.
 #
 # Usage: scripts/verify.sh [--fast | --no-bench]
 #
@@ -8,6 +8,12 @@
 #   --no-bench  everything except the benchmark (it rewrites
 #               BENCH_throughput.json in place; skip it on a loaded
 #               machine where the numbers would be noise)
+#
+# The benchmark step is a regression gate: a fresh measurement is
+# diffed against the committed BENCH_throughput.json by ds-report and
+# the script fails when throughput drops or stall buckets shift beyond
+# tolerance. Override the drop threshold with DS_REPORT_MAX_DROP
+# (fraction, default 0.08) — e.g. a known-slower machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,8 +57,16 @@ echo "== cargo clippy (deny warnings)"
 cargo clippy --all-targets -- -D warnings
 
 if [[ "${1:-}" != "--no-bench" ]]; then
-    echo "== throughput benchmark (writes BENCH_throughput.json)"
-    cargo run --release -p ds-bench --bin bench_throughput
+    echo "== throughput benchmark + ds-report regression gate"
+    # Built with obs so the committed summary carries stall-bucket
+    # shares (the committed baseline is an obs-on measurement; gating
+    # an obs-off run against it would compare different builds).
+    cargo build -q --release -p ds-bench --features obs \
+        --bin bench_throughput --bin ds-report
+    target/release/bench_throughput --out "$obs_tmp/bench.json"
+    target/release/ds-report BENCH_throughput.json "$obs_tmp/bench.json" \
+        --max-drop "${DS_REPORT_MAX_DROP:-0.08}"
+    mv "$obs_tmp/bench.json" BENCH_throughput.json
 fi
 
 echo "verify: OK"

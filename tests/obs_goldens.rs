@@ -15,6 +15,20 @@ use datascalar::obs::json::{self, Value};
 use datascalar::workloads::by_name;
 use ds_bench::{baseline_config, run_datascalar, run_perfect, run_traditional, Budget};
 
+/// Every node of every system: the ten stall buckets partition the run
+/// exactly — no cycle uncounted, none double-counted.
+fn assert_accounts_cover(label: &str, r: &datascalar::core_model::RunResult, nodes: usize) {
+    let m = r.metrics.as_ref().unwrap_or_else(|| panic!("{label}: metrics missing"));
+    assert_eq!(m.node_accounts.len(), nodes, "{label}: one account per node");
+    for (i, acct) in m.node_accounts.iter().enumerate() {
+        assert_eq!(
+            acct.total(),
+            r.cycles,
+            "{label} node {i}: stall buckets must sum to total cycles"
+        );
+    }
+}
+
 #[test]
 fn metrics_populated_for_all_five_figure7_systems() {
     let b = Budget::quick();
@@ -35,16 +49,100 @@ fn metrics_populated_for_all_five_figure7_systems() {
             m.datathread_run_cycles.total() > 0,
             "ds{nodes}: no lead segments observed"
         );
+        assert_accounts_cover(&format!("ds{nodes}"), &r, nodes);
+        assert!(!m.hot_pcs.is_empty(), "ds{nodes}: no hot PCs attributed");
     }
 
-    // The single-node comparison systems carry no event stream.
-    assert!(run_perfect(&w, b).metrics.is_none(), "perfect must not report metrics");
+    // The single-core comparison systems carry no event stream beyond
+    // commits, but they do carry the cycle account (one core each).
+    assert_accounts_cover("perfect", &run_perfect(&w, b), 1);
     for nodes in [2, 4] {
+        assert_accounts_cover(&format!("trad{nodes}"), &run_traditional(&w, nodes, b), 1);
+    }
+}
+
+#[test]
+fn stall_buckets_partition_cycles_across_configs() {
+    // Property over the config grid: for every workload × node count,
+    // every node's buckets sum exactly to the run's cycle count, and
+    // the machine-wide merge does too. The in-loop assertion checks the
+    // same identity under debug_assertions; this keeps it pinned in
+    // release test runs as well.
+    let b = Budget::quick();
+    for name in ["compress", "go"] {
+        let w = by_name(name).expect("registered workload");
+        for nodes in [1, 2, 4] {
+            let r = run_datascalar(&w, nodes, b);
+            assert_accounts_cover(&format!("{name} ds{nodes}"), &r, nodes);
+            let total = r.stall_totals().expect("accounts present");
+            assert_eq!(
+                total.total(),
+                r.cycles * nodes as u64,
+                "{name} ds{nodes}: merged ledger covers cycles x nodes"
+            );
+        }
+    }
+}
+
+#[test]
+fn hot_pc_tables_are_deterministic_and_consistent() {
+    let b = Budget::quick();
+    for name in ["compress", "go"] {
+        let w = by_name(name).expect("registered workload");
+        let a = run_datascalar(&w, 2, b);
+        let c = run_datascalar(&w, 2, b);
+        let (ma, mc) = (a.metrics.as_ref().unwrap(), c.metrics.as_ref().unwrap());
+        assert_eq!(ma.hot_pcs, mc.hot_pcs, "{name}: hot-PC table diverged across runs");
+        assert!(!ma.hot_pcs.is_empty(), "{name}: memory-bound workload must surface hot PCs");
+        // Sorted by total stall, descending; PC tiebreak ascending.
+        for pair in ma.hot_pcs.windows(2) {
+            assert!(
+                pair[0].total() > pair[1].total()
+                    || (pair[0].total() == pair[1].total() && pair[0].pc < pair[1].pc),
+                "{name}: hot-PC table out of order"
+            );
+        }
+        // Per-PC attribution never exceeds what the buckets charged.
+        let totals = a.stall_totals().unwrap();
+        let attributed: u64 = ma.hot_pcs.iter().map(|h| h.total()).sum();
+        let pc_buckets = totals.get(datascalar::obs::StallBucket::BshrWaitRemote)
+            + totals.get(datascalar::obs::StallBucket::LocalMemWait);
         assert!(
-            run_traditional(&w, nodes, b).metrics.is_none(),
-            "trad{nodes} must not report metrics"
+            attributed <= pc_buckets,
+            "{name}: hot-PC cycles {attributed} exceed PC-attributed buckets {pc_buckets}"
         );
     }
+}
+
+#[test]
+fn folded_stacks_sum_to_cycles_per_node() {
+    let b = Budget::quick();
+    let w = by_name("compress").expect("registered workload");
+    let prog = (w.build)(b.scale);
+    let mut sys = DsSystem::new(baseline_config(2, b.max_insts), &prog);
+    let r = sys.run().expect("workload executes");
+    let folded = sys.folded_stacks();
+
+    let mut per_node = [0u64; 2];
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("`stack count` line");
+        let count: u64 = count.parse().expect("count is integer");
+        assert!(count > 0, "folded stacks must omit zero-weight frames: {line}");
+        let node: usize = stack
+            .strip_prefix("node")
+            .and_then(|s| s.split(';').next())
+            .and_then(|s| s.parse().ok())
+            .expect("node-rooted stack");
+        per_node[node] += count;
+    }
+    for (i, sum) in per_node.iter().enumerate() {
+        assert_eq!(*sum, r.cycles, "node {i}: folded stacks must sum to total cycles");
+    }
+
+    // Determinism: a fresh identical run folds identically.
+    let mut sys2 = DsSystem::new(baseline_config(2, b.max_insts), &prog);
+    sys2.run().expect("workload executes");
+    assert_eq!(folded, sys2.folded_stacks(), "folded stacks diverged across runs");
 }
 
 #[test]
@@ -73,14 +171,32 @@ fn perfetto_trace_is_valid_json_with_monotonic_tracks() {
     let events = v.get("traceEvents").and_then(Value::as_array).expect("traceEvents array");
     assert!(events.len() > 100, "trace suspiciously small: {} events", events.len());
 
-    // Per-node broadcast, BSHR and commit tracks must exist (the
-    // acceptance criterion for `figure7_ipc --trace-out`).
-    for track in ["broadcast", "bshr", "commit"] {
+    // Per-node broadcast, BSHR, commit and stall-counter tracks must
+    // exist (the acceptance criterion for `figure7_ipc --trace-out`).
+    for track in ["broadcast", "bshr", "commit", "stalls"] {
         assert!(
             text.contains(&format!("\"name\":\"{track}\"")),
             "missing {track} track metadata"
         );
     }
+
+    // Every ring reports its drop count; a quick-budget run fits the
+    // ring, so completeness is also pinned.
+    let dropped: Vec<&Value> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("ds_dropped_events"))
+        .collect();
+    assert!(!dropped.is_empty(), "missing ds_dropped_events metadata");
+    for e in &dropped {
+        let d = e.get("args").and_then(|a| a.get("dropped")).and_then(Value::as_f64);
+        assert_eq!(d, Some(0.0), "quick run must not overflow the ring: {e:?}");
+    }
+
+    // The stall counter samples carry every bucket label.
+    assert!(
+        text.contains("\"name\":\"stall cycles\""),
+        "missing stall cycles counter events"
+    );
     for pid in 0..4 {
         assert!(
             events.iter().any(|e| {
