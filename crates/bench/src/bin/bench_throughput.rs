@@ -12,7 +12,9 @@
 //! counters (insts/s, cycles/s) in the common `ds-bench-result/v1`
 //! schema. `--baseline <path>` diffs the fresh measurement against a
 //! committed summary with the same thresholds as `ds-report` and exits
-//! nonzero on a regression.
+//! nonzero on a regression. `--history <path>` appends the run as one
+//! versioned JSONL row (schema `v: 1`), so throughput over time stays
+//! queryable without diffing the snapshot file's git history.
 //!
 //! Simulated *results* are pinned separately by `tests/golden_stats.rs`;
 //! this binary only measures how fast the engine reaches them.
@@ -34,6 +36,10 @@ const PRE_OVERHAUL_BASELINE: f64 = 1_352_298.0;
 const WORKLOADS: &[&str] = &["compress", "go"];
 const TIMED_RUNS: u32 = 3;
 
+/// Engine tag stamped into `--history` rows: which cycle loop produced
+/// the numbers. Bump when the default engine changes materially.
+const ENGINE: &str = "event-horizon";
+
 struct Row {
     name: &'static str,
     committed: u64,
@@ -47,12 +53,14 @@ fn main() {
     let mut out_path = String::from("BENCH_throughput.json");
     let mut report_path = None;
     let mut baseline_path = None;
+    let mut history_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out takes a path"),
             "--json" => report_path = Some(args.next().expect("--json takes a path")),
             "--baseline" => baseline_path = Some(args.next().expect("--baseline takes a path")),
+            "--history" => history_path = Some(args.next().expect("--history takes a path")),
             // Consumed via flag_value when --baseline diffs.
             "--max-drop" => {
                 args.next().expect("--max-drop takes a number");
@@ -155,6 +163,44 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write JSON");
     println!("wrote {out_path}");
+
+    // `--history` appends this measurement as one self-contained JSONL
+    // row. Appending before the `--baseline` gate is deliberate: a run
+    // that regresses still lands in the history, which is exactly the
+    // run worth being able to find later. `v` versions the row schema
+    // so future fields don't break readers of old rows.
+    if let Some(path) = history_path {
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut row = format!(
+            "{{\"v\": 1, \"unix_time\": {unix_time}, \"engine\": \"{ENGINE}\", \
+             \"budget\": {{\"max_insts\": {}, \"scale\": \"{:?}\"}}, \"workloads\": [",
+            budget.max_insts, budget.scale
+        );
+        for (i, r) in rows.iter().enumerate() {
+            row.push_str(&format!(
+                "{}{{\"name\": \"{}\", \"insts_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}}}",
+                if i == 0 { "" } else { ", " },
+                r.name,
+                r.committed as f64 / r.best_secs,
+                r.cycles as f64 / r.best_secs
+            ));
+        }
+        row.push_str(&format!(
+            "], \"combined_insts_per_sec\": {combined:.0}, \
+             \"combined_cycles_per_sec\": {combined_cycles:.0}}}\n"
+        ));
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("cannot open --history {path}: {e}"));
+        std::io::Write::write_all(&mut file, row.as_bytes())
+            .unwrap_or_else(|e| panic!("cannot append --history {path}: {e}"));
+        println!("appended {path}");
+    }
 
     // `--baseline` gates the fresh measurement against a committed
     // summary with the same thresholds (and overrides) as `ds-report`.

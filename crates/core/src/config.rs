@@ -65,6 +65,18 @@ pub struct DsConfig {
     /// so the only correct outcome is the watchdog panic — used to
     /// prove the tripwire works. `None` (the default) injects nothing.
     pub fault_drop_every: Option<u64>,
+    /// Disable event-horizon cycle skipping and run the naive
+    /// cycle-by-cycle reference loop. The skipping engine is
+    /// behavior-invariant (asserted by `tests/skip_equivalence.rs`
+    /// against this path), so the only reason to set this is that
+    /// equivalence check itself, or profiling the naive loop.
+    pub no_skip: bool,
+    /// Step nodes on worker threads each cycle, merging interconnect
+    /// and broadcast effects on the coordinating thread in node order.
+    /// Deterministic: results are identical to the serial engine
+    /// regardless of worker count. Off by default — it only pays on
+    /// many-node configurations.
+    pub parallel_step: bool,
 }
 
 impl Default for DsConfig {
@@ -89,6 +101,8 @@ impl Default for DsConfig {
             max_insts: None,
             watchdog_cycles: 2_000_000,
             fault_drop_every: None,
+            no_skip: false,
+            parallel_step: false,
         }
     }
 }

@@ -28,7 +28,7 @@ use ds_mem::{
 };
 use ds_net::{Message, MsgKind};
 use ds_obs::{EventKind, Probe as _};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The memory side's observability probe: the ds-obs recorder when the
 /// `obs` feature is on, a zero-sized no-op otherwise. Call sites below
@@ -45,7 +45,7 @@ pub(crate) type NodeProbe = ds_obs::NoopProbe;
 #[derive(Debug)]
 pub(crate) struct MemSide {
     id: NodeId,
-    pt: Rc<PageTable>,
+    pt: Arc<PageTable>,
     canon: Cache,
     icache: Cache,
     mem: MainMemory,
@@ -72,7 +72,7 @@ pub(crate) struct MemSide {
 }
 
 impl MemSide {
-    fn new(id: NodeId, pt: Rc<PageTable>, config: &DsConfig) -> Self {
+    fn new(id: NodeId, pt: Arc<PageTable>, config: &DsConfig) -> Self {
         MemSide {
             id,
             pt,
@@ -372,7 +372,7 @@ pub struct Node {
 const SAMPLE_INTERVAL: u64 = 4096;
 
 impl Node {
-    pub(crate) fn new(id: NodeId, pt: Rc<PageTable>, config: &DsConfig) -> Self {
+    pub(crate) fn new(id: NodeId, pt: Arc<PageTable>, config: &DsConfig) -> Self {
         Node {
             core: OooCore::new(config.core, config.icache.line_bytes),
             ms: MemSide::new(id, pt, config),
@@ -384,6 +384,48 @@ impl Node {
     /// Advances the node one cycle.
     pub(crate) fn step(&mut self, trace: &mut TraceSource, now: Cycle) -> Result<(), ds_cpu::ExecError> {
         self.core.step(&mut self.ms, trace, now)
+    }
+
+    /// Advances the node one cycle against a shared read-only trace
+    /// window (the parallel engine pre-extends it before fanning out).
+    pub(crate) fn step_shared(
+        &mut self,
+        trace: &TraceSource,
+        now: Cycle,
+    ) -> Result<(), ds_cpu::ExecError> {
+        let mut feed = trace.ready_window();
+        self.core.step(&mut self.ms, &mut feed, now)
+    }
+
+    /// Earliest future cycle at which this node's state can change: the
+    /// core's own horizon plus the first cycle a queued broadcast
+    /// becomes bus-ready. Conservative (never later than the true next
+    /// change), so skipping to the system-wide minimum is always safe.
+    pub(crate) fn next_event(&self, now: Cycle) -> Cycle {
+        let mut horizon = self.core.next_event(now);
+        if let Some(ready) = self.ms.outgoing.next_ready() {
+            horizon = horizon.min(ready.max(now + 1));
+        }
+        horizon
+    }
+
+    /// Batch-advances the node from cycle `now` to `target`, applying
+    /// exactly the side effects the naive loop's idle iterations over
+    /// `(now, target)` would have (stall counters; nothing else — the
+    /// skipped range is quiescent by construction).
+    pub(crate) fn advance_to(&mut self, now: Cycle, target: Cycle) {
+        self.core.advance_to(now, target);
+    }
+
+    /// Exclusive upper bound on the trace indices the next `step` can
+    /// peek (parallel pre-extension hint); `None` when fetch cannot run.
+    pub(crate) fn prefetch_bound(&self, now: Cycle) -> Option<u64> {
+        self.core.prefetch_bound(now)
+    }
+
+    /// Furthest trace index (exclusive) this node's fetch has peeked.
+    pub(crate) fn peek_end(&self) -> u64 {
+        self.core.peek_end()
     }
 
     /// Removes and returns the next broadcast whose data is ready by
@@ -460,22 +502,20 @@ impl Node {
         self.core.events()
     }
 
-    /// Charges `now` to exactly one stall bucket (top-down cycle
-    /// accounting). Called once per simulated cycle by `DsSystem::run`,
-    /// after the node stepped; `bus_busy` is whether the interconnect
-    /// was occupied this cycle. Hot path: one classification, one array
-    /// increment, no allocation.
+    /// Classifies the node's stall state at `now` into the bucket it
+    /// should be charged to, plus the PC to attribute the wait to for
+    /// the PC-profiled buckets. Pure (no counters touched), so the
+    /// per-cycle and batch charge paths share one classification.
     #[cfg(feature = "obs")]
-    pub(crate) fn charge_cycle(&mut self, now: Cycle, bus_busy: bool) {
+    fn classify_stall(
+        &self,
+        now: Cycle,
+        bus_busy: bool,
+    ) -> (ds_obs::StallBucket, Option<(u64, ds_obs::PcStallKind)>) {
         use ds_cpu::CoreStall;
         use ds_obs::{PcStallKind, StallBucket};
-        if now.is_multiple_of(SAMPLE_INTERVAL) {
-            // Snapshot *before* charging: the sample at cycle C covers
-            // charges for cycles [0, C).
-            self.samples.push((now, *self.ms.probe.account()));
-        }
-        let bucket = match self.core.stall_class(now) {
-            CoreStall::Committing => StallBucket::Committing,
+        match self.core.stall_class(now) {
+            CoreStall::Committing => (StallBucket::Committing, None),
             CoreStall::RemoteMemWait { pc } => {
                 // Refine the remote wait: a pending squash means a
                 // false-hit repair is in flight (commit-repair); a busy
@@ -484,25 +524,102 @@ impl Node {
                 // the PC, so per-PC cycles sum to the bshr-wait-remote
                 // bucket exactly.
                 if self.ms.bshr.has_pending_squashes() {
-                    StallBucket::CommitRepair
+                    (StallBucket::CommitRepair, None)
                 } else if bus_busy {
-                    StallBucket::BusContentionWait
+                    (StallBucket::BusContentionWait, None)
                 } else {
-                    self.ms.probe.charge_pc(pc, PcStallKind::RemoteWait);
-                    StallBucket::BshrWaitRemote
+                    (StallBucket::BshrWaitRemote, Some((pc, PcStallKind::RemoteWait)))
                 }
             }
             CoreStall::LocalMemWait { pc } => {
-                self.ms.probe.charge_pc(pc, PcStallKind::LocalWait);
-                StallBucket::LocalMemWait
+                (StallBucket::LocalMemWait, Some((pc, PcStallKind::LocalWait)))
             }
-            CoreStall::RuuFull => StallBucket::RuuFull,
-            CoreStall::LsqFull => StallBucket::LsqFull,
-            CoreStall::SquashReplay => StallBucket::SquashReplay,
-            CoreStall::FetchStall => StallBucket::FetchStall,
-            CoreStall::Idle => StallBucket::Idle,
-        };
+            CoreStall::RuuFull => (StallBucket::RuuFull, None),
+            CoreStall::LsqFull => (StallBucket::LsqFull, None),
+            CoreStall::SquashReplay => (StallBucket::SquashReplay, None),
+            CoreStall::FetchStall => (StallBucket::FetchStall, None),
+            CoreStall::Idle => (StallBucket::Idle, None),
+        }
+    }
+
+    /// Charges `now` to exactly one stall bucket (top-down cycle
+    /// accounting). Called once per simulated cycle by `DsSystem::run`,
+    /// after the node stepped; `bus_busy` is whether the interconnect
+    /// was occupied this cycle. Hot path: one classification, one array
+    /// increment, no allocation.
+    #[cfg(feature = "obs")]
+    pub(crate) fn charge_cycle(&mut self, now: Cycle, bus_busy: bool) {
+        if now.is_multiple_of(SAMPLE_INTERVAL) {
+            // Snapshot *before* charging: the sample at cycle C covers
+            // charges for cycles [0, C).
+            self.samples.push((now, *self.ms.probe.account()));
+        }
+        let (bucket, pc) = self.classify_stall(now, bus_busy);
+        if let Some((pc, kind)) = pc {
+            self.ms.probe.charge_pc(pc, kind);
+        }
         self.ms.probe.charge(bucket);
+    }
+
+    /// Charges `n` cycles to `bucket` (and its PC attribution) at once.
+    #[cfg(feature = "obs")]
+    fn charge_block(
+        &mut self,
+        bucket: ds_obs::StallBucket,
+        pc: Option<(u64, ds_obs::PcStallKind)>,
+        n: u64,
+    ) {
+        if n == 0 {
+            return;
+        }
+        if let Some((pc, kind)) = pc {
+            self.ms.probe.charge_pc_many(pc, kind, n);
+        }
+        self.ms.probe.charge_many(bucket, n);
+    }
+
+    /// Charges the `count` cycles `[start, start + count)` skipped by an
+    /// event-horizon advance, exactly as `count` per-cycle
+    /// [`Node::charge_cycle`] calls would have. A skipped range is
+    /// quiescent by construction — the commit head, BSHR and fetch
+    /// stall all hold still, and the interconnect skipped too — so one
+    /// classification at `start` covers the whole range; snapshot
+    /// boundaries inside the range are honoured one by one.
+    #[cfg(feature = "obs")]
+    pub(crate) fn charge_skipped(&mut self, start: Cycle, count: u64, bus_busy: bool) {
+        #[cfg(any(debug_assertions, feature = "audit"))]
+        let before = *self.ms.probe.account();
+        let (bucket, pc) = self.classify_stall(start, bus_busy);
+        let end = start + count;
+        let mut from = start;
+        let mut boundary = start.next_multiple_of(SAMPLE_INTERVAL);
+        while boundary < end {
+            // The naive loop snapshots at each SAMPLE_INTERVAL multiple
+            // *before* charging that cycle: charge up to the boundary,
+            // snapshot, continue.
+            self.charge_block(bucket, pc, boundary - from);
+            self.samples.push((boundary, *self.ms.probe.account()));
+            from = boundary;
+            boundary += SAMPLE_INTERVAL;
+        }
+        self.charge_block(bucket, pc, end - from);
+        // Skip/charge parity: a horizon advance of `count` cycles must
+        // charge exactly `count` cycles, all into the one bucket the
+        // quiescent range classifies to.
+        #[cfg(any(debug_assertions, feature = "audit"))]
+        {
+            let after = self.ms.probe.account();
+            assert_eq!(
+                after.total() - before.total(),
+                count,
+                "horizon skip charged a different number of cycles than it advanced"
+            );
+            assert_eq!(
+                after.get(bucket) - before.get(bucket),
+                count,
+                "horizon skip leaked cycles outside its stall bucket"
+            );
+        }
     }
 
     /// This node's cycle ledger (instrumented builds only).

@@ -1,0 +1,198 @@
+//! Worker coordination for the parallel stepping engine.
+//!
+//! `DsSystem::run_parallel` keeps a pool of scoped worker threads alive
+//! for the whole run and hands them one stepping round per simulated
+//! cycle through the [`CycleBarrier`]. Everything here is coordination
+//! glue, deliberately kept out of the `system.rs` hot module: the lock
+//! helpers recover from poisoning (a panicking worker must not mask the
+//! original panic with a second one), and the barrier is a plain
+//! spin/yield loop — rounds are microseconds apart, so parking would
+//! cost more than it saves.
+
+use crate::node::Node;
+use std::borrow::{Borrow, BorrowMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A reusable spin barrier: the coordinator opens one stepping round
+/// per simulated cycle and waits for every worker to finish it; workers
+/// wait for the next round (or the shutdown signal).
+pub(crate) struct CycleBarrier {
+    /// Rounds opened so far; bumped once more at shutdown so waiting
+    /// workers wake up and observe `stop`.
+    round: AtomicU64,
+    /// The cycle the current round simulates.
+    now: AtomicU64,
+    /// Workers that have finished the current round.
+    done: AtomicUsize,
+    /// Set once; tells workers to exit instead of stepping.
+    stop: AtomicBool,
+}
+
+impl CycleBarrier {
+    pub(crate) fn new() -> Self {
+        CycleBarrier {
+            round: AtomicU64::new(0),
+            now: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Opens stepping round `round + 1` for cycle `now`.
+    pub(crate) fn open_round(&self, now: u64) {
+        self.done.store(0, Ordering::Relaxed);
+        self.now.store(now, Ordering::Relaxed);
+        self.round.fetch_add(1, Ordering::Release);
+    }
+
+    /// The cycle of the currently open round.
+    pub(crate) fn now(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until round `target` opens. Returns false when the run is
+    /// over and the worker should exit.
+    pub(crate) fn worker_wait(&self, target: u64) -> bool {
+        let mut spins = 0u32;
+        while self.round.load(Ordering::Acquire) < target {
+            if self.stop.load(Ordering::Relaxed) {
+                return false;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        !self.stop.load(Ordering::Acquire)
+    }
+
+    /// Marks this worker's share of the current round complete.
+    pub(crate) fn worker_done(&self) {
+        self.done.fetch_add(1, Ordering::Release);
+    }
+
+    /// Blocks the coordinator until all `n` workers finished the round.
+    pub(crate) fn await_workers(&self, n: usize) {
+        let mut spins = 0u32;
+        while self.done.load(Ordering::Acquire) < n {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Releases every worker for exit. Safe to call more than once.
+    pub(crate) fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.round.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Shuts the barrier down when dropped, so worker threads exit and the
+/// thread scope can join them on both the normal and the unwind path
+/// (a watchdog panic in the merge phase must not hang the scope).
+pub(crate) struct ShutdownOnDrop<'a>(pub(crate) &'a CycleBarrier);
+
+impl Drop for ShutdownOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock: the
+/// engine's own panics (watchdog, audit) must propagate unmasked, and
+/// node state behind a poisoned lock is still needed to report them.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Read-locks an `RwLock`, recovering from poisoning.
+pub(crate) fn read_clean<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Write-locks an `RwLock`, recovering from poisoning.
+pub(crate) fn write_clean<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Unwraps a mutex into its value, recovering from poisoning.
+pub(crate) fn into_clean<T>(m: Mutex<T>) -> T {
+    m.into_inner().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Worker threads to spawn: one per available core (the coordinator
+/// mostly waits during a round, so it does not reserve one).
+pub(crate) fn worker_count() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A held node lock that the shared cycle tail can treat as a plain
+/// `Node` holder (newtype because `MutexGuard` itself has no
+/// `Borrow<Node>` impl).
+pub(crate) struct GuardCell<'a>(pub(crate) MutexGuard<'a, Node>);
+
+impl Borrow<Node> for GuardCell<'_> {
+    fn borrow(&self) -> &Node {
+        &self.0
+    }
+}
+
+impl BorrowMut<Node> for GuardCell<'_> {
+    fn borrow_mut(&mut self) -> &mut Node {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_round_trip_and_shutdown() {
+        let b = CycleBarrier::new();
+        std::thread::scope(|scope| {
+            let worker = scope.spawn(|| {
+                let mut rounds = 0u64;
+                let mut round = 0u64;
+                loop {
+                    round += 1;
+                    if !b.worker_wait(round) {
+                        return rounds;
+                    }
+                    rounds += 1;
+                    b.worker_done();
+                }
+            });
+            for now in 0..5u64 {
+                b.open_round(now);
+                assert_eq!(b.now(), now);
+                b.await_workers(1);
+            }
+            b.shutdown();
+            assert_eq!(worker.join().unwrap(), 5);
+        });
+    }
+
+    #[test]
+    fn lock_helpers_recover_from_poison() {
+        let m = Mutex::new(7u32);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_clean(&m), 7);
+        assert_eq!(into_clean(m), 7);
+        let l = RwLock::new(3u32);
+        assert_eq!(*read_clean(&l), 3);
+        *write_clean(&l) = 4;
+        assert_eq!(*read_clean(&l), 4);
+    }
+}

@@ -68,6 +68,13 @@ impl PendingQueue {
         self.heap.push(Entry { ready, idx, msg });
     }
 
+    /// Earliest data-ready cycle over all queued messages (due or not),
+    /// or `None` when the queue is empty. This is the queue's event
+    /// horizon: nothing can leave it before that cycle.
+    pub(crate) fn next_ready(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.ready)
+    }
+
     /// Key `(ready, seq)` of the head entry if it is due by `now`.
     pub(crate) fn peek_due(&self, now: Cycle) -> Option<(Cycle, u64)> {
         let head = self.heap.peek()?;
@@ -120,6 +127,17 @@ mod tests {
         assert_eq!((a.seq, b.seq), (1, 1));
         assert_eq!(q.pop_due(10).map(|m| m.seq), Some(2));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_ready_is_the_earliest_ready_cycle() {
+        let mut q = PendingQueue::new();
+        assert_eq!(q.next_ready(), None);
+        q.push(7, msg(0));
+        q.push(3, msg(1));
+        assert_eq!(q.next_ready(), Some(3));
+        q.pop_due(3);
+        assert_eq!(q.next_ready(), Some(7));
     }
 
     #[test]

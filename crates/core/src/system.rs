@@ -7,8 +7,9 @@ use crate::Cycle;
 use ds_asm::Program;
 use ds_cpu::{ExecError, FuncCore, TraceSource};
 use ds_mem::{MemImage, PageTable, PageTableBuilder, Segment};
-use ds_net::{Fabric, MsgKind};
-use std::rc::Rc;
+use ds_net::{Delivery, Fabric, MsgKind};
+use std::borrow::BorrowMut;
+use std::sync::Arc;
 
 /// The DataScalar machine: `N` nodes on a broadcast bus, all running
 /// the same program.
@@ -22,9 +23,12 @@ pub struct DsSystem {
     nodes: Vec<Node>,
     bus: Fabric,
     trace: TraceSource,
-    page_table: Rc<PageTable>,
+    page_table: Arc<PageTable>,
     cycles: Cycle,
     delivered: u64,
+    /// Cycles advanced by event-horizon jumps rather than naive
+    /// iteration (diagnostic; not part of `RunResult`).
+    skipped: u64,
     /// Cross-node commit-stream auditor (observational only).
     #[cfg(feature = "audit")]
     audit: crate::audit::SystemAudit,
@@ -35,6 +39,16 @@ pub struct DsSystem {
     /// to the lowest id) and the cycle it took the lead.
     #[cfg(feature = "obs")]
     lead: (usize, Cycle),
+}
+
+/// Commit-progress tracking for the deadlock watchdog, threaded through
+/// the cycle tail (and consulted by the horizon jump, which must never
+/// skip past the watchdog's panic iteration).
+struct Watchdog {
+    /// Total committed instructions at the last progress check.
+    last_total: u64,
+    /// Cycle count when `last_total` last moved.
+    last_progress_cycle: Cycle,
 }
 
 impl DsSystem {
@@ -57,7 +71,7 @@ impl DsSystem {
             ptb.replicate_page_of(vpn * config.page_bytes);
         }
         ptb.distribute_round_robin(config.dist_block_pages);
-        let page_table = Rc::new(ptb.build());
+        let page_table = Arc::new(ptb.build());
 
         let mut mem = MemImage::new();
         program.load(&mut mem);
@@ -66,7 +80,7 @@ impl DsSystem {
         let mut bus_cfg = config.bus;
         bus_cfg.ports = config.nodes;
         let nodes = (0..config.nodes)
-            .map(|i| Node::new(i, Rc::clone(&page_table), &config))
+            .map(|i| Node::new(i, Arc::clone(&page_table), &config))
             .collect();
         DsSystem {
             bus: Fabric::new(config.interconnect, bus_cfg),
@@ -75,6 +89,7 @@ impl DsSystem {
             page_table,
             cycles: 0,
             delivered: 0,
+            skipped: 0,
             #[cfg(feature = "audit")]
             audit: crate::audit::SystemAudit::new(config.nodes),
             #[cfg(feature = "obs")]
@@ -93,6 +108,14 @@ impl DsSystem {
     /// The nodes.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
+    }
+
+    /// Cycles covered by event-horizon jumps instead of naive
+    /// iteration — the engine's work saved. Zero under
+    /// `config.no_skip`; excluded from [`RunResult`] so the two paths
+    /// stay byte-comparable.
+    pub fn cycles_skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// Final memory image view (functional state; reflects execution up
@@ -115,84 +138,339 @@ impl DsSystem {
     /// consecutive cycles — a correspondence-protocol deadlock, which
     /// the design rules out; the panic is the tripwire.
     pub fn run(&mut self) -> Result<RunResult, ExecError> {
-        let max_insts = self.config.max_insts.unwrap_or(u64::MAX);
-        let mut last_progress_cycle = self.cycles;
-        let mut last_total = 0u64;
+        if self.config.parallel_step && self.config.nodes > 1 {
+            self.run_parallel()
+        } else {
+            self.run_serial()
+        }
+    }
+
+    /// The serial engine: one thread steps every node, then runs the
+    /// shared cycle tail (which skips ahead to the next event horizon
+    /// unless `config.no_skip` pins the naive reference loop).
+    fn run_serial(&mut self) -> Result<RunResult, ExecError> {
+        // The nodes and the trace move out of `self` for the duration
+        // of the loop so the cycle tail can borrow them alongside the
+        // rest of the system.
+        let mut nodes = std::mem::take(&mut self.nodes);
+        let mut trace = std::mem::replace(
+            &mut self.trace,
+            TraceSource::new(FuncCore::new(0), MemImage::new()),
+        );
+        let mut wd = Watchdog { last_total: 0, last_progress_cycle: self.cycles };
         // Reused every cycle; the hot loop allocates nothing.
         let mut deliveries = Vec::new();
-        loop {
+        let outcome: Result<(), ExecError> = loop {
             let now = self.cycles;
             // 1. Every node simulates this cycle (the paper's simulator
             //    "switches contexts after executing each cycle").
-            for node in &mut self.nodes {
-                node.step(&mut self.trace, now)?;
-            }
-            #[cfg(feature = "audit")]
-            self.absorb_audit();
-            #[cfg(feature = "obs")]
-            self.track_lead(now);
-            // Top-down cycle accounting: charge this cycle to exactly
-            // one bucket per node. Runs before `cycles += 1`, so every
-            // node's account total equals `cycles` exactly.
-            #[cfg(feature = "obs")]
-            {
-                let bus_busy = !self.bus.is_idle();
-                for node in &mut self.nodes {
-                    node.charge_cycle(now, bus_busy);
+            let mut step_err = None;
+            for node in &mut nodes {
+                if let Err(e) = node.step(&mut trace, now) {
+                    step_err = Some(e);
+                    break;
                 }
             }
-            // 2. Ready broadcasts enter the bus.
-            for node in &mut self.nodes {
-                while let Some(msg) = node.next_outgoing(now) {
-                    self.bus.enqueue(msg);
-                }
+            if let Some(e) = step_err {
+                break Err(e);
             }
-            // 3. The bus advances; completed broadcasts are delivered.
-            self.bus.step_into(now, &mut deliveries);
-            for delivery in &deliveries {
-                debug_assert_eq!(delivery.msg.kind, MsgKind::Broadcast);
-                self.delivered += 1;
-                if let Some(n) = self.config.fault_drop_every {
-                    if self.delivered.is_multiple_of(n) {
-                        continue; // injected fault: lose the broadcast
+            if self.cycle_tail(&mut nodes, &mut trace, now, &mut wd, &mut deliveries) {
+                break Ok(());
+            }
+        };
+        self.nodes = nodes;
+        self.trace = trace;
+        outcome?;
+        Ok(self.finish_run())
+    }
+
+    /// The parallel engine: node stepping fans out to persistent worker
+    /// threads each cycle; every cross-node effect (trace extension,
+    /// accounting, bus arbitration, delivery, the horizon advance) runs
+    /// on this thread in node order. Results are identical to the
+    /// serial engine for any worker count: stepping only mutates
+    /// per-node state against a read-only trace window, and the merge
+    /// order is fixed.
+    fn run_parallel(&mut self) -> Result<RunResult, ExecError> {
+        use crate::parallel::{
+            into_clean, lock_clean, read_clean, worker_count, write_clean, CycleBarrier,
+            GuardCell, ShutdownOnDrop,
+        };
+        use std::sync::{Mutex, RwLock};
+        let cells: Vec<Mutex<Node>> =
+            std::mem::take(&mut self.nodes).into_iter().map(Mutex::new).collect();
+        let trace_lock = RwLock::new(std::mem::replace(
+            &mut self.trace,
+            TraceSource::new(FuncCore::new(0), MemImage::new()),
+        ));
+        let n = cells.len();
+        let workers = n.min(worker_count());
+        let barrier = CycleBarrier::new();
+        let step_err: Mutex<Option<ExecError>> = Mutex::new(None);
+        let mut wd = Watchdog { last_total: 0, last_progress_cycle: self.cycles };
+        let mut deliveries = Vec::new();
+        let outcome: Result<(), ExecError> = std::thread::scope(|scope| {
+            // Declared before the guards below: on unwind the node
+            // locks release first, then the barrier wakes the workers
+            // so the scope can join them.
+            let stopper = ShutdownOnDrop(&barrier);
+            for w in 0..workers {
+                let (barrier, cells, trace_lock, step_err) =
+                    (&barrier, &cells, &trace_lock, &step_err);
+                scope.spawn(move || {
+                    let mut round = 0u64;
+                    loop {
+                        round += 1;
+                        if !barrier.worker_wait(round) {
+                            return;
+                        }
+                        let now = barrier.now();
+                        let tr = read_clean(trace_lock);
+                        for i in (w..n).step_by(workers) {
+                            let mut node = lock_clean(&cells[i]);
+                            if let Err(e) = node.step_shared(&tr, now) {
+                                let mut slot = lock_clean(step_err);
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                            }
+                        }
+                        drop(tr);
+                        barrier.worker_done();
+                    }
+                });
+            }
+            let mut guards: Vec<GuardCell<'_>> = Vec::with_capacity(n);
+            let outcome = loop {
+                let now = self.cycles;
+                // Pre-extend the shared trace past every index fetch
+                // can peek this cycle, so workers read it lock-shared.
+                let mut bound = None::<u64>;
+                for cell in cells.iter() {
+                    if let Some(b) = lock_clean(cell).prefetch_bound(now) {
+                        bound = Some(bound.map_or(b, |cur| cur.max(b)));
                     }
                 }
-                self.nodes[delivery.dest].deliver(&delivery.msg, now);
-            }
-            self.cycles += 1;
-            // 4. Trim the shared trace behind the slowest node.
-            if now.is_multiple_of(1024) {
-                let min = self.nodes.iter().map(|n| n.fetch_cursor()).min().unwrap_or(0);
-                self.trace.trim(min);
-            }
-            // Termination and the deadlock watchdog.
-            let total: u64 = self.nodes.iter().map(|n| n.committed()).sum();
-            if total != last_total {
-                last_total = total;
-                last_progress_cycle = self.cycles;
-            } else if self.cycles - last_progress_cycle > self.config.watchdog_cycles {
-                // ds-lint: allow(p1) deliberate abort: a stalled machine means the broadcast/BSHR pairing broke and no recovery exists (docs/protocol.md §5)
-                panic!(
-                    "DataScalar deadlock: no commit in {} cycles (committed {:?})",
-                    self.config.watchdog_cycles,
-                    self.nodes.iter().map(|n| n.committed()).collect::<Vec<_>>()
-                );
-            }
-            let all_done = self
-                .nodes
-                .iter()
-                .all(|n| n.is_done() || n.committed() >= max_insts);
-            if all_done {
-                break;
+                if let Some(b) = bound {
+                    // `b` is exclusive: materialise through `b - 1`.
+                    if let Err(e) = write_clean(&trace_lock).extend_to(b - 1) {
+                        break Err(e);
+                    }
+                }
+                barrier.open_round(now);
+                barrier.await_workers(workers);
+                if let Some(e) = lock_clean(&step_err).take() {
+                    break Err(e);
+                }
+                for cell in cells.iter() {
+                    guards.push(GuardCell(lock_clean(cell)));
+                }
+                let mut tr = write_clean(&trace_lock);
+                // Fold this cycle's furthest fetch peek into the trace
+                // high-water mark, exactly as the serial engine's
+                // demand-driven reads would have.
+                let peek = guards.iter().map(|g| g.0.peek_end()).max().unwrap_or(0);
+                tr.note_peeks(peek);
+                let done = self.cycle_tail(&mut guards, &mut tr, now, &mut wd, &mut deliveries);
+                drop(tr);
+                guards.clear();
+                if done {
+                    break Ok(());
+                }
+            };
+            drop(guards);
+            drop(stopper);
+            outcome
+        });
+        self.nodes = cells.into_iter().map(into_clean).collect();
+        self.trace = trace_lock.into_inner().unwrap_or_else(|p| p.into_inner());
+        outcome?;
+        Ok(self.finish_run())
+    }
+
+    /// Everything after node stepping in one simulated cycle: audit
+    /// absorption, lead tracking, cycle accounting, broadcast launch,
+    /// interconnect stepping, delivery, trace trimming, the watchdog,
+    /// the termination check, and (unless `config.no_skip`) the jump to
+    /// the next event horizon. Generic over the node holder so the
+    /// serial loop (`Vec<Node>`) and the parallel merge phase (mutex
+    /// guards) share it verbatim. Returns true when the run is over.
+    fn cycle_tail<N: BorrowMut<Node>>(
+        &mut self,
+        nodes: &mut [N],
+        trace: &mut TraceSource,
+        now: Cycle,
+        wd: &mut Watchdog,
+        deliveries: &mut Vec<Delivery>,
+    ) -> bool {
+        #[cfg(feature = "audit")]
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let node: &mut Node = node.borrow_mut();
+            while let Some(ev) = node.ms.audit.pending.pop_front() {
+                self.audit.absorb(i, ev);
             }
         }
+        #[cfg(feature = "obs")]
+        self.track_lead(nodes, now);
+        // Top-down cycle accounting: charge this cycle to exactly one
+        // bucket per node. Runs before `cycles += 1`, so every node's
+        // account total equals `cycles` exactly.
+        #[cfg(feature = "obs")]
+        {
+            let bus_busy = !self.bus.is_idle();
+            for node in nodes.iter_mut() {
+                let node: &mut Node = node.borrow_mut();
+                node.charge_cycle(now, bus_busy);
+            }
+        }
+        // 2. Ready broadcasts enter the bus.
+        for node in nodes.iter_mut() {
+            let node: &mut Node = node.borrow_mut();
+            while let Some(msg) = node.next_outgoing(now) {
+                self.bus.enqueue(msg);
+            }
+        }
+        // 3. The bus advances; completed broadcasts are delivered.
+        self.bus.step_into(now, deliveries);
+        for delivery in deliveries.iter() {
+            debug_assert_eq!(delivery.msg.kind, MsgKind::Broadcast);
+            self.delivered += 1;
+            if let Some(n) = self.config.fault_drop_every {
+                if self.delivered.is_multiple_of(n) {
+                    continue; // injected fault: lose the broadcast
+                }
+            }
+            let dest: &mut Node = nodes[delivery.dest].borrow_mut();
+            dest.deliver(&delivery.msg, now);
+        }
+        self.cycles += 1;
+        // 4. Trim the shared trace behind the slowest node.
+        if now.is_multiple_of(1024) {
+            let min = nodes
+                .iter()
+                .map(|n| {
+                    let n: &Node = n.borrow();
+                    n.fetch_cursor()
+                })
+                .min()
+                .unwrap_or(0);
+            trace.trim(min);
+        }
+        // Termination and the deadlock watchdog, in one pass: the same
+        // committed() read feeds the progress total and the done check.
+        let max_insts = self.config.max_insts.unwrap_or(u64::MAX);
+        let mut total: u64 = 0;
+        let mut all_done = true;
+        for n in nodes.iter() {
+            let n: &Node = n.borrow();
+            let c = n.committed();
+            total += c;
+            all_done &= n.is_done() || c >= max_insts;
+        }
+        let progressed = total != wd.last_total;
+        if progressed {
+            wd.last_total = total;
+            wd.last_progress_cycle = self.cycles;
+        } else if self.cycles - wd.last_progress_cycle > self.config.watchdog_cycles {
+            // ds-lint: allow(p1) deliberate abort: a stalled machine means the broadcast/BSHR pairing broke and no recovery exists (docs/protocol.md §5)
+            panic!(
+                "DataScalar deadlock: no commit in {} cycles (committed {:?})",
+                self.config.watchdog_cycles,
+                nodes
+                    .iter()
+                    .map(|n| {
+                        let n: &Node = n.borrow();
+                        n.committed()
+                    })
+                    .collect::<Vec<_>>()
+            );
+        }
+        if all_done {
+            return true;
+        }
+        // The horizon scan is gated on quiescence: a cycle that retired
+        // instructions never opens a skippable range (the committing
+        // core's next event is the very next cycle), so scanning after
+        // it would be pure overhead on busy phases. A stall episode
+        // that starts on a commit cycle is picked up one cycle later —
+        // at most one naive iteration per episode is "lost".
+        if !self.config.no_skip && !progressed {
+            self.advance_to_horizon(nodes, trace, now, wd);
+        }
+        false
+    }
+
+    /// The event-horizon jump. Called after the cycle at `now` fully
+    /// completed (`self.cycles == now + 1`): computes the earliest
+    /// future cycle any component's state can change — core event
+    /// heaps, fetch stalls, queued broadcasts, the interconnect — and,
+    /// when that horizon is beyond the next cycle, charges the skipped
+    /// quiescent cycles to their stall buckets and advances the clock
+    /// in one step. The horizon is clamped to the watchdog deadline so
+    /// a deadlocked machine still reaches its panic iteration naively.
+    /// Behavior-invariant by construction: every skipped cycle is one
+    /// the naive loop would have executed without changing any state
+    /// except these same stall counters.
+    fn advance_to_horizon<N: BorrowMut<Node>>(
+        &mut self,
+        nodes: &mut [N],
+        trace: &mut TraceSource,
+        now: Cycle,
+        wd: &Watchdog,
+    ) {
+        let mut horizon = self.bus.next_event(now);
+        for node in nodes.iter() {
+            let node: &Node = node.borrow();
+            horizon = horizon.min(node.next_event(now));
+        }
+        horizon =
+            horizon.min(wd.last_progress_cycle.saturating_add(self.config.watchdog_cycles));
+        if horizon <= now + 1 {
+            return;
+        }
+        #[cfg(feature = "obs")]
+        {
+            let skipped = horizon - (now + 1);
+            let bus_busy = !self.bus.is_idle();
+            for node in nodes.iter_mut() {
+                let node: &mut Node = node.borrow_mut();
+                node.advance_to(now, horizon);
+                node.charge_skipped(now + 1, skipped, bus_busy);
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        for node in nodes.iter_mut() {
+            let node: &mut Node = node.borrow_mut();
+            node.advance_to(now, horizon);
+        }
+        // The naive loop trims at the end of every 1024-multiple cycle.
+        // Fetch cursors are frozen across the skipped range, so at most
+        // one trim matters: run it iff a 1024 boundary falls inside
+        // `[now + 1, horizon - 1]`.
+        if (now + 1).next_multiple_of(1024) < horizon {
+            let min = nodes
+                .iter()
+                .map(|n| {
+                    let n: &Node = n.borrow();
+                    n.fetch_cursor()
+                })
+                .min()
+                .unwrap_or(0);
+            trace.trim(min);
+        }
+        self.skipped += horizon - (now + 1);
+        self.cycles = horizon;
+    }
+
+    /// Post-loop bookkeeping shared by both engines.
+    fn finish_run(&mut self) -> RunResult {
         #[cfg(feature = "obs")]
         self.close_lead_segment();
         let result = self.result();
         self.drain_interconnect();
         #[cfg(feature = "audit")]
         self.assert_audit_invariants();
-        Ok(result)
+        result
     }
 
     /// Delivers every in-flight broadcast after the cores finish, so
@@ -269,11 +547,12 @@ impl DsSystem {
     /// changes are deterministic). A change of leader ends one
     /// datathread run; the closed segment's length feeds the
     /// datathread-run histogram.
-    fn track_lead(&mut self, now: Cycle) {
+    fn track_lead<N: std::borrow::Borrow<Node>>(&mut self, nodes: &[N], now: Cycle) {
         use ds_obs::Probe as _;
         let mut leader = 0usize;
         let mut best = 0u64;
-        for (i, n) in self.nodes.iter().enumerate() {
+        for (i, n) in nodes.iter().enumerate() {
+            let n: &Node = n.borrow();
             let c = n.committed();
             if c > best {
                 best = c;

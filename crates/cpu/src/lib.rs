@@ -30,7 +30,7 @@ pub use exec::{ExecError, ExecRecord, FuncCore};
 pub use ooo::{
     CoreStall, FuPool, LoadResponse, MemSystem, OooConfig, OooCore, OooStats, RuuTag,
 };
-pub use trace::TraceSource;
+pub use trace::{InstFeed, ReadyWindow, TraceSource};
 
 /// A simulation cycle count.
 pub type Cycle = u64;

@@ -15,7 +15,7 @@
 
 use crate::branch::{BranchModel, Predictor};
 use crate::exec::{ExecError, ExecRecord};
-use crate::trace::TraceSource;
+use crate::trace::InstFeed;
 use crate::Cycle;
 use ds_isa::{FuClass, Opcode};
 use ds_obs::Probe as _;
@@ -181,11 +181,41 @@ enum EState {
     Done,
 }
 
+/// Consumer list of one window entry. Dependence fan-out is short for
+/// almost every producer, so the first four readers live inline and
+/// only wider fan-outs touch the heap — the plain-`Vec` version cost
+/// one malloc/free per producing instruction on the simulator's
+/// hottest path.
+#[derive(Debug, Clone, Default)]
+struct Consumers {
+    inline_len: u8,
+    inline: [RuuTag; 4],
+    spill: Vec<RuuTag>,
+}
+
+impl Consumers {
+    #[inline]
+    fn push(&mut self, tag: RuuTag) {
+        let n = self.inline_len as usize;
+        if n < self.inline.len() {
+            self.inline[n] = tag;
+            self.inline_len += 1;
+        } else {
+            self.spill.push(tag);
+        }
+    }
+
+    #[inline]
+    fn iter(&self) -> impl Iterator<Item = RuuTag> + '_ {
+        self.inline[..self.inline_len as usize].iter().copied().chain(self.spill.iter().copied())
+    }
+}
+
 #[derive(Debug, Clone)]
 struct RuuEntry {
     rec: ExecRecord,
     state: EState,
-    consumers: Vec<RuuTag>,
+    consumers: Consumers,
     issue_hit: Option<bool>,
     /// For loads: the older store that covers this load's bytes, if any.
     forward_from: Option<RuuTag>,
@@ -258,8 +288,17 @@ pub struct OooCore {
     /// Tags with all operands ready, as a bitmap over window slots
     /// (bit `i` == tag `base_tag + i`), scanned oldest-first at issue.
     ready: ReadySet,
-    /// (completion cycle, tag) min-heap.
+    /// (completion cycle, tag) min-heap for completions more than one
+    /// cycle out (multi-cycle units, memory, remote data).
     events: BinaryHeap<Reverse<(Cycle, RuuTag)>>,
+    /// Completions due exactly next cycle — the overwhelmingly common
+    /// case (single-cycle ALU ops, forwarded loads) — kept out of the
+    /// heap: push is a `Vec` append, drain is a linear sweep. Always
+    /// due at `due_next_cycle` when non-empty.
+    due_next: Vec<RuuTag>,
+    due_next_cycle: Cycle,
+    /// Reused drain buffer for `due_next` (borrow split in writeback).
+    due_scratch: Vec<RuuTag>,
     /// Latest in-flight producer of each integer / fp register.
     writer_i: [Option<RuuTag>; 32],
     writer_f: [Option<RuuTag>; 32],
@@ -267,8 +306,8 @@ pub struct OooCore {
     store_queue: VecDeque<(RuuTag, u64, u64)>,
     /// Memory operations currently in the window (LSQ occupancy).
     mem_in_window: usize,
-    /// Per-class unit free times.
-    fu_free: Vec<(FuClass, Vec<Cycle>)>,
+    /// Per-class unit free times, indexed by `FuClass as usize`.
+    fu_free: [Vec<Cycle>; 7],
     stats: OooStats,
     /// Line size used to decide when fetch crosses into a new I-line.
     fetch_line_bytes: u64,
@@ -280,6 +319,11 @@ pub struct OooCore {
     /// Current-cycle facts for [`OooCore::stall_class`] (instrumented
     /// builds only; stays zeroed otherwise).
     flags: StepFlags,
+    /// One past the furthest trace index fetch has ever peeked —
+    /// including lookahead reads that did not dispatch. Feeds the
+    /// shared trace window's high-water accounting in the parallel
+    /// engine ([`crate::TraceSource::note_peeks`]).
+    peek_end: u64,
 }
 
 const FU_CLASSES: [FuClass; 7] = [
@@ -318,6 +362,12 @@ impl ReadySet {
         self.words[slot / 64] &= !(1 << (slot % 64));
     }
 
+    /// True when any slot is ready.
+    #[inline]
+    fn any_set(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
     /// Slides every slot down by `k` after `k` instructions committed.
     fn shift_down(&mut self, k: usize) {
         let n = self.words.len();
@@ -350,10 +400,8 @@ impl OooCore {
         assert!(config.fetch_width > 0 && config.issue_width > 0 && config.commit_width > 0);
         assert!(config.ruu_entries > 0 && config.lsq_entries > 0);
         assert!(fetch_line_bytes.is_power_of_two());
-        let fu_free = FU_CLASSES
-            .iter()
-            .map(|&c| (c, vec![0u64; config.fu.count(c).max(1)]))
-            .collect();
+        debug_assert!(FU_CLASSES.iter().enumerate().all(|(i, &c)| c as usize == i));
+        let fu_free = FU_CLASSES.map(|c| vec![0u64; config.fu.count(c).max(1)]);
         OooCore {
             config,
             window: VecDeque::with_capacity(config.ruu_entries),
@@ -364,6 +412,9 @@ impl OooCore {
             last_fetch_line: None,
             ready: ReadySet::new(config.ruu_entries),
             events: BinaryHeap::new(),
+            due_next: Vec::with_capacity(config.issue_width),
+            due_next_cycle: 0,
+            due_scratch: Vec::with_capacity(config.issue_width),
             writer_i: [None; 32],
             writer_f: [None; 32],
             store_queue: VecDeque::new(),
@@ -375,6 +426,7 @@ impl OooCore {
             redirect_tag: None,
             probe: CoreProbe::default(),
             flags: StepFlags::default(),
+            peek_end: 0,
         }
     }
 
@@ -411,6 +463,23 @@ impl OooCore {
         self.next_fetch
     }
 
+    /// One past the furthest trace index fetch has ever peeked.
+    pub fn peek_end(&self) -> u64 {
+        self.peek_end
+    }
+
+    /// Upper bound (exclusive) on the trace indices fetch could peek if
+    /// stepped at `now`, or `None` when fetch cannot read the trace
+    /// this cycle (finished or stalled). The parallel engine uses the
+    /// max over nodes to pre-extend the shared trace before fanning
+    /// stepping out to worker threads.
+    pub fn prefetch_bound(&self, now: Cycle) -> Option<u64> {
+        if self.fetch_done || self.fetch_stall_until > now {
+            return None;
+        }
+        Some(self.next_fetch + self.config.fetch_width as u64)
+    }
+
     /// Tag of the oldest in-flight instruction (== committed count).
     pub fn head_tag(&self) -> RuuTag {
         self.base_tag
@@ -441,10 +510,10 @@ impl OooCore {
     /// # Errors
     ///
     /// Propagates functional-execution errors from the trace source.
-    pub fn step<M: MemSystem + ?Sized>(
+    pub fn step<M: MemSystem + ?Sized, F: InstFeed + ?Sized>(
         &mut self,
         ms: &mut M,
-        trace: &mut TraceSource,
+        feed: &mut F,
         now: Cycle,
     ) -> Result<(), ExecError> {
         if self.probe.enabled() {
@@ -453,8 +522,81 @@ impl OooCore {
         self.writeback(now);
         self.commit(ms, now);
         self.issue(ms, now);
-        self.fetch(ms, trace, now)?;
+        self.fetch(ms, feed, now)?;
         Ok(())
+    }
+
+    /// Earliest future cycle at which stepping this core can change any
+    /// architectural or statistical state, given no external input —
+    /// the core's event horizon. `Cycle::MAX` means the core is
+    /// quiescent until data arrives via [`OooCore::complete_load`].
+    /// Conservative by design: it may return `now + 1` when nothing
+    /// would actually happen, but never a cycle later than the true
+    /// next event. Call after [`OooCore::step`] for the same `now`.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        if self.ready.any_set() {
+            return now + 1; // a ready instruction may issue
+        }
+        if matches!(self.window.front().map(|e| e.state), Some(EState::Done)) {
+            return now + 1; // the head may commit
+        }
+        if !self.due_next.is_empty() {
+            return now + 1; // a completion lands next cycle
+        }
+        let mut horizon = match self.events.peek() {
+            Some(&Reverse((cycle, _))) => cycle.max(now + 1),
+            None => Cycle::MAX,
+        };
+        if !self.fetch_done {
+            if self.fetch_stall_until == Cycle::MAX {
+                // Frozen behind a mispredicted transfer: the redirect
+                // resolves through that instruction's own completion,
+                // already in the event heap (or arriving remotely).
+            } else if self.fetch_stall_until > now {
+                horizon = horizon.min(self.fetch_stall_until);
+            } else if self.window.len() < self.config.ruu_entries {
+                // Fetch is unstalled with window room: it may dispatch
+                // (or hit the LSQ limit, or find the end of the trace)
+                // next cycle. Don't try to predict which.
+                return now + 1;
+            }
+            // else RUU-full: fetch unblocks only after a commit, and
+            // commits need a writeback event already accounted above.
+        }
+        horizon
+    }
+
+    /// Batch-applies the per-cycle bookkeeping for the skipped range
+    /// `now + 1 .. target`, exactly as that many no-progress calls to
+    /// [`OooCore::step`] would have. Only valid when the engine proved
+    /// (via [`OooCore::next_event`]) that every cycle in the range is
+    /// event-free; the only naive-loop effects in such cycles are the
+    /// fetch stall counters and the per-cycle flag reset.
+    /// Allocation-free (ds-lint a1).
+    pub fn advance_to(&mut self, now: Cycle, target: Cycle) {
+        let skipped = target.saturating_sub(now + 1);
+        if skipped == 0 {
+            return;
+        }
+        // Nothing retires and fetch never dispatches inside a skipped
+        // range, so the per-cycle flags are identical every cycle.
+        self.flags = StepFlags::default();
+        if self.fetch_done {
+            return;
+        }
+        if self.fetch_stall_until > now {
+            // Stalled fetch (I-line miss, post-redirect refill, or a
+            // frozen mispredict): one stall cycle per skipped cycle.
+            // The horizon never exceeds a finite `fetch_stall_until`,
+            // so the whole range is stalled.
+            self.stats.fetch_stall_cycles += skipped;
+        } else if self.window.len() >= self.config.ruu_entries {
+            // RUU-full: fetch retried and was turned away every cycle.
+            self.stats.ruu_full_stalls += skipped;
+            if self.probe.enabled() {
+                self.flags.ruu_full = true;
+            }
+        }
     }
 
     /// Classifies what this cycle was spent on, for top-down cycle
@@ -499,34 +641,60 @@ impl OooCore {
         }
     }
 
+    /// Queues a completion event. Completions due exactly next cycle
+    /// take the flat-`Vec` fast path; everything else goes to the heap.
+    #[inline]
+    fn schedule(&mut self, now: Cycle, at: Cycle, tag: RuuTag) {
+        if at == now + 1 && (self.due_next.is_empty() || self.due_next_cycle == at) {
+            self.due_next_cycle = at;
+            self.due_next.push(tag);
+        } else {
+            self.events.push(Reverse((at, tag)));
+        }
+    }
+
     fn writeback(&mut self, now: Cycle) {
+        if !self.due_next.is_empty() && self.due_next_cycle <= now {
+            let mut due = std::mem::take(&mut self.due_scratch);
+            std::mem::swap(&mut due, &mut self.due_next);
+            for &tag in &due {
+                self.complete_tag(tag, now);
+            }
+            due.clear();
+            self.due_scratch = due;
+        }
         while let Some(&Reverse((cycle, tag))) = self.events.peek() {
             if cycle > now {
                 break;
             }
             self.events.pop();
-            let consumers = {
-                let Some(e) = self.entry_mut(tag) else { continue };
-                if e.state == EState::Done {
-                    continue;
-                }
-                e.state = EState::Done;
-                std::mem::take(&mut e.consumers)
-            };
-            if self.redirect_tag == Some(tag) {
-                // The mispredicted transfer resolved: redirect fetch
-                // after the front-end refill penalty.
-                self.redirect_tag = None;
-                self.fetch_stall_until = now + 1 + self.predictor.model().penalty();
+            self.complete_tag(tag, now);
+        }
+    }
+
+    /// Marks `tag` done and wakes its consumers (one completion event).
+    fn complete_tag(&mut self, tag: RuuTag, now: Cycle) {
+        let consumers = {
+            let Some(e) = self.entry_mut(tag) else { return };
+            if e.state == EState::Done {
+                return;
             }
-            for c in consumers {
-                if let Some(e) = self.entry_mut(c) {
-                    if let EState::Waiting(n) = e.state {
-                        let n = n - 1;
-                        e.state = if n == 0 { EState::Ready } else { EState::Waiting(n) };
-                        if n == 0 {
-                            self.ready.insert((c - self.base_tag) as usize);
-                        }
+            e.state = EState::Done;
+            std::mem::take(&mut e.consumers)
+        };
+        if self.redirect_tag == Some(tag) {
+            // The mispredicted transfer resolved: redirect fetch
+            // after the front-end refill penalty.
+            self.redirect_tag = None;
+            self.fetch_stall_until = now + 1 + self.predictor.model().penalty();
+        }
+        for c in consumers.iter() {
+            if let Some(e) = self.entry_mut(c) {
+                if let EState::Waiting(n) = e.state {
+                    let n = n - 1;
+                    e.state = if n == 0 { EState::Ready } else { EState::Waiting(n) };
+                    if n == 0 {
+                        self.ready.insert((c - self.base_tag) as usize);
                     }
                 }
             }
@@ -613,7 +781,7 @@ impl OooCore {
                     let e = self.entry_mut(tag).unwrap();
                     e.state = EState::Issued;
                     e.issue_hit = Some(true);
-                    self.events.push(Reverse((now + 1, tag)));
+                    self.schedule(now, now + 1, tag);
                 } else if op.is_load() {
                     let (resp, hit) = ms.load_issued(&rec, now, tag);
                     // ds-lint: allow(p1) same tag as the entry_mut above: still in-window
@@ -623,7 +791,7 @@ impl OooCore {
                     e.pending_remote = matches!(resp, LoadResponse::Pending);
                     match resp {
                         LoadResponse::Ready(at) => {
-                            self.events.push(Reverse((at.max(now + 1), tag)));
+                            self.schedule(now, at.max(now + 1), tag);
                         }
                         LoadResponse::Pending => {}
                     }
@@ -632,19 +800,14 @@ impl OooCore {
                     let e = self.entry_mut(tag).unwrap();
                     e.state = EState::Issued;
                     let lat = op.latency();
-                    self.events.push(Reverse((now + lat, tag)));
+                    self.schedule(now, now + lat, tag);
                 }
             }
         }
     }
 
     fn acquire_fu(&mut self, class: FuClass, now: Cycle) -> Option<usize> {
-        let (_, units) = self
-            .fu_free
-            .iter_mut()
-            .find(|(c, _)| *c == class)
-            // ds-lint: allow(p1) fu_free is built with every FuClass at construction
-            .expect("all classes present");
+        let units = &mut self.fu_free[class as usize];
         let idx = units.iter().position(|&f| f <= now)?;
         units[idx] = if FuPool::pipelined(class) {
             now + 1
@@ -654,10 +817,10 @@ impl OooCore {
         Some(idx)
     }
 
-    fn fetch<M: MemSystem + ?Sized>(
+    fn fetch<M: MemSystem + ?Sized, F: InstFeed + ?Sized>(
         &mut self,
         ms: &mut M,
-        trace: &mut TraceSource,
+        feed: &mut F,
         now: Cycle,
     ) -> Result<(), ExecError> {
         if self.fetch_done {
@@ -675,8 +838,11 @@ impl OooCore {
                 }
                 break;
             }
-            let rec = match trace.get(self.next_fetch)? {
-                Some(r) => *r,
+            if self.next_fetch + 1 > self.peek_end {
+                self.peek_end = self.next_fetch + 1;
+            }
+            let rec = match feed.fetch_record(self.next_fetch)? {
+                Some(r) => r,
                 None => {
                     self.fetch_done = true;
                     break;
@@ -813,7 +979,7 @@ impl OooCore {
         self.window.push_back(RuuEntry {
             rec,
             state,
-            consumers: Vec::new(),
+            consumers: Consumers::default(),
             issue_hit: None,
             forward_from,
             pending_remote: false,
@@ -883,6 +1049,7 @@ fn dest_reg(rec: &ExecRecord) -> Option<(bool, u8)> {
 mod tests {
     use super::*;
     use crate::exec::FuncCore;
+    use crate::trace::TraceSource;
     use ds_isa::{reg, Inst};
     use ds_mem::MemImage;
 
@@ -1217,5 +1384,85 @@ mod tests {
         run_to_completion(&mut core, &mut ms, &mut trace, |_, _, _| {});
         core.complete_load(0, 5); // must not panic or corrupt
         assert!(core.is_done());
+    }
+
+    /// Local memory with visible latencies everywhere: loads complete
+    /// 12 cycles after issue, new I-lines arrive 9 cycles after the
+    /// request — plenty of quiescent gaps for the horizon to skip.
+    struct LaggyMem;
+
+    impl MemSystem for LaggyMem {
+        fn load_issued(&mut self, _r: &ExecRecord, now: Cycle, _t: RuuTag) -> (LoadResponse, bool) {
+            (LoadResponse::Ready(now + 12), false)
+        }
+        fn mem_committed(&mut self, _r: &ExecRecord, _h: Option<bool>, _now: Cycle) {}
+        fn fetch_line(&mut self, _pc: u64, now: Cycle) -> Cycle {
+            now + 9
+        }
+    }
+
+    #[test]
+    fn horizon_skipping_matches_naive_stepping() {
+        let prog: Vec<Inst> = (0..24i32)
+            .flat_map(|k| {
+                [
+                    Inst::load(Opcode::Ld, reg::T0, reg::ZERO, 0x400 + 8 * k),
+                    Inst::rri(Opcode::Addi, reg::T1, reg::T0, 1),
+                ]
+            })
+            .chain([Inst::halt()])
+            .collect();
+        let tight = OooConfig {
+            fetch_width: 2,
+            issue_width: 2,
+            commit_width: 2,
+            ruu_entries: 8,
+            lsq_entries: 4,
+            ..Default::default()
+        };
+
+        // Reference: one step per cycle.
+        let mut naive = OooCore::new(tight, 32);
+        let mut naive_trace = trace_of(&prog);
+        let naive_cycles = {
+            let mut now = 0;
+            loop {
+                naive.step(&mut LaggyMem, &mut naive_trace, now).unwrap();
+                if naive.is_done() {
+                    break now + 1;
+                }
+                now += 1;
+                assert!(now < 100_000, "runaway simulation");
+            }
+        };
+
+        // Event-horizon: jump over every cycle the core proves inert.
+        let mut skip = OooCore::new(tight, 32);
+        let mut skip_trace = trace_of(&prog);
+        let mut skips = 0u64;
+        let skip_cycles = {
+            let mut now = 0;
+            loop {
+                skip.step(&mut LaggyMem, &mut skip_trace, now).unwrap();
+                if skip.is_done() {
+                    break now + 1;
+                }
+                let h = skip.next_event(now);
+                assert!(h > now, "horizon must be in the future");
+                assert_ne!(h, Cycle::MAX, "local-only core always has a next event");
+                if h > now + 1 {
+                    skip.advance_to(now, h);
+                    skips += 1;
+                    now = h;
+                } else {
+                    now += 1;
+                }
+                assert!(now < 100_000, "runaway simulation");
+            }
+        };
+
+        assert!(skips > 0, "the laggy memory must have produced skippable gaps");
+        assert_eq!(skip_cycles, naive_cycles, "cycle counts must match exactly");
+        assert_eq!(*skip.stats(), *naive.stats(), "all counters must match exactly");
     }
 }

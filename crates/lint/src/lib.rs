@@ -20,10 +20,11 @@
 //!   sibling nodes with unconsumed broadcasts; every unwind point must
 //!   be a deliberate, documented invariant.
 //! - **a1** — no allocation (`Vec::new`, `vec![`, `.collect()`, ...)
-//!   inside `step`/`tick`/`record`/`charge`-named functions in the hot
-//!   modules. Guards PR 1's allocation-free cycle loop, PR 3's
-//!   per-event observability ring writes, and PR 4's per-cycle stall
-//!   accounting.
+//!   inside `step`/`tick`/`record`/`charge`/`next_event`/`advance_to`-
+//!   named functions in the hot modules. Guards PR 1's allocation-free
+//!   cycle loop, PR 3's per-event observability ring writes, PR 4's
+//!   per-cycle stall accounting, and the event-horizon engine's
+//!   per-cycle horizon scan and batch advance.
 //! - **x1** — cross-file drift: every `Opcode` variant must have an
 //!   exec arm in `crates/cpu/src/exec.rs` and a row in `docs/isa.md`.
 //!
@@ -52,8 +53,8 @@ pub enum Rule {
     /// Unannotated panic paths (`unwrap`/`expect`/`panic!`/`unsafe`) in
     /// hot modules.
     P1,
-    /// Allocation inside `step`/`tick`/`record`/`charge` functions in
-    /// hot modules.
+    /// Allocation inside `step`/`tick`/`record`/`charge`/`next_event`/
+    /// `advance_to` functions in hot modules.
     A1,
     /// ISA drift between `Opcode`, the exec unit, and `docs/isa.md`.
     X1,
@@ -449,15 +450,19 @@ fn check_p1(cleaned: &str, out: &mut Vec<Candidate>) {
     }
 }
 
-/// a1: allocation inside `step`/`tick`/`record`/`charge`-named
-/// functions (`record*` covers the observability probe's per-event hot
-/// path; `charge*` the per-cycle stall accounting).
+/// a1: allocation inside `step`/`tick`/`record`/`charge`/`next_event`/
+/// `advance_to`-named functions (`record*` covers the observability
+/// probe's per-event hot path; `charge*` the per-cycle stall
+/// accounting; `next_event*`/`advance_to*` the event-horizon engine's
+/// per-cycle horizon computation and batch advance).
 fn check_a1(cleaned: &str, out: &mut Vec<Candidate>) {
     let bodies = fn_bodies(cleaned, |name| {
         name.starts_with("step")
             || name.starts_with("tick")
             || name.starts_with("record")
             || name.starts_with("charge")
+            || name.starts_with("next_event")
+            || name.starts_with("advance_to")
     });
     if bodies.is_empty() {
         return;
@@ -827,6 +832,19 @@ mod tests {
         let src = "fn charge_cycle(&mut self) { let labels: Vec<String> = Vec::new(); }\n\
                    fn charge_pc(&mut self, pc: u64) { let s = format!(\"{pc:x}\"); }\n\
                    fn chart(&mut self) { let v: Vec<u8> = Vec::new(); }\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert_eq!(rules(&diags), vec![Rule::A1, Rule::A1], "{diags:?}");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[1].line, 2);
+    }
+
+    #[test]
+    fn a1_flags_allocation_in_horizon_fns() {
+        // The event-horizon engine's per-cycle scan and batch advance
+        // are policed like the step/charge paths.
+        let src = "fn next_event(&self, now: u64) -> u64 { let v: Vec<u64> = (0..4).collect(); now }\n\
+                   fn advance_to_horizon(&mut self) { let b = Box::new(0u8); }\n\
+                   fn next_evening(&self) { let v: Vec<u8> = Vec::new(); }\n";
         let diags = lint_source("x.rs", src, HOT);
         assert_eq!(rules(&diags), vec![Rule::A1, Rule::A1], "{diags:?}");
         assert_eq!(diags[0].line, 1);

@@ -96,6 +96,16 @@ impl MainMemory {
         done
     }
 
+    /// Earliest cycle at which *every* bank is free, i.e. the cycle the
+    /// last scheduled access completes. Banks are passive (completion
+    /// times are returned to the issuer at `access` time, the core's
+    /// event heap carries them), so this is a diagnostic horizon hook:
+    /// at or after this cycle the memory can accept any access with no
+    /// bank conflict.
+    pub fn next_free_cycle(&self) -> Cycle {
+        self.next_free.iter().copied().max().unwrap_or(0)
+    }
+
     /// Total accesses serviced.
     pub fn accesses(&self) -> u64 {
         self.accesses
@@ -144,6 +154,17 @@ mod tests {
         let b = m.access(0, 32, a);
         assert_eq!(b, a + 9, "no conflict when issued after completion");
         assert_eq!(m.busy_conflicts(), 0);
+    }
+
+    #[test]
+    fn next_free_cycle_tracks_the_busiest_bank() {
+        let mut m = MainMemory::new(MemoryTimingConfig::default());
+        assert_eq!(m.next_free_cycle(), 0, "idle memory is free now");
+        let a = m.access(0, 32, 100);
+        assert_eq!(m.next_free_cycle(), a);
+        let b = m.access(0, 32, 100); // same bank queues behind
+        assert_eq!(m.next_free_cycle(), b);
+        assert!(b > a);
     }
 
     #[test]

@@ -152,6 +152,12 @@ pub struct Cache {
     config: CacheConfig,
     sets: Vec<Vec<Line>>,
     num_sets: u64,
+    /// log2(line_bytes); geometry asserts powers of two, so indexing is
+    /// shift/mask rather than division (access() runs twice per memory
+    /// instruction and the divisor is not a compile-time constant).
+    line_shift: u32,
+    /// log2(num_sets).
+    set_shift: u32,
     stamp: u64,
 }
 
@@ -169,6 +175,8 @@ impl Cache {
             config,
             sets: vec![Vec::with_capacity(config.assoc); num_sets as usize],
             num_sets,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_shift: num_sets.trailing_zeros(),
             stamp: 0,
         }
     }
@@ -184,8 +192,8 @@ impl Cache {
     }
 
     fn set_and_tag(&self, addr: Addr) -> (usize, u64) {
-        let line = addr / self.config.line_bytes;
-        ((line % self.num_sets) as usize, line / self.num_sets)
+        let line = addr >> self.line_shift;
+        ((line & (self.num_sets - 1)) as usize, line >> self.set_shift)
     }
 
     /// Checks for presence without updating any state.

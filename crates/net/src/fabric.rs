@@ -71,6 +71,17 @@ impl Fabric {
         }
     }
 
+    /// Earliest future cycle at which stepping the fabric can change
+    /// its state or deliver anything, absent new enqueues —
+    /// `Cycle::MAX` when idle. The fabric's contribution to the
+    /// system-wide event horizon.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        match self {
+            Fabric::Bus(b) => b.next_event(now),
+            Fabric::Ring(r) => r.next_event(now),
+        }
+    }
+
     /// True when nothing is queued or in flight.
     pub fn is_idle(&self) -> bool {
         match self {

@@ -211,6 +211,25 @@ impl Ring {
         }
     }
 
+    /// Earliest future cycle (strictly after `now`) at which stepping
+    /// the ring can change its state or deliver anything, assuming no
+    /// new messages are enqueued in between — the min over every
+    /// circulating flit's next hop completion and, for each node with
+    /// queued messages, the cycle its outgoing link frees up.
+    /// `Cycle::MAX` when idle. Called after the step at `now`.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        let mut horizon = Cycle::MAX;
+        for flit in &self.in_flight {
+            horizon = horizon.min(flit.next_hop_done);
+        }
+        for (port, queue) in self.queues.iter().enumerate() {
+            if !queue.is_empty() {
+                horizon = horizon.min(self.link_free[port].max(now + 1));
+            }
+        }
+        horizon.max(now + 1)
+    }
+
     fn account(&mut self, msg: &Message, now: Cycle, hop: Cycle) {
         let s = &mut self.stats;
         s.transactions += 1;
@@ -326,6 +345,25 @@ mod tests {
         let got = run(&mut ring, 100);
         assert_eq!(got.len(), 2);
         assert!(got[1].at >= got[0].at + 5, "same outgoing link");
+    }
+
+    #[test]
+    fn next_event_matches_naive_stepping() {
+        let mut ring =
+            Ring::new(RingConfig { ports: 4, width_bytes: 8, clock_divisor: 3, header_bytes: 8 });
+        ring.enqueue(msg(0, None, 0));
+        ring.enqueue(msg(2, None, 1));
+        let mut horizon = 0;
+        for now in 0..300u64 {
+            let got = ring.step(now);
+            if !got.is_empty() {
+                assert!(now >= horizon, "delivery at {now} inside skippable range (horizon {horizon})");
+            }
+            horizon = ring.next_event(now);
+            assert!(horizon > now, "horizon must be in the future");
+        }
+        assert!(ring.is_idle());
+        assert_eq!(ring.next_event(300), Cycle::MAX, "idle ring has no events");
     }
 
     #[test]

@@ -94,6 +94,14 @@ impl CycleAccount {
         self.buckets[bucket as usize] += 1;
     }
 
+    /// Charges `n` cycles to `bucket` at once — the batch form the
+    /// event-horizon engine uses when it skips a quiescent range. Must
+    /// stay equivalent to `n` calls to [`CycleAccount::charge`].
+    #[inline]
+    pub fn charge_many(&mut self, bucket: StallBucket, n: u64) {
+        self.buckets[bucket as usize] += n;
+    }
+
     /// Cycles charged to `bucket`.
     #[inline]
     pub fn get(&self, bucket: StallBucket) -> u64 {
@@ -176,6 +184,14 @@ impl PcProfile {
     /// in-place insert below capacity; no allocation either way.
     #[inline]
     pub fn charge_pc(&mut self, pc: u64, kind: PcStallKind) {
+        self.charge_pc_many(pc, kind, 1);
+    }
+
+    /// Charges `n` wait cycles of `kind` to `pc` at once — the batch
+    /// form for skipped quiescent ranges. Must stay equivalent to `n`
+    /// calls to [`PcProfile::charge_pc`] (including the overflow path).
+    #[inline]
+    pub fn charge_pc_many(&mut self, pc: u64, kind: PcStallKind, n: u64) {
         let i = match self.entries.binary_search_by_key(&pc, |e| e.pc) {
             Ok(i) => i,
             Err(i) => {
@@ -184,8 +200,8 @@ impl PcProfile {
                 // must hold.
                 if self.entries.len() >= PC_PROFILE_CAPACITY {
                     match kind {
-                        PcStallKind::RemoteWait => self.overflow_remote += 1,
-                        PcStallKind::LocalWait => self.overflow_local += 1,
+                        PcStallKind::RemoteWait => self.overflow_remote += n,
+                        PcStallKind::LocalWait => self.overflow_local += n,
                     }
                     return;
                 }
@@ -194,8 +210,8 @@ impl PcProfile {
             }
         };
         match kind {
-            PcStallKind::RemoteWait => self.entries[i].remote_wait += 1,
-            PcStallKind::LocalWait => self.entries[i].local_wait += 1,
+            PcStallKind::RemoteWait => self.entries[i].remote_wait += n,
+            PcStallKind::LocalWait => self.entries[i].local_wait += n,
         }
     }
 
@@ -266,6 +282,45 @@ mod tests {
         assert_eq!(a.get(StallBucket::Idle), 1);
         assert_eq!(a.total(), 3);
         assert!((a.share(StallBucket::Committing) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_many_equals_repeated_charges() {
+        let mut batched = CycleAccount::default();
+        let mut looped = CycleAccount::default();
+        batched.charge_many(StallBucket::BshrWaitRemote, 1000);
+        for _ in 0..1000 {
+            looped.charge(StallBucket::BshrWaitRemote);
+        }
+        assert_eq!(batched, looped);
+
+        let mut pb = PcProfile::default();
+        let mut pl = PcProfile::default();
+        pb.charge_pc_many(0x40, PcStallKind::RemoteWait, 7);
+        pb.charge_pc_many(0x80, PcStallKind::LocalWait, 3);
+        for _ in 0..7 {
+            pl.charge_pc(0x40, PcStallKind::RemoteWait);
+        }
+        for _ in 0..3 {
+            pl.charge_pc(0x80, PcStallKind::LocalWait);
+        }
+        assert_eq!(pb, pl);
+    }
+
+    #[test]
+    fn charge_pc_many_overflow_matches_repeated_charges() {
+        let mut batched = PcProfile::default();
+        let mut looped = PcProfile::default();
+        for pc in 0..PC_PROFILE_CAPACITY as u64 {
+            batched.charge_pc(pc * 4, PcStallKind::RemoteWait);
+            looped.charge_pc(pc * 4, PcStallKind::RemoteWait);
+        }
+        batched.charge_pc_many(u64::MAX, PcStallKind::LocalWait, 9);
+        for _ in 0..9 {
+            looped.charge_pc(u64::MAX, PcStallKind::LocalWait);
+        }
+        assert_eq!(batched, looped);
+        assert_eq!(batched.overflow(), (0, 9));
     }
 
     #[test]

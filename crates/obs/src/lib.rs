@@ -167,6 +167,18 @@ pub trait Probe {
     #[inline(always)]
     fn charge_pc(&mut self, _pc: u64, _kind: PcStallKind) {}
 
+    /// Charges `n` cycles to one stall bucket at once — the batch form
+    /// the event-horizon engine uses for skipped quiescent ranges.
+    /// Implementations must make this equivalent to `n` calls to
+    /// [`Probe::charge`].
+    #[inline(always)]
+    fn charge_many(&mut self, _bucket: StallBucket, _n: u64) {}
+
+    /// Charges `n` memory-wait cycles to one PC at once; must be
+    /// equivalent to `n` calls to [`Probe::charge_pc`].
+    #[inline(always)]
+    fn charge_pc_many(&mut self, _pc: u64, _kind: PcStallKind, _n: u64) {}
+
     /// True when events are actually retained (lets callers skip
     /// expensive event *construction*, not just recording).
     #[inline(always)]

@@ -140,6 +140,16 @@ impl Probe for Recorder {
     }
 
     #[inline]
+    fn charge_many(&mut self, bucket: StallBucket, n: u64) {
+        self.account.charge_many(bucket, n);
+    }
+
+    #[inline]
+    fn charge_pc_many(&mut self, pc: u64, kind: PcStallKind, n: u64) {
+        self.pcs.charge_pc_many(pc, kind, n);
+    }
+
+    #[inline]
     fn enabled(&self) -> bool {
         true
     }

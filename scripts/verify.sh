@@ -13,7 +13,11 @@
 # diffed against the committed BENCH_throughput.json by ds-report and
 # the script fails when throughput drops or stall buckets shift beyond
 # tolerance. Override the drop threshold with DS_REPORT_MAX_DROP
-# (fraction, default 0.08) — e.g. a known-slower machine.
+# (fraction, default 0.12) — e.g. a known-slower machine. The default
+# is wider than ds-report's own 0.08 because single-vCPU containers
+# show ±10% whole-process run-to-run variance even with the bench's
+# internal best-of-3; BENCH_history.jsonl exists to catch slow drift
+# that a single-run gate this wide would miss.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,9 +67,10 @@ if [[ "${1:-}" != "--no-bench" ]]; then
     # an obs-off run against it would compare different builds).
     cargo build -q --release -p ds-bench --features obs \
         --bin bench_throughput --bin ds-report
-    target/release/bench_throughput --out "$obs_tmp/bench.json"
+    target/release/bench_throughput --out "$obs_tmp/bench.json" \
+        --history BENCH_history.jsonl
     target/release/ds-report BENCH_throughput.json "$obs_tmp/bench.json" \
-        --max-drop "${DS_REPORT_MAX_DROP:-0.08}"
+        --max-drop "${DS_REPORT_MAX_DROP:-0.12}"
     mv "$obs_tmp/bench.json" BENCH_throughput.json
 fi
 
