@@ -1,0 +1,177 @@
+//! The suppression baseline: accepted findings, committed with
+//! mandatory reasons.
+//!
+//! Format, one entry per line (`#` comments and blank lines ignored):
+//!
+//! ```text
+//! <rule> <file> <qualified_fn> -- <reason>
+//! ta1 crates/trace/src/reader.rs TraceReader::refill -- refill amortizes one reserve over 4096 records
+//! ```
+//!
+//! Entries are keyed by `(rule, file, qualified fn)` rather than line
+//! number so routine edits don't churn the file; a *stale* entry (one
+//! matching no current finding) is itself an error, so the baseline can
+//! only shrink over time unless someone consciously adds to it.
+
+use crate::{ARule, Finding};
+
+/// One parsed baseline line.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// Rule code (`ta1`...).
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Qualified function name (`Owner::name` or bare).
+    pub func: String,
+    /// Why the finding is accepted (mandatory).
+    pub reason: String,
+    /// 1-based line in the baseline file, for diagnostics.
+    pub line: usize,
+}
+
+/// Parses baseline text. Malformed lines (missing fields, missing
+/// ` -- reason`, unknown rule code) come back as findings against the
+/// baseline file itself — a baseline that doesn't parse must fail the
+/// run, not silently suppress nothing.
+pub fn parse_baseline(text: &str, path_label: &str) -> (Vec<BaselineEntry>, Vec<Finding>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (i, raw_line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut bad = |message: String| {
+            errors.push(Finding {
+                rule: ARule::Directive,
+                file: path_label.to_string(),
+                line: line_no,
+                func: "-".to_string(),
+                message,
+                chain: Vec::new(),
+                baselined: false,
+            });
+        };
+        let Some((head, reason)) = line.split_once(" -- ") else {
+            bad(format!(
+                "baseline entry without ` -- <reason>`: {line:?} (every accepted finding \
+                 states why it is acceptable)"
+            ));
+            continue;
+        };
+        let reason = reason.trim();
+        if reason.is_empty() {
+            bad(format!("baseline entry with an empty reason: {line:?}"));
+            continue;
+        }
+        let fields: Vec<&str> = head.split_whitespace().collect();
+        let [rule, file, func] = fields[..] else {
+            bad(format!(
+                "baseline entry needs `<rule> <file> <qualified_fn> -- <reason>`, got {line:?}"
+            ));
+            continue;
+        };
+        if !crate::model::ANALYZE_RULE_CODES.contains(&rule) {
+            bad(format!(
+                "unknown rule code `{rule}` in baseline (known: {})",
+                crate::model::ANALYZE_RULE_CODES.join(", ")
+            ));
+            continue;
+        }
+        entries.push(BaselineEntry {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            func: func.to_string(),
+            reason: reason.to_string(),
+            line: line_no,
+        });
+    }
+    (entries, errors)
+}
+
+/// Marks findings covered by `entries` as `baselined` and returns
+/// findings for every *stale* entry (matched nothing). Duplicate
+/// findings under one entry are all covered — a function with two
+/// `Vec::new` sites is one decision, not two.
+pub fn apply(findings: &mut [Finding], entries: &[BaselineEntry], path_label: &str) -> Vec<Finding> {
+    let mut stale = Vec::new();
+    for e in entries {
+        let mut hit = false;
+        for f in findings.iter_mut() {
+            if f.rule.code() == e.rule && f.file == e.file && f.func == e.func {
+                f.baselined = true;
+                hit = true;
+            }
+        }
+        if !hit {
+            stale.push(Finding {
+                rule: ARule::Directive,
+                file: path_label.to_string(),
+                line: e.line,
+                func: e.func.clone(),
+                message: format!(
+                    "stale baseline entry: no current `{}` finding in `{}` fn `{}` — delete \
+                     the line (the debt was paid; don't leave the door open)",
+                    e.rule, e.file, e.func
+                ),
+                chain: Vec::new(),
+                baselined: false,
+            });
+        }
+    }
+    stale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: ARule, file: &str, func: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            func: func.to_string(),
+            message: String::new(),
+            chain: Vec::new(),
+            baselined: false,
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_rejects_malformed_lines() {
+        let text = "# comment\n\
+                    ta1 crates/x/src/a.rs Foo::bar -- amortized reserve\n\
+                    tp1 crates/x/src/a.rs Foo::baz\n\
+                    zz9 crates/x/src/a.rs Foo::qux -- nope\n\
+                    tp1 short -- reason\n";
+        let (entries, errors) = parse_baseline(text, "baseline.txt");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "ta1");
+        assert_eq!(errors.len(), 3);
+        assert!(errors[0].message.contains("-- <reason>"));
+        assert!(errors[1].message.contains("unknown rule code `zz9`"));
+        assert!(errors[2].message.contains("needs `<rule>"));
+    }
+
+    #[test]
+    fn apply_marks_matches_and_reports_stale() {
+        let (entries, errors) = parse_baseline(
+            "ta1 crates/x/src/a.rs Foo::bar -- ok\n\
+             ta1 crates/x/src/a.rs Gone::fn -- was fixed\n",
+            "baseline.txt",
+        );
+        assert!(errors.is_empty());
+        let mut findings = vec![
+            finding(ARule::Ta1, "crates/x/src/a.rs", "Foo::bar"),
+            finding(ARule::Ta1, "crates/x/src/a.rs", "Foo::other"),
+        ];
+        let stale = apply(&mut findings, &entries, "baseline.txt");
+        assert!(findings[0].baselined);
+        assert!(!findings[1].baselined);
+        assert_eq!(stale.len(), 1);
+        assert!(stale[0].message.contains("Gone::fn"));
+    }
+}

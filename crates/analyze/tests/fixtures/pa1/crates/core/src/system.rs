@@ -1,0 +1,38 @@
+//! Pass C (pa1) fixture: a worker closure that writes shared state and
+//! reaches for `self` — both must be flagged; the closure's own locals
+//! must not be.
+
+pub struct FakeScope;
+
+impl FakeScope {
+    pub fn spawn<F: FnOnce()>(&self, f: F) {
+        f();
+    }
+}
+
+pub struct Engine {
+    pub merged: u64,
+}
+
+impl Engine {
+    pub fn run_parallel(&mut self, scope: &FakeScope, shared: &mut u64, nodes: &mut [u64]) {
+        let workers = 2usize;
+        let w = 0usize;
+        let n = nodes.len();
+        scope.spawn(move || {
+            // Fine: closure-local state.
+            let mut local = 0u64;
+            local += 1;
+            // SEEDED VIOLATION (pa1): write to captured shared binding.
+            *shared = local;
+            // SEEDED VIOLATION (pa1): indexing a shared collection can
+            // reach peer-node state.
+            for i in (w..n).step_by(workers) {
+                nodes[i] += 1;
+            }
+            // SEEDED VIOLATION (pa1): `self` (DsSystem state) in a
+            // worker closure.
+            self.merged += 1;
+        });
+    }
+}

@@ -1,0 +1,21 @@
+//! Pass C (pa2) fixture: a strong atomic ordering without a
+//! justification, next to an annotated one that must stay quiet.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Barrier {
+    stop: AtomicBool,
+}
+
+impl Barrier {
+    // SEEDED VIOLATION (pa2): unjustified Release in worker
+    // coordination code.
+    pub fn arm(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    pub fn armed(&self) -> bool {
+        // ds-analyze: allow(pa2) fixture: pairs with arm's Release
+        self.stop.load(Ordering::Acquire)
+    }
+}

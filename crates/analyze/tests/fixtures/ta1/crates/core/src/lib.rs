@@ -1,0 +1,40 @@
+//! Pass A fixture: an allocation hidden two calls below a cycle-loop
+//! root. The intraprocedural a1 rule cannot see it; ta1 must, and the
+//! diagnostic must carry the full chain.
+
+pub struct Node {
+    scratch: Vec<u8>,
+}
+
+impl Node {
+    pub fn step_shared(&mut self, now: u64) {
+        self.refill(now);
+    }
+
+    fn refill(&mut self, now: u64) {
+        self.scratch.clear();
+        deep_helper(now);
+    }
+}
+
+// SEEDED VIOLATION (ta1): allocates, and is reachable from
+// Node::step_shared via Node::refill.
+fn deep_helper(now: u64) -> usize {
+    let v = vec![now; 4];
+    v.len()
+}
+
+// Allowed twin: same shape, suppressed at the site — must NOT fire.
+fn allowed_helper(now: u64) -> usize {
+    // ds-analyze: allow(ta1) fixture: documented amortized growth
+    let v = vec![now; 4];
+    v.len()
+}
+
+pub fn tickle(now: u64) -> usize {
+    allowed_helper(now)
+}
+
+pub fn tick_all(now: u64) -> usize {
+    tickle(now)
+}

@@ -1,0 +1,20 @@
+//! Pass B (td2) fixture: wall-clock taint below a `record*` root —
+//! an instrumented probe must never time-stamp simulated events with
+//! host time.
+
+use std::time::Instant;
+
+pub struct Probe {
+    pub last: u64,
+}
+
+impl Probe {
+    pub fn record_event(&mut self) {
+        self.last = stamp();
+    }
+}
+
+// SEEDED VIOLATION (td2): `Instant` taints Probe::record_event.
+fn stamp() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}

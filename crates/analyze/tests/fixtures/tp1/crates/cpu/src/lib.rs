@@ -1,0 +1,22 @@
+//! Pass B (tp1) fixture: a panic path below an `advance_to*` root —
+//! the event-horizon engine's entry point family.
+
+pub struct Core {
+    slots: [Option<u8>; 4],
+}
+
+impl Core {
+    pub fn advance_to(&mut self, cycle: u64) {
+        self.retire(cycle);
+    }
+
+    // SEEDED VIOLATION (tp1): `.unwrap()` reachable from
+    // Core::advance_to via Core::retire.
+    fn retire(&mut self, cycle: u64) -> u8 {
+        self.slot(cycle).unwrap()
+    }
+
+    fn slot(&self, cycle: u64) -> Option<u8> {
+        self.slots[(cycle % 4) as usize]
+    }
+}

@@ -43,6 +43,7 @@ impl CycleBarrier {
     pub(crate) fn open_round(&self, now: u64) {
         self.done.store(0, Ordering::Relaxed);
         self.now.store(now, Ordering::Relaxed);
+        // ds-analyze: allow(pa2) round Release publishes the done/now stores above to worker_wait's round Acquire
         self.round.fetch_add(1, Ordering::Release);
     }
 
@@ -55,6 +56,7 @@ impl CycleBarrier {
     /// over and the worker should exit.
     pub(crate) fn worker_wait(&self, target: u64) -> bool {
         let mut spins = 0u32;
+        // ds-analyze: allow(pa2) round Acquire pairs with open_round's Release: the round's now/done reset is visible once the load observes target
         while self.round.load(Ordering::Acquire) < target {
             if self.stop.load(Ordering::Relaxed) {
                 return false;
@@ -66,17 +68,20 @@ impl CycleBarrier {
                 std::thread::yield_now();
             }
         }
+        // ds-analyze: allow(pa2) stop Acquire pairs with shutdown's Release increment: a true here happens-after the coordinator's decision to end the run
         !self.stop.load(Ordering::Acquire)
     }
 
     /// Marks this worker's share of the current round complete.
     pub(crate) fn worker_done(&self) {
+        // ds-analyze: allow(pa2) done Release publishes this worker's node mutations to await_workers' done Acquire before the merge phase reads them
         self.done.fetch_add(1, Ordering::Release);
     }
 
     /// Blocks the coordinator until all `n` workers finished the round.
     pub(crate) fn await_workers(&self, n: usize) {
         let mut spins = 0u32;
+        // ds-analyze: allow(pa2) done Acquire pairs with worker_done's Release: all striped node state is visible to the coordinator once the count reaches n
         while self.done.load(Ordering::Acquire) < n {
             spins += 1;
             if spins < 64 {
@@ -90,6 +95,7 @@ impl CycleBarrier {
     /// Releases every worker for exit. Safe to call more than once.
     pub(crate) fn shutdown(&self) {
         self.stop.store(true, Ordering::Relaxed);
+        // ds-analyze: allow(pa2) round Release publishes the stop flag through worker_wait's round Acquire so parked workers observe it and exit
         self.round.fetch_add(1, Ordering::Release);
     }
 }

@@ -227,6 +227,7 @@ impl DsSystem {
                         let now = barrier.now();
                         let tr = read_clean(trace_lock);
                         for i in (w..n).step_by(workers) {
+                            // ds-analyze: allow(pa1) striped ownership: worker w locks exactly the cells with index i = w (mod workers); no two workers share an element, and the mutex still guards each
                             let mut node = lock_clean(&cells[i]);
                             if let Err(e) = node.step_shared(&tr, now) {
                                 let mut slot = lock_clean(step_err);

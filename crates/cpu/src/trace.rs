@@ -120,6 +120,7 @@ impl TraceSource {
         }
         match self.end {
             Some(end) if idx >= end => None,
+            // ds-analyze: allow(tp1) documented Panics contract: the parallel engine pre-extends the window for the whole round before workers read it
             _ => panic!("instruction {idx} read beyond the pre-extended window"),
         }
     }

@@ -29,10 +29,16 @@
 //!   exec arm in `crates/cpu/src/exec.rs` and a row in `docs/isa.md`.
 //!
 //! Findings are suppressed with `// ds-lint: allow(<rule>) <reason>` on
-//! the offending line, or on a comment line immediately above it. The
-//! reason is mandatory; a bare allow is itself a finding.
+//! the offending line, or on a comment line immediately above it; for
+//! generated or compat code a whole block can be bracketed with
+//! `// ds-lint: allow-start(<rule>) <reason>` ... `// ds-lint:
+//! allow-end(<rule>)`. The reason is mandatory; a bare allow, an
+//! unclosed `allow-start`, or an unmatched `allow-end` is itself a
+//! finding. The `ds-analyze` call-graph analyzer (`crates/analyze`)
+//! shares this directive grammar via [`parse_directives`].
 
 pub mod scan;
+pub mod tokens;
 
 use scan::{
     brace_block, fn_bodies, in_regions, method_calls, occurrences, strip, strip_comments,
@@ -76,16 +82,6 @@ impl Rule {
         }
     }
 
-    fn from_code(code: &str) -> Option<Rule> {
-        match code {
-            "d1" => Some(Rule::D1),
-            "d2" => Some(Rule::D2),
-            "p1" => Some(Rule::P1),
-            "a1" => Some(Rule::A1),
-            "x1" => Some(Rule::X1),
-            _ => None,
-        }
-    }
 }
 
 impl fmt::Display for Rule {
@@ -127,85 +123,165 @@ pub struct FileClass {
     pub hot_module: bool,
 }
 
-/// A parsed `// ds-lint: allow(<rule>) <reason>` directive.
+/// A parsed suppression set: line-level `allow` directives plus
+/// block-scope `allow-start`/`allow-end` regions. Rule codes are kept
+/// as strings so `ds-analyze` can reuse the parser with its own rule
+/// catalog (`ta1`, `pa2`, ...).
+#[derive(Debug, Default)]
+pub struct AllowSet {
+    /// `(target line, rule code)` pairs from line-level allows.
+    line: Vec<(usize, String)>,
+    /// `(first line, last line, rule code)` inclusive block regions.
+    regions: Vec<(usize, usize, String)>,
+}
+
+impl AllowSet {
+    /// True if a finding of `code` on `line` is suppressed.
+    pub fn allows(&self, line: usize, code: &str) -> bool {
+        self.line.iter().any(|(l, c)| *l == line && c == code)
+            || self
+                .regions
+                .iter()
+                .any(|(s, e, c)| line >= *s && line <= *e && c == code)
+    }
+
+    /// Folds `other` into this set (used to honor both `ds-lint:` and
+    /// `ds-analyze:` directives on the same file).
+    pub fn merge(&mut self, other: AllowSet) {
+        self.line.extend(other.line);
+        self.regions.extend(other.regions);
+    }
+}
+
+/// A malformed directive, reported as `(line, message)` so each
+/// consumer can wrap it in its own diagnostic type.
 #[derive(Debug)]
-struct Allow {
-    /// Line the directive suppresses findings on.
-    target_line: usize,
-    rule: Rule,
+pub struct DirectiveError {
+    /// 1-based line of the malformed directive.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
 }
 
 const DIRECTIVE: &str = "ds-lint:";
 
-/// Extracts allow directives from the raw source. A directive on a code
-/// line suppresses findings on that line; a directive on a comment-only
-/// line suppresses findings on the next non-blank code line. Malformed
-/// directives are returned as findings.
-fn parse_allows(
-    file: &str,
+/// Extracts allow directives written with `prefix` (e.g. `ds-lint:`)
+/// from the raw source, validating rule codes against `known`.
+///
+/// Three forms are recognized:
+///
+/// - `<prefix> allow(<rule>) <reason>` — suppresses findings on the
+///   directive's own line, or (when the directive sits on a
+///   comment-only line) on the next non-blank code line.
+/// - `<prefix> allow-start(<rule>) <reason>` — opens a block; findings
+///   of `<rule>` are suppressed until the matching `allow-end`. For
+///   generated or compat code where per-line annotations would drown
+///   the file.
+/// - `<prefix> allow-end(<rule>)` — closes the innermost open block of
+///   that rule. No reason (the start carries it).
+///
+/// The reason is mandatory on `allow` and `allow-start`; an unmatched
+/// `allow-start` (unclosed at end of file) or `allow-end` (no open
+/// block) is an error, so a stray directive cannot silently widen or
+/// narrow a suppression.
+pub fn parse_directives(
+    prefix: &str,
+    known: &[&str],
     raw: &str,
     cleaned: &str,
-) -> (Vec<Allow>, Vec<Diagnostic>) {
-    let mut allows = Vec::new();
-    let mut diags = Vec::new();
+) -> (AllowSet, Vec<DirectiveError>) {
+    let mut set = AllowSet::default();
+    let mut errors = Vec::new();
+    // Open allow-start blocks: (start line, rule code).
+    let mut open: Vec<(usize, String)> = Vec::new();
     let raw_lines: Vec<&str> = raw.lines().collect();
     let clean_lines: Vec<&str> = cleaned.lines().collect();
     for (idx, line) in raw_lines.iter().enumerate() {
         let lineno = idx + 1;
-        let Some(at) = line.find(DIRECTIVE) else {
+        let Some(at) = line.find(prefix) else {
             continue;
         };
-        let rest = line[at + DIRECTIVE.len()..].trim_start();
-        let bad = |msg: String| Diagnostic {
-            file: file.to_string(),
-            line: lineno,
-            rule: Rule::Directive,
-            message: msg,
-        };
-        let Some(args) = rest.strip_prefix("allow(") else {
-            diags.push(bad(format!(
-                "malformed ds-lint directive (expected `ds-lint: allow(<rule>) <reason>`): `{}`",
+        let rest = line[at + prefix.len()..].trim_start();
+        let bad = |msg: String| DirectiveError { line: lineno, message: msg };
+        let (kind, args) = if let Some(a) = rest.strip_prefix("allow-start(") {
+            ("allow-start", a)
+        } else if let Some(a) = rest.strip_prefix("allow-end(") {
+            ("allow-end", a)
+        } else if let Some(a) = rest.strip_prefix("allow(") {
+            ("allow", a)
+        } else {
+            errors.push(bad(format!(
+                "malformed {prefix} directive (expected `{prefix} allow(<rule>) <reason>`, \
+                 `allow-start(<rule>) <reason>` or `allow-end(<rule>)`): `{}`",
                 line.trim()
             )));
             continue;
         };
         let Some(close) = args.find(')') else {
-            diags.push(bad("unterminated `allow(` directive".to_string()));
+            errors.push(bad(format!("unterminated `{kind}(` directive")));
             continue;
         };
         let code = args[..close].trim();
-        let Some(rule) = Rule::from_code(code) else {
-            diags.push(bad(format!(
-                "unknown lint rule `{code}` (known: d1 d2 p1 a1 x1)"
-            )));
-            continue;
-        };
-        let reason = args[close + 1..].trim();
-        if reason.is_empty() {
-            diags.push(bad(format!(
-                "allow({code}) requires a reason: `// ds-lint: allow({code}) <why this is safe>`"
+        if !known.contains(&code) {
+            errors.push(bad(format!(
+                "unknown lint rule `{code}` (known: {})",
+                known.join(" ")
             )));
             continue;
         }
-        // Comment-only line (nothing survives stripping) → the allow
-        // applies to the next line that still has code on it.
-        let own_code = clean_lines
-            .get(idx)
-            .map(|l| !l.trim().is_empty())
-            .unwrap_or(false);
-        let target_line = if own_code {
-            lineno
-        } else {
-            let mut t = lineno + 1;
-            while t <= clean_lines.len() && clean_lines[t - 1].trim().is_empty() {
-                t += 1;
+        let reason = args[close + 1..].trim();
+        match kind {
+            "allow-end" => {
+                let Some(pos) = open.iter().rposition(|(_, c)| c == code) else {
+                    errors.push(bad(format!(
+                        "allow-end({code}) without a matching allow-start({code})"
+                    )));
+                    continue;
+                };
+                let (start, code) = open.remove(pos);
+                set.regions.push((start, lineno, code));
             }
-            t
-        };
-        allows.push(Allow { target_line, rule });
+            _ if reason.is_empty() => {
+                errors.push(bad(format!(
+                    "{kind}({code}) requires a reason: `{prefix} {kind}({code}) <why this is safe>`"
+                )));
+            }
+            "allow-start" => {
+                open.push((lineno, code.to_string()));
+            }
+            _ => {
+                // Comment-only line (nothing survives stripping) → the
+                // allow applies to the next line with code on it.
+                let own_code = clean_lines
+                    .get(idx)
+                    .map(|l| !l.trim().is_empty())
+                    .unwrap_or(false);
+                let target_line = if own_code {
+                    lineno
+                } else {
+                    let mut t = lineno + 1;
+                    while t <= clean_lines.len() && clean_lines[t - 1].trim().is_empty() {
+                        t += 1;
+                    }
+                    t
+                };
+                set.line.push((target_line, code.to_string()));
+            }
+        }
     }
-    (allows, diags)
+    for (start, code) in open {
+        errors.push(DirectiveError {
+            line: start,
+            message: format!(
+                "allow-start({code}) is never closed: add `{prefix} allow-end({code})`"
+            ),
+        });
+    }
+    (set, errors)
 }
+
+/// The `ds-lint` rule codes, for [`parse_directives`].
+pub const RULE_CODES: [&str; 5] = ["d1", "d2", "p1", "a1", "x1"];
 
 /// A candidate finding before allow-filtering: byte offset in the
 /// cleaned text plus rule and message.
@@ -221,7 +297,16 @@ pub fn lint_source(file: &str, raw: &str, class: FileClass) -> Vec<Diagnostic> {
     let cleaned = strip(raw);
     let index = LineIndex::new(&cleaned);
     let tests = test_regions(&cleaned);
-    let (allows, mut diags) = parse_allows(file, raw, &cleaned);
+    let (allows, errors) = parse_directives(DIRECTIVE, &RULE_CODES, raw, &cleaned);
+    let mut diags: Vec<Diagnostic> = errors
+        .into_iter()
+        .map(|e| Diagnostic {
+            file: file.to_string(),
+            line: e.line,
+            rule: Rule::Directive,
+            message: e.message,
+        })
+        .collect();
 
     let mut candidates: Vec<Candidate> = Vec::new();
     if class.sim_crate {
@@ -238,10 +323,7 @@ pub fn lint_source(file: &str, raw: &str, class: FileClass) -> Vec<Diagnostic> {
             continue;
         }
         let line = index.line_of(c.offset);
-        if allows
-            .iter()
-            .any(|a| a.target_line == line && a.rule == c.rule)
-        {
+        if allows.allows(line, c.rule.code()) {
             continue;
         }
         diags.push(Diagnostic {
@@ -638,7 +720,7 @@ fn doc_contains_mnemonic(doc: &str, mnemonic: &str) -> bool {
 /// replication selection feeds simulated state (a hash-ordered page
 /// profile once produced run-to-run drift); `obs` because recorded
 /// event streams must replay identically.
-const SIM_CRATES: [&str; 6] = ["core", "cpu", "mem", "net", "trace", "obs"];
+pub const SIM_CRATES: [&str; 6] = ["core", "cpu", "mem", "net", "trace", "obs"];
 
 /// The cycle-loop hot modules p1/a1 police (workspace-relative).
 const HOT_MODULES: [&str; 7] = [
@@ -862,6 +944,64 @@ mod tests {
         let src = "// ds-lint: allow(p1) head checked non-empty by caller\n\
                    fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
         assert!(lint_source("x.rs", src, HOT).is_empty());
+    }
+
+    #[test]
+    fn allow_block_suppresses_whole_region() {
+        let src = "// ds-lint: allow-start(p1) generated table: every arm proven total upstream\n\
+                   fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   fn g(x: Option<u8>) -> u8 { x.expect(\"y\") }\n\
+                   // ds-lint: allow-end(p1)\n\
+                   fn h(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert_eq!(rules(&diags), vec![Rule::P1], "{diags:?}");
+        assert_eq!(diags[0].line, 5, "only the line after allow-end fires");
+    }
+
+    #[test]
+    fn allow_block_is_rule_scoped() {
+        let src = "// ds-lint: allow-start(d1) compat shim mirrors upstream layout\n\
+                   fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   // ds-lint: allow-end(d1)\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert_eq!(rules(&diags), vec![Rule::P1], "d1 block must not hide p1");
+    }
+
+    #[test]
+    fn unclosed_allow_start_is_a_finding() {
+        let src = "// ds-lint: allow-start(p1) reason here\n\
+                   fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::Directive && d.message.contains("never closed")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unmatched_allow_end_is_a_finding() {
+        let src = "fn f() {}\n// ds-lint: allow-end(p1)\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::Directive && d.message.contains("without a matching")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn allow_start_without_reason_is_a_finding() {
+        let src = "// ds-lint: allow-start(p1)\nfn f() {}\n// ds-lint: allow-end(p1)\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::Directive && d.message.contains("requires a reason")),
+            "{diags:?}"
+        );
     }
 
     #[test]

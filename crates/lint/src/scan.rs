@@ -1,208 +1,18 @@
-//! Lexical groundwork for the linter: comment/string stripping, line
-//! mapping, brace-matched region discovery and token search.
+//! Search and region helpers for the linter: token search, brace-
+//! matched region discovery, and `#[cfg(test)]` exemption regions.
 //!
-//! The linter is deliberately dependency-free (the build environment is
-//! offline, and `syn` would be a heavyweight answer anyway): rules are
-//! expressed over a *cleaned* view of the source in which comments and
+//! The lexical groundwork (comment/string stripping, line mapping and
+//! the flat token stream) lives in [`crate::tokens`], shared with the
+//! `ds-analyze` call-graph analyzer; this module re-exports the pieces
+//! the rule checks use so existing imports keep working. The linter is
+//! deliberately dependency-free (the build environment is offline, and
+//! `syn` would be a heavyweight answer anyway): rules are expressed
+//! over a *cleaned* view of the source in which comments and
 //! string/char literals are blanked out with spaces. Blanking preserves
-//! byte offsets and newlines, so every position in the cleaned text maps
-//! 1:1 onto the original file for diagnostics.
+//! byte offsets and newlines, so every position in the cleaned text
+//! maps 1:1 onto the original file for diagnostics.
 
-/// Returns `source` with comments and string/char literals replaced by
-/// spaces (newlines preserved), so token scans cannot match inside
-/// either.
-pub fn strip(source: &str) -> String {
-    strip_impl(source, true)
-}
-
-/// Like [`strip`], but keeps string literal contents (comments are still
-/// blanked). Used to parse the `opcodes!` table, whose mnemonics live in
-/// string literals.
-pub fn strip_comments(source: &str) -> String {
-    strip_impl(source, false)
-}
-
-fn strip_impl(source: &str, blank_strings: bool) -> String {
-    let b = source.as_bytes();
-    let mut out = Vec::with_capacity(b.len());
-    let mut i = 0;
-    while i < b.len() {
-        match b[i] {
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                while i < b.len() && b[i] != b'\n' {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                let mut depth = 1usize;
-                out.push(b' ');
-                out.push(b' ');
-                i += 2;
-                while i < b.len() && depth > 0 {
-                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                        depth += 1;
-                        out.push(b' ');
-                        out.push(b' ');
-                        i += 2;
-                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                        depth -= 1;
-                        out.push(b' ');
-                        out.push(b' ');
-                        i += 2;
-                    } else {
-                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'"' => {
-                out.push(b'"');
-                i += 1;
-                while i < b.len() {
-                    match b[i] {
-                        b'\\' if i + 1 < b.len() => {
-                            if blank_strings {
-                                out.push(b' ');
-                                out.push(b' ');
-                            } else {
-                                out.push(b[i]);
-                                out.push(b[i + 1]);
-                            }
-                            i += 2;
-                        }
-                        b'"' => {
-                            out.push(b'"');
-                            i += 1;
-                            break;
-                        }
-                        b'\n' => {
-                            out.push(b'\n');
-                            i += 1;
-                        }
-                        _ => {
-                            out.push(if blank_strings { b' ' } else { b[i] });
-                            i += 1;
-                        }
-                    }
-                }
-            }
-            b'r' if starts_raw_string(b, i) => {
-                // r"..." or r#"..."# (any number of #): blank to the
-                // matching close quote.
-                let hash_start = i + 1;
-                let mut hashes = 0;
-                while hash_start + hashes < b.len() && b[hash_start + hashes] == b'#' {
-                    hashes += 1;
-                }
-                out.push(b' ');
-                for _ in 0..hashes {
-                    out.push(b' ');
-                }
-                out.push(b'"');
-                i = hash_start + hashes + 1;
-                'raw: while i < b.len() {
-                    if b[i] == b'"' {
-                        let mut ok = true;
-                        for k in 0..hashes {
-                            if i + 1 + k >= b.len() || b[i + 1 + k] != b'#' {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        if ok {
-                            out.push(b'"');
-                            for _ in 0..hashes {
-                                out.push(b' ');
-                            }
-                            i += 1 + hashes;
-                            break 'raw;
-                        }
-                    }
-                    if b[i] == b'\n' {
-                        out.push(b'\n');
-                    } else {
-                        out.push(if blank_strings { b' ' } else { b[i] });
-                    }
-                    i += 1;
-                }
-            }
-            b'\'' => {
-                // Char literal or lifetime. A char literal is 'x' or an
-                // escape; anything else (e.g. 'a in generics) is a
-                // lifetime and only the quote is consumed.
-                if i + 2 < b.len() && b[i + 1] == b'\\' {
-                    // Escaped char: blank to the closing quote.
-                    out.push(b' ');
-                    i += 1;
-                    while i < b.len() && b[i] != b'\'' {
-                        out.push(b' ');
-                        i += 1;
-                    }
-                    if i < b.len() {
-                        out.push(b' ');
-                        i += 1;
-                    }
-                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
-                    out.extend_from_slice(b"   ");
-                    i += 3;
-                } else {
-                    out.push(b'\'');
-                    i += 1;
-                }
-            }
-            c => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-fn starts_raw_string(b: &[u8], i: usize) -> bool {
-    // `r` must not be part of a longer identifier (e.g. `var"` is not
-    // possible, but `for"` would need the boundary check anyway).
-    if i > 0 && is_ident(b[i - 1]) {
-        return false;
-    }
-    let mut j = i + 1;
-    while j < b.len() && b[j] == b'#' {
-        j += 1;
-    }
-    j < b.len() && b[j] == b'"'
-}
-
-fn is_ident(c: u8) -> bool {
-    c.is_ascii_alphanumeric() || c == b'_'
-}
-
-/// Byte offsets of the start of every line, for offset → line mapping.
-#[derive(Debug)]
-pub struct LineIndex {
-    starts: Vec<usize>,
-}
-
-impl LineIndex {
-    /// Builds the index for `source`.
-    pub fn new(source: &str) -> Self {
-        let mut starts = vec![0];
-        for (i, c) in source.bytes().enumerate() {
-            if c == b'\n' {
-                starts.push(i + 1);
-            }
-        }
-        LineIndex { starts }
-    }
-
-    /// 1-based line containing byte `offset`.
-    pub fn line_of(&self, offset: usize) -> usize {
-        match self.starts.binary_search(&offset) {
-            Ok(i) => i + 1,
-            Err(i) => i,
-        }
-    }
-}
+pub use crate::tokens::{is_ident, strip, strip_comments, LineIndex};
 
 /// Byte offsets of every occurrence of `word` in `text` delimited by
 /// non-identifier characters on both sides.

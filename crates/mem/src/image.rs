@@ -113,6 +113,7 @@ impl MemImage {
         let idx = match self.lookup(id) {
             Some(idx) => idx,
             None => {
+                // ds-analyze: allow(tp1) 2^32 chunks would be 2^48 bytes of simulated memory; the address space is 48-bit so the count cannot overflow
                 let idx = u32::try_from(self.chunks.len()).expect("chunk count fits u32");
                 self.chunks.push(vec![0u8; CHUNK as usize].into_boxed_slice());
                 self.index.insert(id, idx);

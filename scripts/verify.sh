@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full verification: build, tests, invariant lint, audit, clippy, and
-# the throughput benchmark gated against the committed baseline.
+# Full verification: build, tests, invariant lint, interprocedural
+# analysis, audit, clippy, and the throughput benchmark gated against
+# the committed baseline.
 #
 # Usage: scripts/verify.sh [--fast | --no-bench]
 #
@@ -40,6 +41,21 @@ cargo test --workspace -q
 
 echo "== ds-lint (workspace invariants)"
 cargo run -q --release -p ds-lint -- .
+
+echo "== ds-analyze (interprocedural invariants: call-graph passes + self-check)"
+# Skipped under --fast: the transitive passes subsume what matters for
+# quick iteration and the full gate belongs to CI-grade runs. The
+# wall-clock budget keeps the analyzer honest about staying cheap
+# enough to run on every verify (<5s; it measures in milliseconds).
+cargo run -q --release -p ds-analyze -- --self-check
+analyze_start=$(date +%s%N)
+cargo run -q --release -p ds-analyze -- .
+analyze_ms=$(( ($(date +%s%N) - analyze_start) / 1000000 ))
+echo "   ds-analyze wall clock: ${analyze_ms}ms"
+if (( analyze_ms > 5000 )); then
+    echo "verify: ds-analyze exceeded its 5s budget (${analyze_ms}ms)" >&2
+    exit 1
+fi
 
 echo "== cargo test -p ds-core --features audit (correspondence auditor)"
 cargo test -p ds-core --features audit -q
