@@ -21,10 +21,13 @@ use ds_lint::tokens::{Token, TokenKind};
 /// Function-name prefixes that root the transitive passes — the same
 /// family ds-lint's intraprocedural a1 polices: the per-cycle stepping
 /// entry points (`step*`/`tick*`), the probe's per-event record path
-/// (`record*`), per-cycle stall accounting (`charge*`), and the
-/// event-horizon engine (`next_event*`/`advance_to*`).
-pub const ROOT_PREFIXES: [&str; 6] =
-    ["step", "tick", "record", "charge", "next_event", "advance_to"];
+/// (`record*`), per-cycle stall accounting (`charge*`), the
+/// event-horizon engine (`next_event*`/`advance_to*`), and the
+/// critical-path analyzer's per-retirement edge recording (`edge*`;
+/// its report-time walk allocates on purpose and therefore carries a
+/// non-root name, `path_report`).
+pub const ROOT_PREFIXES: [&str; 7] =
+    ["step", "tick", "record", "charge", "next_event", "advance_to", "edge"];
 
 /// Orderings that require a justification under pa2 (`Relaxed` is the
 /// default discipline and needs none).

@@ -36,6 +36,26 @@ fn pass_a_catches_transitive_allocation_with_chain() {
 }
 
 #[test]
+fn edge_roots_are_policed_by_transitive_passes() {
+    // The critical-path analyzer's `edge*` recording fns root ta1/tp1
+    // exactly like the step/record/charge families.
+    let findings = findings_of(&fixture("ta1"));
+    let f = findings
+        .iter()
+        .find(|f| f.rule == ARule::Ta1 && f.func == "retire_scratch")
+        .expect("allocation below an edge* root detected");
+    assert_eq!(f.chain, vec!["Win::edge_retire", "retire_scratch"]);
+
+    let findings = findings_of(&fixture("tp1"));
+    let f = findings
+        .iter()
+        .find(|f| f.rule == ARule::Tp1 && f.func == "last_arrival")
+        .expect("panic path below an edge* root detected");
+    assert_eq!(f.chain, vec!["edge_note", "last_arrival"]);
+    assert!(f.message.contains(".unwrap()"));
+}
+
+#[test]
 fn pass_b_catches_panic_reachability_with_chain() {
     let findings = findings_of(&fixture("tp1"));
     let f = findings

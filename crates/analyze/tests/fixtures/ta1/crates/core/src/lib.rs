@@ -38,3 +38,25 @@ pub fn tickle(now: u64) -> usize {
 pub fn tick_all(now: u64) -> usize {
     tickle(now)
 }
+
+// The critical-path analyzer's per-retirement family: `edge*` names
+// root the transitive passes like `step*`/`record*` do.
+pub struct Win {
+    pcs: [u64; 4],
+    len: usize,
+}
+
+impl Win {
+    pub fn edge_retire(&mut self, pc: u64) {
+        self.pcs[self.len % 4] = pc;
+        self.len += 1;
+        retire_scratch(pc);
+    }
+}
+
+// SEEDED VIOLATION (ta1): allocates, and is reachable from the
+// `edge*` root Win::edge_retire.
+fn retire_scratch(pc: u64) -> usize {
+    let v = vec![pc; 2];
+    v.len()
+}

@@ -20,3 +20,15 @@ impl Core {
         self.slots[(cycle % 4) as usize]
     }
 }
+
+/// The critical-path analyzer's recording family: `edge*` names root
+/// the transitive passes too.
+pub fn edge_note(core: &Core, cycle: u64) -> u8 {
+    last_arrival(core, cycle)
+}
+
+// SEEDED VIOLATION (tp1): `.unwrap()` reachable from the `edge*` root
+// edge_note via last_arrival.
+fn last_arrival(core: &Core, cycle: u64) -> u8 {
+    core.slot(cycle).unwrap()
+}

@@ -6,15 +6,18 @@
 //! `--out <path>`). The JSON also records the pre-overhaul engine's
 //! throughput measured on the same machine at the same budget, so the
 //! speedup of the hot-path work is tracked in-repo, and — when built
-//! with `--features obs` — each workload's stall-bucket shares, so a
-//! change that keeps throughput but moves cycles between buckets is
-//! visible. `--json <path>` additionally mirrors the wall-clock
-//! counters (insts/s, cycles/s) in the common `ds-bench-result/v1`
-//! schema. `--baseline <path>` diffs the fresh measurement against a
-//! committed summary with the same thresholds as `ds-report` and exits
-//! nonzero on a regression. `--history <path>` appends the run as one
-//! versioned JSONL row (schema `v: 1`), so throughput over time stays
-//! queryable without diffing the snapshot file's git history.
+//! with `--features obs` — each workload's stall-bucket shares and
+//! critical-path edge-class shares, so a change that keeps throughput
+//! but moves cycles between buckets — or moves communication onto the
+//! critical path — is visible. `--json <path>` additionally mirrors the
+//! wall-clock counters (insts/s, cycles/s) in the common
+//! `ds-bench-result/v1` schema, critpath section included. `--baseline
+//! <path>` diffs the fresh measurement against a committed summary with
+//! the same thresholds as `ds-report` and exits nonzero on a
+//! regression. `--history <path>` appends the run as one versioned
+//! JSONL row (schema `v: 1`, stall-bucket shares included), so
+//! throughput over time stays queryable without diffing the snapshot
+//! file's git history.
 //!
 //! Simulated *results* are pinned separately by `tests/golden_stats.rs`;
 //! this binary only measures how fast the engine reaches them.
@@ -47,6 +50,8 @@ struct Row {
     best_secs: f64,
     /// Machine-wide stall buckets (`None` when built without `obs`).
     account: Option<ds_obs::CycleAccount>,
+    /// Critical-path edge-class attribution (`None` without `obs`).
+    critpath: Option<ds_obs::CritPathReport>,
 }
 
 fn main() {
@@ -90,6 +95,7 @@ fn main() {
             cycles: warm.cycles,
             best_secs: best,
             account: warm.stall_totals(),
+            critpath: warm.metrics.as_ref().map(|m| m.critpath.clone()),
         });
         println!(
             "{name:<10} {} insts in {:.3}s  ({:.0} insts/s, {:.0} cycles/s)",
@@ -154,6 +160,35 @@ fn main() {
     } else {
         json.push_str("  \"cycle_accounting\": null,\n");
     }
+    // Critical-path edge-class shares per workload: what fraction of the
+    // end-to-end dependence path is compute vs. communication vs.
+    // structural vs. frontend. Gated by `ds-report` on absolute shift;
+    // `dropped` (window wraparound) only warns. `null` in obs-off builds.
+    if rows.iter().all(|r| r.critpath.is_some()) {
+        use ds_obs::EdgeClass;
+        json.push_str("  \"critpath\": {\n");
+        for (i, r) in rows.iter().enumerate() {
+            let cp = r.critpath.as_ref().expect("checked above");
+            json.push_str(&format!("    \"{}\": {{", r.name));
+            for (j, c) in EdgeClass::ALL.iter().enumerate() {
+                json.push_str(&format!(
+                    "{}\"{}\": {:.6}",
+                    if j == 0 { "" } else { ", " },
+                    c.label(),
+                    cp.class_share(*c)
+                ));
+            }
+            json.push_str(&format!(
+                ", \"attributed_cycles\": {}, \"dropped\": {}}}{}\n",
+                cp.attributed_total(),
+                cp.dropped_total(),
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  },\n");
+    } else {
+        json.push_str("  \"critpath\": null,\n");
+    }
     json.push_str(&format!("  \"combined_insts_per_sec\": {combined:.0},\n"));
     json.push_str(&format!("  \"combined_cycles_per_sec\": {combined_cycles:.0},\n"));
     json.push_str(&format!(
@@ -181,12 +216,31 @@ fn main() {
         );
         for (i, r) in rows.iter().enumerate() {
             row.push_str(&format!(
-                "{}{{\"name\": \"{}\", \"insts_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}}}",
+                "{}{{\"name\": \"{}\", \"insts_per_sec\": {:.0}, \"cycles_per_sec\": {:.0}",
                 if i == 0 { "" } else { ", " },
                 r.name,
                 r.committed as f64 / r.best_secs,
                 r.cycles as f64 / r.best_secs
             ));
+            // Stall-bucket shares ride along per row (additive, so the
+            // row schema stays `v: 1`): history answers not just "how
+            // fast" but "where did the cycles go" over time. `null` in
+            // obs-off builds.
+            match &r.account {
+                Some(acct) => {
+                    row.push_str(", \"cycle_accounting\": {");
+                    for (j, b) in StallBucket::ALL.iter().enumerate() {
+                        row.push_str(&format!(
+                            "{}\"{}\": {:.6}",
+                            if j == 0 { "" } else { ", " },
+                            b.label(),
+                            acct.share(*b)
+                        ));
+                    }
+                    row.push_str("}}");
+                }
+                None => row.push_str(", \"cycle_accounting\": null}"),
+            }
         }
         row.push_str(&format!(
             "], \"combined_insts_per_sec\": {combined:.0}, \
@@ -251,6 +305,11 @@ fn main() {
             .number("combined_cycles_per_sec", combined_cycles)
             .number("speedup_vs_pre_overhaul", speedup)
             .note("wall-clock perf counters; simulated results pinned by tests/golden_stats.rs");
+        for r in &rows {
+            if let Some(cp) = &r.critpath {
+                report.critpath(r.name, cp);
+            }
+        }
         std::fs::write(&path, report.render())
             .unwrap_or_else(|e| panic!("cannot write --json {path}: {e}"));
         eprintln!("wrote {path}");

@@ -3,9 +3,14 @@
 //! traditional system with 1/2 and 1/4 of memory on-chip.
 //!
 //! `--json <path>` additionally writes the table as a
-//! `ds-bench-result/v1` document; `--trace-out <path>` (builds with
-//! `--features obs` only) writes a Chrome trace-event / Perfetto JSON
-//! trace of the 4-node DataScalar `compress` run.
+//! `ds-bench-result/v1` document — instrumented builds (`--features
+//! obs`) also attach per-system critical-path edge-class attributions
+//! (`critpath` member, labels like `compress/ds2`) and
+//! `*_communication_share` numbers for `compress` and `go`, the direct
+//! answer to "is the broadcast on the critical path?" across DS,
+//! traditional and perfect systems; `--trace-out <path>` (obs builds
+//! only) writes a Chrome trace-event / Perfetto JSON trace of the
+//! 4-node DataScalar `compress` run.
 
 use ds_bench::report::{flag_value, Report};
 use ds_bench::{figure7_rows, Budget};
@@ -52,12 +57,41 @@ fn main() {
         .budget(budget)
         .table("Figure 7: instructions per cycle", &t)
         .number("mean_ds2_speedup_vs_trad_half", speedup_sum / rows.len().max(1) as f64);
+    append_critpath(&mut report, budget);
     report.write_if_requested();
 
     if let Some(path) = flag_value("--trace-out") {
         write_trace(&path, budget);
     }
 }
+
+/// Attaches critical-path edge-class attributions for the paper's two
+/// headline benchmarks across three of the Figure 7 systems. The
+/// interesting contrast: the traditional system's request round-trips
+/// sit *on* its critical path (large communication share), while the
+/// DataScalar broadcast largely hides under compute.
+#[cfg(feature = "obs")]
+fn append_critpath(report: &mut Report, budget: ds_bench::Budget) {
+    use ds_bench::{run_datascalar, run_perfect, run_traditional};
+    use ds_workloads::by_name;
+
+    for name in ["compress", "go"] {
+        let w = by_name(name).expect("registered workload");
+        let systems = [
+            ("ds2", run_datascalar(&w, 2, budget)),
+            ("trad2", run_traditional(&w, 2, budget)),
+            ("perfect", run_perfect(&w, budget)),
+        ];
+        for (sys, r) in &systems {
+            let cp = &r.metrics.as_ref().expect("obs builds carry metrics").critpath;
+            report.critpath(&format!("{name}/{sys}"), cp);
+            report.number(&format!("{name}_{sys}_communication_share"), cp.communication_share());
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+fn append_critpath(_report: &mut Report, _budget: ds_bench::Budget) {}
 
 /// Runs the 4-node DataScalar `compress` configuration with event
 /// recording on and writes the Perfetto trace.

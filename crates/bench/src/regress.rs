@@ -12,7 +12,10 @@
 //!   and per-workload `insts_per_sec` gate on a relative drop, and the
 //!   `cycle_accounting` bucket shares gate on an absolute shift —
 //!   catching a run that is as fast as before but spends its cycles
-//!   somewhere new.
+//!   somewhere new. The `critpath` edge-class shares gate the same way,
+//!   so a change that silently moves communication onto the critical
+//!   path fails even at equal throughput; its `dropped` counter only
+//!   warns (window wraparound is legitimate on long runs).
 //!
 //! Pure comparison, no I/O: callers parse with [`ds_obs::json`] and
 //! decide what to do with a failed [`Diff`].
@@ -285,6 +288,68 @@ fn diff_throughput(base: &Value, new: &Value, opts: DiffOptions) -> Diff {
         }
         _ => {}
     }
+
+    // Critical-path class shares: the same absolute-shift gate. This is
+    // the "did the broadcast land back on the critical path?" check —
+    // a run that is as fast as before but whose communication share
+    // grew past the threshold fails. The `dropped` counter (window
+    // wraparound, attribution truncated at the oldest retained node)
+    // only warns: a long run legitimately outgrows the window.
+    match (base.get("critpath"), new.get("critpath")) {
+        (Some(Value::Obj(bw)), Some(Value::Obj(nw))) => {
+            for (wname, bshares) in bw {
+                let Some((_, nshares)) = nw.iter().find(|(k, _)| k == wname) else {
+                    d.lines.push(format!("critpath {wname}: missing from current document"));
+                    continue;
+                };
+                let (Value::Obj(bs), Value::Obj(ns)) = (bshares, nshares) else {
+                    continue;
+                };
+                let share = |m: &[(String, Value)], k: &str| {
+                    m.iter().find(|(name, _)| name == k).and_then(|(_, v)| v.as_f64())
+                };
+                for class in ["compute", "communication", "structural", "frontend"] {
+                    let (Some(o), Some(n)) = (share(bs, class), share(ns, class)) else {
+                        continue;
+                    };
+                    let shift = n - o;
+                    if shift.abs() > 1e-4 {
+                        d.lines.push(format!(
+                            "{wname} critpath {class}: {:.1}% -> {:.1}% of the critical path",
+                            o * 100.0,
+                            n * 100.0
+                        ));
+                    }
+                    if shift.abs() > opts.max_bucket_shift {
+                        d.failures.push(format!(
+                            "{wname} critical-path {class} share shifted {:+.1} share \
+                             points (limit {:.0}): {:.1}% -> {:.1}%",
+                            shift * 100.0,
+                            opts.max_bucket_shift * 100.0,
+                            o * 100.0,
+                            n * 100.0
+                        ));
+                    }
+                }
+                if let Some(dropped) = share(ns, "dropped") {
+                    if dropped > 0.0 {
+                        d.lines.push(format!(
+                            "warning: {wname} critical-path window dropped {dropped:.0} \
+                             retirements (wraparound); attribution covers the tail only"
+                        ));
+                    }
+                }
+            }
+        }
+        (a, b) if a.is_some() || b.is_some() => {
+            d.lines.push(
+                "critpath: absent or null on one side (obs-off measurement or \
+                 pre-critpath baseline), share gate skipped"
+                    .to_string(),
+            );
+        }
+        _ => {}
+    }
     d
 }
 
@@ -341,6 +406,57 @@ mod tests {
         let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
         assert!(!d.passed());
         assert!(d.failures.iter().any(|f| f.contains("committing")));
+    }
+
+    fn critpath_doc(comm: f64, dropped: u64) -> Value {
+        parse(&format!(
+            r#"{{
+              "workloads": [
+                {{"name": "compress", "committed": 1, "insts_per_sec": 1000}}
+              ],
+              "combined_insts_per_sec": 1000,
+              "critpath": {{
+                "compress": {{"compute": {}, "communication": {comm},
+                              "structural": 0.0, "frontend": 0.0,
+                              "attributed_cycles": 1000, "dropped": {dropped},
+                              "comm_edges": 4, "comm_edge_max": 40}}
+              }}
+            }}"#,
+            1.0 - comm
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn critpath_communication_shift_fails_gate() {
+        let base = critpath_doc(0.10, 0);
+        let new = critpath_doc(0.25, 0);
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(!d.passed());
+        assert!(d
+            .failures
+            .iter()
+            .any(|f| f.contains("critical-path communication share shifted")));
+    }
+
+    #[test]
+    fn critpath_small_shift_passes_and_dropped_only_warns() {
+        let base = critpath_doc(0.10, 0);
+        let new = critpath_doc(0.12, 7);
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(d.passed(), "{:?}", d.failures);
+        assert!(d.lines.iter().any(|l| l.contains("warning") && l.contains("dropped 7")));
+    }
+
+    #[test]
+    fn missing_critpath_baseline_is_skipped_not_failed() {
+        // Baselines committed before the critpath section existed must
+        // still diff cleanly against instrumented runs.
+        let base = throughput_doc(1000.0, 1000.0, 0.5);
+        let new = critpath_doc(0.10, 0);
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(d.passed(), "{:?}", d.failures);
+        assert!(d.lines.iter().any(|l| l.contains("share gate skipped")));
     }
 
     #[test]

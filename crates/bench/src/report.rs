@@ -7,13 +7,29 @@
 //! JSON document to `path`. The schema, `ds-bench-result/v1`, is
 //! documented in `docs/observability.md`: table cells are the exact
 //! strings of the text output (no re-rounding, so text and JSON can
-//! never disagree), plus free-form named numbers and notes.
+//! never disagree), plus free-form named numbers, notes, and — when the
+//! binary runs instrumented (`--features obs`) — labelled critical-path
+//! edge-class attributions under `critpath`.
 
 use crate::Budget;
+use ds_obs::{CritPathReport, EdgeClass};
 use ds_stats::Table;
 
 /// The schema identifier emitted in every document.
 pub const SCHEMA: &str = "ds-bench-result/v1";
+
+/// One labelled critical-path attribution entry: the per-class shares
+/// and window health of a [`CritPathReport`], flattened for the JSON
+/// `critpath` member. Shares are of the *attributed* span, so they sum
+/// to 1.0 whenever any cycles were attributed.
+#[derive(Debug, Clone, Copy)]
+struct CritEntry {
+    shares: [f64; ds_obs::critpath::EDGE_CLASS_COUNT],
+    attributed_cycles: u64,
+    dropped: u64,
+    comm_edges: u64,
+    comm_edge_max: u64,
+}
 
 /// A machine-readable mirror of one binary's output.
 #[derive(Debug, Clone)]
@@ -23,12 +39,20 @@ pub struct Report {
     tables: Vec<(String, Table)>,
     numbers: Vec<(String, f64)>,
     notes: Vec<String>,
+    critpath: Vec<(String, CritEntry)>,
 }
 
 impl Report {
     /// Starts a report for `binary` (the `src/bin` file stem).
     pub fn new(binary: &'static str) -> Self {
-        Report { binary, budget: None, tables: Vec::new(), numbers: Vec::new(), notes: Vec::new() }
+        Report {
+            binary,
+            budget: None,
+            tables: Vec::new(),
+            numbers: Vec::new(),
+            notes: Vec::new(),
+            critpath: Vec::new(),
+        }
     }
 
     /// Records the instruction budget the run used.
@@ -52,6 +76,33 @@ impl Report {
     /// Adds a free-form note (provenance, caveats).
     pub fn note(&mut self, text: &str) -> &mut Self {
         self.notes.push(text.to_string());
+        self
+    }
+
+    /// Adds one labelled critical-path attribution (e.g. `"compress/ds2"`)
+    /// to the document's `critpath` member. Pass the
+    /// [`CritPathReport`] off `RunResult::metrics`; obs-off builds have
+    /// no metrics, so the member simply stays empty there.
+    pub fn critpath(&mut self, label: &str, r: &CritPathReport) -> &mut Self {
+        let mut shares = [0.0; ds_obs::critpath::EDGE_CLASS_COUNT];
+        for (i, c) in EdgeClass::ALL.iter().enumerate() {
+            shares[i] = r.class_share(*c);
+        }
+        let (mut comm_edges, mut comm_edge_max) = (0u64, 0u64);
+        for n in &r.nodes {
+            comm_edges += n.comm_edges;
+            comm_edge_max = comm_edge_max.max(n.comm_edge_max);
+        }
+        self.critpath.push((
+            label.to_string(),
+            CritEntry {
+                shares,
+                attributed_cycles: r.attributed_total(),
+                dropped: r.dropped_total(),
+                comm_edges,
+                comm_edge_max,
+            },
+        ));
         self
     }
 
@@ -104,7 +155,26 @@ impl Report {
         }
         out.push_str("},\"notes\":[");
         push_str_list(&mut out, &self.notes);
-        out.push_str("]}");
+        out.push_str("],\"critpath\":{");
+        for (i, (label, e)) in self.critpath.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape(label));
+            out.push_str(":{");
+            for (j, c) in EdgeClass::ALL.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{:.6}", c.label(), e.shares[j]));
+            }
+            out.push_str(&format!(
+                ",\"attributed_cycles\":{},\"dropped\":{},\"comm_edges\":{},\
+                 \"comm_edge_max\":{}}}",
+                e.attributed_cycles, e.dropped, e.comm_edges, e.comm_edge_max
+            ));
+        }
+        out.push_str("}}");
         out
     }
 
@@ -227,6 +297,42 @@ mod tests {
         r.number("bad", f64::NAN);
         let doc = ds_obs::json::parse(&r.render()).expect("valid JSON");
         assert!(doc.get("numbers").unwrap().get("bad").unwrap().as_f64().is_none());
+    }
+
+    #[test]
+    fn critpath_member_is_empty_without_entries_and_typed_with() {
+        let r = Report::new("unit_test");
+        let doc = ds_obs::json::parse(&r.render()).expect("valid JSON");
+        // Always present, so obs-off and obs-on documents have one shape.
+        assert!(matches!(doc.get("critpath"), Some(ds_obs::json::Value::Obj(m)) if m.is_empty()));
+
+        // A window with one remote-fill instruction: communication must
+        // carry a nonzero share and the shares must survive the JSON trip.
+        let mut w = ds_obs::CritWindow::with_capacity(4);
+        w.edge_retire(ds_obs::CritNode {
+            pc: 0x40,
+            dispatch: 0,
+            ready: 2,
+            issue: 2,
+            complete: 30,
+            commit: 31,
+            sent: 4,
+            producer_back: 0,
+            fill: ds_obs::FillKind::RemoteFill,
+        });
+        let mut cp = ds_obs::CritPathReport::default();
+        cp.nodes.push(w.path_report());
+        let mut r = Report::new("unit_test");
+        r.critpath("compress/ds2", &cp);
+        let doc = ds_obs::json::parse(&r.render()).expect("valid JSON");
+        let entry = doc.get("critpath").unwrap().get("compress/ds2").unwrap();
+        let share = |k: &str| entry.get(k).and_then(|v| v.as_f64()).unwrap();
+        let sum =
+            share("compute") + share("communication") + share("structural") + share("frontend");
+        assert!((sum - 1.0).abs() < 1e-6, "class shares must sum to 1, got {sum}");
+        assert!(share("communication") > 0.0);
+        assert_eq!(entry.get("comm_edges").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(entry.get("dropped").and_then(|v| v.as_f64()), Some(0.0));
     }
 
     #[test]

@@ -25,9 +25,14 @@ pub enum Arrival {
     /// this node falsely hit on).
     Squashed,
     /// Satisfied an outstanding wait; the listed loads may complete at
-    /// the given cycle.
+    /// the given cycle. These completions become the critical-path
+    /// analyzer's `remote-fill` (communication) edges: the node pairs
+    /// each one with the broadcast's send cycle so the edge spans the
+    /// owner's queue, the fabric grant, and the flight end-to-end.
     Completed(Vec<(RuuTag, Cycle)>),
-    /// No local load wanted it yet; buffered.
+    /// No local load wanted it yet; buffered. A later load that finds
+    /// the data here sees an on-chip hit — a `local-fill` (compute)
+    /// edge on the critical path, which is datathreading doing its job.
     Buffered,
 }
 

@@ -456,7 +456,10 @@ impl Node {
                     self.ms.dcub.mark_ready(line, ready);
                 }
                 for (tag, ready) in waiters {
-                    self.core.complete_load(tag, ready);
+                    // `enqueued_at` is the owner's send-queue cycle:
+                    // tagging the fill with it lets the critical-path
+                    // walk measure the broadcast end-to-end.
+                    self.core.complete_load_from(tag, ready, line, msg.enqueued_at);
                 }
             }
             Arrival::Squashed => {
@@ -500,6 +503,13 @@ impl Node {
     #[cfg(feature = "obs")]
     pub fn core_events(&self) -> &ds_obs::EventRing {
         self.core.events()
+    }
+
+    /// The core's critical-path window of retired-instruction graph
+    /// nodes (instrumented builds only).
+    #[cfg(feature = "obs")]
+    pub fn crit_window(&self) -> &ds_obs::CritWindow {
+        self.core.crit_window()
     }
 
     /// Classifies the node's stall state at `now` into the bucket it

@@ -148,6 +148,7 @@ impl PerfectSystem {
         assert_eq!(acct.total(), self.cycles, "stall buckets must sum to total cycles");
         m.node_accounts.push(acct);
         m.hot_pcs = ds_obs::top_hot_pcs([self.probe.pc_profile()], 16);
+        m.critpath.nodes.push(self.core.crit_window().path_report());
         Some(m)
     }
 }

@@ -609,6 +609,9 @@ impl DsSystem {
             m.node_accounts.push(acct);
         }
         m.hot_pcs = ds_obs::top_hot_pcs(self.nodes.iter().map(|n| n.pc_profile()), 16);
+        for n in &self.nodes {
+            m.critpath.nodes.push(n.crit_window().path_report());
+        }
         if let Some(ring) = self.bus.events() {
             m.absorb(ring);
         }
@@ -663,6 +666,35 @@ impl DsSystem {
                         let _ = writeln!(out, "node{i};{} {cycles}", b.label());
                     }
                 }
+            }
+        }
+        out
+    }
+
+    /// Renders the per-node critical-path attribution in the
+    /// flamegraph folded-stacks text format, rooted at `crit` (kept
+    /// separate from [`DsSystem::folded_stacks`], whose per-node leaves
+    /// sum to total cycles; these sum to each node's *attributed* path
+    /// span): `crit;node{i};{class};{kind} cycles` per edge family,
+    /// plus `crit;node{i};pc;0x{pc:x} cycles` residency leaves.
+    pub fn critpath_folded(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let rep = node.crit_window().path_report();
+            for kind in ds_obs::EdgeKind::ALL {
+                let cycles = rep.kind(kind);
+                if cycles > 0 {
+                    let _ = writeln!(
+                        out,
+                        "crit;node{i};{};{} {cycles}",
+                        kind.class().label(),
+                        kind.label()
+                    );
+                }
+            }
+            for p in &rep.crit_pcs {
+                let _ = writeln!(out, "crit;node{i};pc;0x{:x} {}", p.pc, p.cycles);
             }
         }
         out

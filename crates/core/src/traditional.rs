@@ -60,6 +60,11 @@ struct TradMemSide {
     queue_penalty: u64,
     /// Loads blocked on an off-chip response, per line.
     waiting: LineMap<Vec<RuuTag>>,
+    /// Cycle each in-flight request entered the output queue, per line
+    /// — the near end of the round trip, so the critical-path analyzer
+    /// can measure the traditional system's communication edges
+    /// end-to-end (request out + memory + response back).
+    req_sent: LineMap<Cycle>,
     outgoing: PendingQueue,
     seq: u64,
     stats: NodeStats,
@@ -103,6 +108,7 @@ impl TradMemSide {
             self.local_mem.access(line, self.line_bytes, now);
         } else {
             self.send(MsgKind::Request, line, 0, now + self.queue_penalty);
+            self.req_sent.insert(line, now + self.queue_penalty);
         }
     }
 }
@@ -137,6 +143,7 @@ impl MemSystem for TradMemSide {
         } else {
             self.stats.remote_accesses += 1;
             self.send(MsgKind::Request, line, 0, now + self.queue_penalty);
+            self.req_sent.insert(line, now + self.queue_penalty);
             self.dcub.insert(line, None, false);
             self.waiting.get_mut_or_default(line).push(tag);
             (LoadResponse::Pending, false)
@@ -256,6 +263,7 @@ impl TraditionalSystem {
                 line_bytes: base.dcache.line_bytes,
                 queue_penalty: base.queue_penalty,
                 waiting: LineMap::new(),
+                req_sent: LineMap::new(),
                 outgoing: PendingQueue::new(),
                 seq: 0,
                 stats: NodeStats::default(),
@@ -354,9 +362,16 @@ impl TraditionalSystem {
             MsgKind::Response => {
                 let ready = now + 1;
                 self.ms.dcub.mark_ready(msg.line_addr, ready);
+                let sent = self.ms.req_sent.remove(msg.line_addr);
                 if let Some(waiters) = self.ms.waiting.remove(msg.line_addr) {
                     for tag in waiters {
-                        self.core.complete_load(tag, ready);
+                        // Tag the fill with the request's send cycle so
+                        // the critical-path walk sees the whole round
+                        // trip, not just the response leg.
+                        match sent {
+                            Some(s) => self.core.complete_load_from(tag, ready, msg.line_addr, s),
+                            None => self.core.complete_load(tag, ready),
+                        }
                     }
                 }
             }
@@ -425,6 +440,7 @@ impl TraditionalSystem {
         assert_eq!(acct.total(), self.cycles, "stall buckets must sum to total cycles");
         m.node_accounts.push(acct);
         m.hot_pcs = ds_obs::top_hot_pcs([self.probe.pc_profile()], 16);
+        m.critpath.nodes.push(self.core.crit_window().path_report());
         Some(m)
     }
 }

@@ -18,7 +18,8 @@ use crate::exec::{ExecError, ExecRecord};
 use crate::trace::InstFeed;
 use crate::Cycle;
 use ds_isa::{FuClass, Opcode};
-use ds_obs::Probe as _;
+use ds_obs::critpath::UNKNOWN_SEND;
+use ds_obs::{CritNode, FillKind, Probe as _};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -224,6 +225,24 @@ struct RuuEntry {
     /// service. Distinguishes remote from local waits in the stall
     /// classifier.
     pending_remote: bool,
+    /// Last-arrival timestamps for the critical-path analyzer (plain
+    /// stores, maintained unconditionally; the derived `CritNode` is
+    /// only built when the probe is enabled). `t_ready` is stamped
+    /// when the last producer wakes this entry; `t_complete` at
+    /// writeback.
+    t_dispatch: Cycle,
+    t_ready: Cycle,
+    t_issue: Cycle,
+    t_complete: Cycle,
+    /// Producer whose completion was the last arrival making this
+    /// entry ready; `RuuTag::MAX` when it dispatched ready.
+    last_producer: RuuTag,
+    /// How the completion was produced (stamped at issue).
+    fill: FillKind,
+    /// For remote fills: the cycle the data entered the sender's
+    /// output queue ([`UNKNOWN_SEND`] otherwise) and the line it rode.
+    fill_sent: Cycle,
+    fill_line: u64,
 }
 
 /// Per-cycle facts the stall classifier needs that the pipeline stages
@@ -436,6 +455,13 @@ impl OooCore {
         self.probe.ring()
     }
 
+    /// The critical-path window of retired-instruction graph nodes
+    /// (instrumented builds only).
+    #[cfg(feature = "obs")]
+    pub fn crit_window(&self) -> &ds_obs::CritWindow {
+        self.probe.crit_window()
+    }
+
     /// The core configuration.
     pub fn config(&self) -> &OooConfig {
         &self.config
@@ -503,6 +529,20 @@ impl OooCore {
                 self.events.push(Reverse((available_at, tag)));
             }
         }
+    }
+
+    /// Like [`OooCore::complete_load`], additionally recording the
+    /// fill's cross-node provenance: the cycle the data entered the
+    /// sender's output queue and the line it rode. Feeds the
+    /// critical-path communication edges (measured end-to-end from the
+    /// send, so bus-grant queueing is included) and the trace flow
+    /// arrows; timing is unchanged.
+    pub fn complete_load_from(&mut self, tag: RuuTag, available_at: Cycle, line: u64, sent: Cycle) {
+        if let Some(e) = self.entry_mut(tag) {
+            e.fill_sent = sent;
+            e.fill_line = line;
+        }
+        self.complete_load(tag, available_at);
     }
 
     /// Advances one cycle: writeback, commit, issue, fetch.
@@ -680,6 +720,7 @@ impl OooCore {
                 return;
             }
             e.state = EState::Done;
+            e.t_complete = now;
             std::mem::take(&mut e.consumers)
         };
         if self.redirect_tag == Some(tag) {
@@ -694,6 +735,10 @@ impl OooCore {
                     let n = n - 1;
                     e.state = if n == 0 { EState::Ready } else { EState::Waiting(n) };
                     if n == 0 {
+                        // This completion was the consumer's last
+                        // arrival: its data-dependence edge.
+                        e.t_ready = now;
+                        e.last_producer = tag;
                         self.ready.insert((c - self.base_tag) as usize);
                     }
                 }
@@ -713,6 +758,9 @@ impl OooCore {
             let tag = self.base_tag;
             self.base_tag += 1;
             retired += 1;
+            if self.probe.enabled() {
+                self.edge_note_retire(&e, tag, now);
+            }
             let op = e.rec.inst.op;
             if op.is_mem() {
                 self.mem_in_window -= 1;
@@ -745,6 +793,30 @@ impl OooCore {
                 self.flags.retired = retired as u32;
             }
             self.probe.record(now, ds_obs::EventKind::Commit { n: retired as u32 });
+        }
+    }
+
+    /// Records the retiring entry's last-arrival graph node (and, for
+    /// remote fills, the flow-finish event pairing the consuming commit
+    /// with the broadcast/request send). Runs once per retirement on
+    /// instrumented builds; rules a1/ta1 apply.
+    fn edge_note_retire(&mut self, e: &RuuEntry, tag: RuuTag, now: Cycle) {
+        let producer_back =
+            if e.last_producer == RuuTag::MAX { 0 } else { (tag - e.last_producer) as u32 };
+        self.probe.edge_retire(CritNode {
+            pc: e.rec.pc,
+            dispatch: e.t_dispatch,
+            ready: e.t_ready,
+            issue: e.t_issue,
+            complete: e.t_complete,
+            commit: now,
+            sent: e.fill_sent,
+            producer_back,
+            fill: e.fill,
+        });
+        if e.fill == FillKind::RemoteFill && e.fill_sent != UNKNOWN_SEND {
+            self.probe
+                .record(now, ds_obs::EventKind::RemoteFillCommit { line: e.fill_line, sent: e.fill_sent });
         }
     }
 
@@ -781,6 +853,8 @@ impl OooCore {
                     let e = self.entry_mut(tag).unwrap();
                     e.state = EState::Issued;
                     e.issue_hit = Some(true);
+                    e.t_issue = now;
+                    e.fill = FillKind::Forward;
                     self.schedule(now, now + 1, tag);
                 } else if op.is_load() {
                     let (resp, hit) = ms.load_issued(&rec, now, tag);
@@ -789,6 +863,8 @@ impl OooCore {
                     e.state = EState::Issued;
                     e.issue_hit = Some(hit);
                     e.pending_remote = matches!(resp, LoadResponse::Pending);
+                    e.t_issue = now;
+                    e.fill = if e.pending_remote { FillKind::RemoteFill } else { FillKind::LocalFill };
                     match resp {
                         LoadResponse::Ready(at) => {
                             self.schedule(now, at.max(now + 1), tag);
@@ -799,8 +875,8 @@ impl OooCore {
                     // ds-lint: allow(p1) same tag as the entry_mut above: still in-window
                     let e = self.entry_mut(tag).unwrap();
                     e.state = EState::Issued;
-                    let lat = op.latency();
-                    self.schedule(now, now + lat, tag);
+                    e.t_issue = now;
+                    self.schedule(now, now + op.latency(), tag);
                 }
             }
         }
@@ -867,7 +943,7 @@ impl OooCore {
                     break;
                 }
             }
-            self.dispatch(rec);
+            self.dispatch(rec, now);
             self.next_fetch += 1;
             if rec.inst.op.is_control() {
                 let correct = if rec.inst.op.is_branch() {
@@ -903,7 +979,7 @@ impl OooCore {
         Ok(())
     }
 
-    fn dispatch(&mut self, rec: ExecRecord) {
+    fn dispatch(&mut self, rec: ExecRecord, now: Cycle) {
         let tag = rec.icount;
         debug_assert_eq!(tag, self.base_tag + self.window.len() as u64);
         let op = rec.inst.op;
@@ -983,6 +1059,16 @@ impl OooCore {
             issue_hit: None,
             forward_from,
             pending_remote: false,
+            t_dispatch: now,
+            // Overwritten when the last producer wakes this entry; a
+            // dispatch-ready instruction's last arrival is the frontend.
+            t_ready: now,
+            t_issue: now,
+            t_complete: now,
+            last_producer: RuuTag::MAX,
+            fill: FillKind::Exec,
+            fill_sent: UNKNOWN_SEND,
+            fill_line: 0,
         });
     }
 }

@@ -20,11 +20,12 @@
 //!   sibling nodes with unconsumed broadcasts; every unwind point must
 //!   be a deliberate, documented invariant.
 //! - **a1** — no allocation (`Vec::new`, `vec![`, `.collect()`, ...)
-//!   inside `step`/`tick`/`record`/`charge`/`next_event`/`advance_to`-
-//!   named functions in the hot modules. Guards PR 1's allocation-free
-//!   cycle loop, PR 3's per-event observability ring writes, PR 4's
-//!   per-cycle stall accounting, and the event-horizon engine's
-//!   per-cycle horizon scan and batch advance.
+//!   inside `step`/`tick`/`record`/`charge`/`next_event`/`advance_to`/
+//!   `edge`-named functions in the hot modules. Guards PR 1's
+//!   allocation-free cycle loop, PR 3's per-event observability ring
+//!   writes, PR 4's per-cycle stall accounting, the event-horizon
+//!   engine's per-cycle horizon scan and batch advance, and the
+//!   critical-path analyzer's per-retirement edge recording.
 //! - **x1** — cross-file drift: every `Opcode` variant must have an
 //!   exec arm in `crates/cpu/src/exec.rs` and a row in `docs/isa.md`.
 //!
@@ -60,7 +61,7 @@ pub enum Rule {
     /// hot modules.
     P1,
     /// Allocation inside `step`/`tick`/`record`/`charge`/`next_event`/
-    /// `advance_to` functions in hot modules.
+    /// `advance_to`/`edge` functions in hot modules.
     A1,
     /// ISA drift between `Opcode`, the exec unit, and `docs/isa.md`.
     X1,
@@ -533,10 +534,13 @@ fn check_p1(cleaned: &str, out: &mut Vec<Candidate>) {
 }
 
 /// a1: allocation inside `step`/`tick`/`record`/`charge`/`next_event`/
-/// `advance_to`-named functions (`record*` covers the observability
-/// probe's per-event hot path; `charge*` the per-cycle stall
-/// accounting; `next_event*`/`advance_to*` the event-horizon engine's
-/// per-cycle horizon computation and batch advance).
+/// `advance_to`/`edge`-named functions (`record*` covers the
+/// observability probe's per-event hot path; `charge*` the per-cycle
+/// stall accounting; `next_event*`/`advance_to*` the event-horizon
+/// engine's per-cycle horizon computation and batch advance; `edge*`
+/// the critical-path analyzer's per-retirement edge recording —
+/// report-time walks allocate freely, but deliberately carry
+/// non-`edge` names like `path_report`).
 fn check_a1(cleaned: &str, out: &mut Vec<Candidate>) {
     let bodies = fn_bodies(cleaned, |name| {
         name.starts_with("step")
@@ -545,6 +549,7 @@ fn check_a1(cleaned: &str, out: &mut Vec<Candidate>) {
             || name.starts_with("charge")
             || name.starts_with("next_event")
             || name.starts_with("advance_to")
+            || name.starts_with("edge")
     });
     if bodies.is_empty() {
         return;
@@ -723,13 +728,14 @@ fn doc_contains_mnemonic(doc: &str, mnemonic: &str) -> bool {
 pub const SIM_CRATES: [&str; 6] = ["core", "cpu", "mem", "net", "trace", "obs"];
 
 /// The cycle-loop hot modules p1/a1 police (workspace-relative).
-const HOT_MODULES: [&str; 7] = [
+const HOT_MODULES: [&str; 8] = [
     "crates/core/src/system.rs",
     "crates/core/src/node.rs",
     "crates/core/src/pending.rs",
     "crates/cpu/src/ooo.rs",
     "crates/net/src/fabric.rs",
     "crates/obs/src/account.rs",
+    "crates/obs/src/critpath.rs",
     "crates/obs/src/ring.rs",
 ];
 
@@ -927,6 +933,21 @@ mod tests {
         let src = "fn next_event(&self, now: u64) -> u64 { let v: Vec<u64> = (0..4).collect(); now }\n\
                    fn advance_to_horizon(&mut self) { let b = Box::new(0u8); }\n\
                    fn next_evening(&self) { let v: Vec<u8> = Vec::new(); }\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert_eq!(rules(&diags), vec![Rule::A1, Rule::A1], "{diags:?}");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[1].line, 2);
+    }
+
+    #[test]
+    fn a1_flags_allocation_in_edge_fns() {
+        // The critical-path analyzer's per-retirement recording is
+        // policed like the step/record paths; report-time helpers with
+        // non-`edge` names allocate freely.
+        let src = "fn edge_retire(&mut self, n: u64) { let v: Vec<u64> = (0..n).collect(); }\n\
+                   fn edge_note_retire(&mut self) { let s = format!(\"x\"); }\n\
+                   fn edgy_but_not_hot(&self) { let v: Vec<u8> = Vec::new(); }\n\
+                   fn path_report(&self) -> Vec<u64> { Vec::new() }\n";
         let diags = lint_source("x.rs", src, HOT);
         assert_eq!(rules(&diags), vec![Rule::A1, Rule::A1], "{diags:?}");
         assert_eq!(diags[0].line, 1);

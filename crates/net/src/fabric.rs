@@ -22,6 +22,13 @@ pub enum FabricKind {
 }
 
 /// A bus or ring behind one interface.
+//
+// The instrumented bus carries its probe's recorder inline (event ring +
+// critical-path window headers), so the variants differ in size; one
+// `Fabric` exists per system and is never moved per cycle, so boxing the
+// large variant would buy nothing but an extra indirection on the hot
+// `step` path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Fabric {
     /// Shared-bus fabric.

@@ -87,7 +87,12 @@ pub struct Message {
     /// Per-line sequence number distinguishing repeated broadcasts of
     /// the same address (the paper's supplementary tag, §3.1).
     pub seq: u64,
-    /// Core cycle at which the message entered its output queue.
+    /// Core cycle at which the message entered its output queue. This
+    /// is the *send* end of the critical-path analyzer's communication
+    /// edges: it predates the fabric's grant, so arbitration and
+    /// bus-occupancy waits fold into the end-to-end remote-fill
+    /// latency instead of hiding as structural time (the `BusGrant`
+    /// event's `queue_delay` reports the same gap observationally).
     pub enqueued_at: Cycle,
 }
 

@@ -1,7 +1,20 @@
 //! Validates machine-readable experiment output: parses each argument
 //! as JSON and, when the document carries a known schema, checks its
-//! required members. Used by `scripts/verify.sh` to gate the `--json`
-//! and `--trace-out` emitters.
+//! required members. Used by `scripts/verify.sh` to gate the `--json`,
+//! `--trace-out` and `--history` emitters.
+//!
+//! Checks per shape:
+//!
+//! * `ds-bench-result/v1`: required members, table row/header widths,
+//!   and — when a `critpath` member is present — edge-class shares in
+//!   range and summing to ~1 per label.
+//! * Perfetto traces (`traceEvents`): per-track timestamp monotonicity,
+//!   non-failing dropped-event warnings, and broadcast flow-id pairing
+//!   (every `ph:"t"`/`"f"` flow step must name an emitted `ph:"s"` id).
+//! * `*.jsonl` (e.g. `BENCH_history.jsonl`): every line a `v: 1` row
+//!   with engine, budget, workloads and combined throughput counters.
+//! * Other plain JSON (e.g. `BENCH_throughput.json`): parsing, plus the
+//!   critpath-member check when one is present.
 //!
 //! Exit status: 0 when every file parses (and passes its schema
 //! check), 1 otherwise.
@@ -10,12 +23,17 @@ use ds_obs::json::{self, Value};
 
 fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    if path.ends_with(".jsonl") {
+        return check_history(&text);
+    }
     let v = json::parse(&text).map_err(|e| e.to_string())?;
     match v.get("schema").and_then(Value::as_str) {
         Some("ds-bench-result/v1") => check_bench_result(&v),
         Some(other) => Err(format!("unknown schema `{other}`")),
         None if v.get("traceEvents").is_some() => check_trace(&v),
-        None => Ok(()), // plain JSON (e.g. BENCH_throughput.json): parsing is the check
+        // Plain JSON (e.g. BENCH_throughput.json): parsing is the bulk
+        // of the check, but a critpath member must still be well-formed.
+        None => check_critpath_member(&v),
     }
 }
 
@@ -46,6 +64,108 @@ fn check_bench_result(v: &Value) -> Result<(), String> {
             }
         }
     }
+    check_critpath_member(v)
+}
+
+/// Checks a `critpath` member (shared by `ds-bench-result/v1` and
+/// `BENCH_throughput.json`): each labelled entry carries the four
+/// edge-class shares, each in `[0, 1]`, summing to ~1 whenever any
+/// cycles were attributed. Absent or `null` members pass — obs-off
+/// builds legitimately have nothing to report.
+fn check_critpath_member(v: &Value) -> Result<(), String> {
+    let entries = match v.get("critpath") {
+        Some(Value::Obj(entries)) => entries,
+        Some(Value::Null) | None => return Ok(()),
+        Some(_) => return Err("`critpath` must be an object or null".into()),
+    };
+    const CLASSES: [&str; 4] = ["compute", "communication", "structural", "frontend"];
+    for (label, entry) in entries {
+        let mut sum = 0.0;
+        for class in CLASSES {
+            let share = entry
+                .get(class)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("critpath `{label}` lacks share `{class}`"))?;
+            if !(0.0..=1.0).contains(&share) {
+                return Err(format!(
+                    "critpath `{label}` share `{class}` out of range: {share}"
+                ));
+            }
+            sum += share;
+        }
+        let attributed =
+            entry.get("attributed_cycles").and_then(Value::as_f64).unwrap_or(0.0);
+        // Shares are printed with 6 decimals, so the sum can be off by
+        // a few millionths per class; anything worse is a real bug.
+        if attributed > 0.0 && (sum - 1.0).abs() > 1e-3 {
+            return Err(format!(
+                "critpath `{label}` class shares sum to {sum}, expected ~1"
+            ));
+        }
+        if let Some(d) = entry.get("dropped").and_then(Value::as_f64) {
+            if d < 0.0 {
+                return Err(format!("critpath `{label}` has negative dropped count"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `BENCH_history.jsonl` file: one self-contained `v: 1`
+/// measurement row per line, so downstream tooling can trust every row
+/// it greps out.
+fn check_history(text: &str) -> Result<(), String> {
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = json::parse(line).map_err(|e| format!("line {}: {e:?}", i + 1))?;
+        let context = |msg: &str| format!("line {}: {msg}", i + 1);
+        match row.get("v").and_then(Value::as_f64) {
+            Some(v) if v == 1.0 => {}
+            Some(v) => return Err(context(&format!("unknown row version {v}"))),
+            None => return Err(context("row lacks `v`")),
+        }
+        for key in ["unix_time", "combined_insts_per_sec", "combined_cycles_per_sec"] {
+            if row.get(key).and_then(Value::as_f64).is_none() {
+                return Err(context(&format!("row lacks number `{key}`")));
+            }
+        }
+        if row.get("engine").and_then(Value::as_str).is_none() {
+            return Err(context("row lacks string `engine`"));
+        }
+        if row.get("budget").and_then(|b| b.get("max_insts")).is_none() {
+            return Err(context("row lacks `budget.max_insts`"));
+        }
+        let workloads = row
+            .get("workloads")
+            .and_then(Value::as_array)
+            .ok_or_else(|| context("row lacks `workloads` array"))?;
+        for w in workloads {
+            for key in ["insts_per_sec", "cycles_per_sec"] {
+                if w.get(key).and_then(Value::as_f64).is_none() {
+                    return Err(context(&format!("workload lacks number `{key}`")));
+                }
+            }
+            if w.get("name").and_then(Value::as_str).is_none() {
+                return Err(context("workload lacks string `name`"));
+            }
+            // Optional (older rows predate it, obs-off rows carry null):
+            // when present, bucket shares must be sane.
+            if let Some(Value::Obj(shares)) = w.get("cycle_accounting") {
+                for (bucket, share) in shares {
+                    match share.as_f64() {
+                        Some(s) if (0.0..=1.0).contains(&s) => {}
+                        _ => {
+                            return Err(context(&format!(
+                                "cycle_accounting `{bucket}` share out of range"
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -54,10 +174,24 @@ fn check_trace(v: &Value) -> Result<(), String> {
         .get("traceEvents")
         .and_then(Value::as_array)
         .ok_or("`traceEvents` must be an array")?;
-    // Monotonically non-decreasing ts per (pid, tid) track.
+    // Monotonically non-decreasing ts per (pid, tid) track, and
+    // broadcast flow arrows that actually pair up: every flow step
+    // (`ph:"t"`) and end (`ph:"f"`) must name a flow id some start
+    // (`ph:"s"`) emitted — a dangling arrow renders as garbage in the
+    // Perfetto UI, and the emitter is supposed to suppress orphans.
     let mut last: Vec<((u64, u64), f64)> = Vec::new();
+    let mut flow_starts: Vec<f64> = Vec::new();
+    let mut flow_refs: Vec<(String, f64)> = Vec::new();
     let mut dropped_total = 0.0;
     for e in events {
+        if let Some(ph @ ("s" | "t" | "f")) = e.get("ph").and_then(Value::as_str) {
+            let id = e.get("id").and_then(Value::as_f64).ok_or("flow event lacks id")?;
+            if ph == "s" {
+                flow_starts.push(id);
+            } else {
+                flow_refs.push((ph.to_string(), id));
+            }
+        }
         if e.get("ph").and_then(Value::as_str) == Some("M") {
             // `ds_dropped_events` metadata: an over-capacity EventRing
             // means the trace is a suffix of the run. Visibly warn —
@@ -99,7 +233,84 @@ fn check_trace(v: &Value) -> Result<(), String> {
     if dropped_total > 0.0 {
         eprintln!("warning: {dropped_total:.0} events dropped in total across sources");
     }
+    flow_starts.sort_by(|a, b| a.partial_cmp(b).expect("flow ids are finite"));
+    for (ph, id) in &flow_refs {
+        if flow_starts.binary_search_by(|s| s.partial_cmp(id).expect("finite")).is_err() {
+            return Err(format!("flow `{ph}` event id {id} has no matching `s` start"));
+        }
+    }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critpath_member_shapes() {
+        let good = json::parse(
+            r#"{"critpath": {"compress": {"compute": 0.9, "communication": 0.1,
+                "structural": 0.0, "frontend": 0.0,
+                "attributed_cycles": 100, "dropped": 0}}}"#,
+        )
+        .unwrap();
+        assert!(check_critpath_member(&good).is_ok());
+        assert!(check_critpath_member(&json::parse(r#"{"critpath": null}"#).unwrap()).is_ok());
+        assert!(check_critpath_member(&json::parse(r#"{"other": 1}"#).unwrap()).is_ok());
+
+        let bad_sum = json::parse(
+            r#"{"critpath": {"x": {"compute": 0.5, "communication": 0.1,
+                "structural": 0.0, "frontend": 0.0, "attributed_cycles": 100}}}"#,
+        )
+        .unwrap();
+        assert!(check_critpath_member(&bad_sum).unwrap_err().contains("sum"));
+        let missing_class = json::parse(
+            r#"{"critpath": {"x": {"compute": 1.0, "structural": 0.0, "frontend": 0.0}}}"#,
+        )
+        .unwrap();
+        assert!(check_critpath_member(&missing_class).unwrap_err().contains("communication"));
+    }
+
+    #[test]
+    fn history_rows_validate_line_by_line() {
+        let good = r#"{"v": 1, "unix_time": 5, "engine": "event-horizon",
+            "budget": {"max_insts": 400000, "scale": "Small"},
+            "workloads": [{"name": "compress", "insts_per_sec": 100,
+                           "cycles_per_sec": 200,
+                           "cycle_accounting": {"committing": 0.5, "idle": 0.5}}],
+            "combined_insts_per_sec": 100, "combined_cycles_per_sec": 200}"#
+            .replace('\n', " ");
+        // Pre-critpath rows lack cycle_accounting entirely: still valid.
+        let old = r#"{"v": 1, "unix_time": 5, "engine": "e",
+            "budget": {"max_insts": 1, "scale": "Tiny"},
+            "workloads": [{"name": "go", "insts_per_sec": 1, "cycles_per_sec": 1}],
+            "combined_insts_per_sec": 1, "combined_cycles_per_sec": 1}"#
+            .replace('\n', " ");
+        assert!(check_history(&format!("{good}\n{old}\n")).is_ok());
+        assert!(check_history("{\"v\": 2}\n").unwrap_err().contains("version"));
+        assert!(check_history("not json\n").is_err());
+        let no_engine = good.replace("\"engine\": \"event-horizon\",", "");
+        assert!(check_history(&no_engine).unwrap_err().contains("engine"));
+    }
+
+    #[test]
+    fn dangling_flow_fails_paired_flow_passes() {
+        let paired = json::parse(
+            r#"{"traceEvents": [
+                {"name": "broadcast-flow", "ph": "s", "id": 7, "ts": 1, "pid": 0, "tid": 4},
+                {"name": "broadcast-flow", "ph": "t", "id": 7, "ts": 5, "pid": 1, "tid": 4}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(check_trace(&paired).is_ok());
+        let dangling = json::parse(
+            r#"{"traceEvents": [
+                {"name": "broadcast-flow", "ph": "f", "id": 9, "ts": 5, "pid": 1, "tid": 3}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(check_trace(&dangling).unwrap_err().contains("no matching"));
+    }
 }
 
 fn main() {

@@ -28,12 +28,16 @@
 //! recorder in `ring.rs` like any other hot module).
 
 pub mod account;
+pub mod critpath;
 pub mod json;
 pub mod perfetto;
 mod ring;
 
 pub use account::{
     top_hot_pcs, CycleAccount, HotPc, PcProfile, PcStallKind, StallBucket, BUCKET_COUNT,
+};
+pub use critpath::{
+    CritNode, CritPathNodeReport, CritPathReport, CritWindow, EdgeClass, EdgeKind, FillKind,
 };
 pub use ring::{EventRing, Recorder};
 
@@ -139,6 +143,16 @@ pub enum EventKind {
         /// Core cycles the message waited for the grant.
         queue_delay: u64,
     },
+    /// A load whose data crossed the interconnect retired — the far end
+    /// of the broadcast/request flow that started at `sent`. Recorded
+    /// by the core at commit so trace exporters can draw flow arrows
+    /// from the send through the arrival to the consuming commit.
+    RemoteFillCommit {
+        /// Line the load consumed.
+        line: u64,
+        /// Cycle the data entered the sender's output queue.
+        sent: u64,
+    },
 }
 
 /// One cycle-stamped event.
@@ -178,6 +192,12 @@ pub trait Probe {
     /// equivalent to `n` calls to [`Probe::charge_pc`].
     #[inline(always)]
     fn charge_pc_many(&mut self, _pc: u64, _kind: PcStallKind, _n: u64) {}
+
+    /// Records one retirement's last-arrival critical-path node (see
+    /// [`critpath`]). Called by the core once per committed
+    /// instruction; guard construction with [`Probe::enabled`].
+    #[inline(always)]
+    fn edge_retire(&mut self, _node: CritNode) {}
 
     /// True when events are actually retained (lets callers skip
     /// expensive event *construction*, not just recording).
@@ -223,6 +243,8 @@ pub struct MetricsReport {
     pub node_accounts: Vec<CycleAccount>,
     /// Top memory-wait PCs merged across nodes, hottest first.
     pub hot_pcs: Vec<HotPc>,
+    /// Last-arrival critical-path attribution, one entry per node.
+    pub critpath: CritPathReport,
 }
 
 impl MetricsReport {
@@ -253,7 +275,8 @@ impl MetricsReport {
                 }
                 EventKind::BroadcastSend { .. }
                 | EventKind::FalseHitRepair { .. }
-                | EventKind::BusGrant { .. } => {}
+                | EventKind::BusGrant { .. }
+                | EventKind::RemoteFillCommit { .. } => {}
             }
         }
     }

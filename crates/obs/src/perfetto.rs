@@ -14,6 +14,16 @@
 //! the cycle its memory access completes, and bank queueing reorders
 //! those), so the exporter stable-sorts each source by cycle before
 //! emitting (asserted by the shape tests here and at workspace level).
+//!
+//! Cross-node data movement is additionally rendered as flow arrows
+//! (`"ph":"s"/"t"/"f"`): a broadcast `send` starts a flow, each
+//! consumer's `arrive` is a step, and the consuming core's retirement
+//! ([`EventKind::RemoteFillCommit`]) finishes it — so one arrow spans
+//! owner generation → bus → BSHR fill → commit. Flow ids are derived
+//! deterministically from the `(line, send cycle)` pair every endpoint
+//! knows; steps/finishes whose start was dropped from a wrapped ring
+//! are suppressed, so every emitted `t`/`f` has its `s` (checked by
+//! `obs_validate`).
 
 use crate::account::{CycleAccount, StallBucket};
 use crate::{EventKind, EventRing};
@@ -122,12 +132,28 @@ pub fn trace_json_with(sources: &[TraceSource<'_>], extras: &[String]) -> String
         }
     }
 
+    // Flow starts retained across all sources: steps and finishes are
+    // only emitted when their start survived ring wraparound.
+    let mut send_ids: Vec<u64> = Vec::new();
+    for s in sources {
+        for ev in s.ring.iter() {
+            if let EventKind::BroadcastSend { line } = ev.kind {
+                send_ids.push(flow_id(line, ev.cycle));
+            }
+        }
+    }
+    send_ids.sort_unstable();
+
     for s in sources {
         let mut events: Vec<crate::Event> = s.ring.iter().copied().collect();
         events.sort_by_key(|ev| ev.cycle); // stable: same-cycle order kept
         for ev in &events {
             sep(&mut out);
             emit_event(&mut out, s.pid, ev.cycle, &ev.kind);
+            if let Some(obj) = flow_event(s.pid, ev.cycle, &ev.kind, &send_ids) {
+                sep(&mut out);
+                out.push_str(&obj);
+            }
         }
     }
     for e in extras {
@@ -203,10 +229,42 @@ fn tid_of(kind: &EventKind) -> u32 {
         | EventKind::BshrSquash { .. }
         | EventKind::BshrFoundBuffered { .. } => TID_BSHR,
         EventKind::DcubPush { .. } | EventKind::DcubDrain { .. } => TID_DCUB,
-        EventKind::Commit { .. } => TID_COMMIT,
+        EventKind::Commit { .. } | EventKind::RemoteFillCommit { .. } => TID_COMMIT,
         EventKind::LeadChange { .. } => TID_LEAD,
         EventKind::BusGrant { .. } => TID_BUS,
     }
+}
+
+/// The flow id tying a broadcast's `send` to its `arrive` steps and the
+/// consuming `RemoteFillCommit`. Every endpoint derives it from the
+/// `(line, send cycle)` pair it already carries, so no shared state is
+/// needed — two identical runs emit identical ids.
+fn flow_id(line: u64, sent: u64) -> u64 {
+    line.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ sent
+}
+
+/// The flow-arrow object for `kind`, if it is a flow endpoint whose
+/// start survived in some ring (`send_ids` is sorted).
+fn flow_event(pid: u32, ts: u64, kind: &EventKind, send_ids: &[u64]) -> Option<String> {
+    let (ph, tid, id) = match *kind {
+        EventKind::BroadcastSend { line } => ("s", TID_BROADCAST, flow_id(line, ts)),
+        EventKind::BroadcastArrive { line, latency } => {
+            ("t", TID_BROADCAST, flow_id(line, ts.saturating_sub(latency)))
+        }
+        EventKind::RemoteFillCommit { line, sent } => ("f", TID_COMMIT, flow_id(line, sent)),
+        _ => return None,
+    };
+    if ph != "s" && send_ids.binary_search(&id).is_err() {
+        return None;
+    }
+    let mut obj = String::with_capacity(128);
+    let bp = if ph == "f" { ",\"bp\":\"e\"" } else { "" };
+    let _ = write!(
+        obj,
+        "{{\"name\":\"broadcast-flow\",\"cat\":\"broadcast\",\"ph\":\"{ph}\",\"id\":{id},\
+         \"ts\":{ts},\"pid\":{pid},\"tid\":{tid}{bp}}}"
+    );
+    Some(obj)
 }
 
 fn emit_event(out: &mut String, pid: u32, ts: u64, kind: &EventKind) {
@@ -263,6 +321,9 @@ fn emit_event(out: &mut String, pid: u32, ts: u64, kind: &EventKind) {
         }
         EventKind::BusGrant { bytes, queue_delay } => {
             instant(out, "grant", format_args!("\"bytes\":{bytes},\"queue_delay\":{queue_delay}"));
+        }
+        EventKind::RemoteFillCommit { line, sent } => {
+            instant(out, "remote-fill-commit", format_args!("\"line\":{line},\"sent\":{sent}"));
         }
     }
 }
@@ -371,6 +432,41 @@ mod tests {
         assert_eq!(args.get("bshr-wait-remote").and_then(Value::as_f64), Some(2.0));
         assert_eq!(args.get("committing").and_then(Value::as_f64), Some(0.0));
         assert!(text.contains("\"name\":\"stalls\""), "stalls track named");
+    }
+
+    #[test]
+    fn flows_pair_send_arrive_and_commit() {
+        // Owner node 0 sends line 0x200 at cycle 6; node 1 receives it
+        // at 14 and the consuming load retires at 20.
+        let mut n0 = Recorder::with_capacity(16);
+        n0.record(6, EventKind::BroadcastSend { line: 0x200 });
+        let mut n1 = Recorder::with_capacity(16);
+        n1.record(14, EventKind::BroadcastArrive { line: 0x200, latency: 8 });
+        n1.record(20, EventKind::RemoteFillCommit { line: 0x200, sent: 6 });
+        // A commit whose send was never recorded (e.g. dropped from a
+        // wrapped ring) must not emit a dangling finish.
+        n1.record(25, EventKind::RemoteFillCommit { line: 0x999, sent: 1 });
+        let text = trace_json(&[
+            TraceSource { pid: 0, name: "node0", ring: n0.ring() },
+            TraceSource { pid: 1, name: "node1", ring: n1.ring() },
+        ]);
+        let v = crate::json::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+        let flows: Vec<(&str, f64)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("broadcast-flow"))
+            .map(|e| {
+                (
+                    e.get("ph").and_then(Value::as_str).unwrap(),
+                    e.get("id").and_then(Value::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        let of = |ph: &str| flows.iter().filter(|(p, _)| *p == ph).count();
+        assert_eq!((of("s"), of("t"), of("f")), (1, 1, 1), "{flows:?}");
+        let id = flows[0].1;
+        assert!(flows.iter().all(|(_, i)| *i == id), "one flow, one id: {flows:?}");
+        assert!(text.contains("\"bp\":\"e\""), "finish binds to the enclosing instant");
     }
 
     #[test]

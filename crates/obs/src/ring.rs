@@ -1,13 +1,14 @@
 //! The pre-allocated event ring and the instrumented [`Probe`].
 //!
-//! This file is a ds-lint hot module: `record*` functions here run
-//! inside the simulator's cycle loop when the `obs` feature is on, so
-//! rule a1 (no allocation) applies to them exactly as it does to
+//! This file is a ds-lint hot module: `record*` and `edge*` functions
+//! here run inside the simulator's cycle loop when the `obs` feature is
+//! on, so rule a1 (no allocation) applies to them exactly as it does to
 //! `OooCore::step`. All storage is allocated once at construction;
 //! recording is a slot write plus two index updates.
 
 use crate::account::{CycleAccount, PcProfile, PcStallKind, StallBucket};
-use crate::{Cycle, Event, EventKind, Probe, DEFAULT_RING_CAPACITY};
+use crate::critpath::CritWindow;
+use crate::{CritNode, Cycle, Event, EventKind, Probe, DEFAULT_RING_CAPACITY};
 
 /// A fixed-capacity ring of [`Event`]s. When full, the oldest event is
 /// overwritten and [`EventRing::dropped`] counts the loss — recording
@@ -90,6 +91,7 @@ pub struct Recorder {
     ring: EventRing,
     account: CycleAccount,
     pcs: PcProfile,
+    crit: CritWindow,
 }
 
 impl Recorder {
@@ -103,12 +105,19 @@ impl Recorder {
             ring: EventRing::with_capacity(capacity),
             account: CycleAccount::default(),
             pcs: PcProfile::default(),
+            crit: CritWindow::default(),
         }
     }
 
     /// The recorded events.
     pub fn ring(&self) -> &EventRing {
         &self.ring
+    }
+
+    /// The critical-path window accumulated through
+    /// [`Probe::edge_retire`].
+    pub fn crit_window(&self) -> &CritWindow {
+        &self.crit
     }
 
     /// The cycle ledger accumulated through [`Probe::charge`].
@@ -147,6 +156,11 @@ impl Probe for Recorder {
     #[inline]
     fn charge_pc_many(&mut self, pc: u64, kind: PcStallKind, n: u64) {
         self.pcs.charge_pc_many(pc, kind, n);
+    }
+
+    #[inline]
+    fn edge_retire(&mut self, node: CritNode) {
+        self.crit.edge_retire(node);
     }
 
     #[inline]

@@ -70,8 +70,16 @@ obs_tmp="$(mktemp -d)"
 trap 'rm -rf "$obs_tmp"' EXIT
 target/release/figure7_ipc --quick \
     --json "$obs_tmp/fig7.json" --trace-out "$obs_tmp/trace.json" > /dev/null
+# obs_validate checks schema members, trace flow-id pairing, and the
+# critpath section (class shares in range, summing to ~1 per system).
 cargo run -q --release -p ds-obs --bin obs_validate -- \
     "$obs_tmp/fig7.json" "$obs_tmp/trace.json" BENCH_throughput.json
+# An instrumented figure7 run must actually attribute a critical path:
+# an empty critpath member means the edge hooks silently stopped firing.
+grep -q '"critpath":{"' "$obs_tmp/fig7.json" || {
+    echo "verify: figure7_ipc --json carries no critpath entries" >&2
+    exit 1
+}
 
 echo "== cargo clippy (deny warnings)"
 cargo clippy --all-targets -- -D warnings
@@ -88,6 +96,9 @@ if [[ "${1:-}" != "--no-bench" ]]; then
     target/release/ds-report BENCH_throughput.json "$obs_tmp/bench.json" \
         --max-drop "${DS_REPORT_MAX_DROP:-0.12}"
     mv "$obs_tmp/bench.json" BENCH_throughput.json
+    # Every history row must stay machine-readable (v:1 schema with
+    # throughput counters and optional stall-bucket shares).
+    cargo run -q --release -p ds-obs --bin obs_validate -- BENCH_history.jsonl
 fi
 
 echo "verify: OK"

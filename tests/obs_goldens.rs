@@ -152,10 +152,117 @@ fn metrics_deterministic_across_runs() {
         let w = by_name(name).expect("registered workload");
         let a = run_datascalar(&w, 2, b);
         let c = run_datascalar(&w, 2, b);
-        // Full RunResult equality includes the MetricsReport: the event
-        // stream itself must replay identically.
+        // Full RunResult equality includes the MetricsReport — the
+        // event stream and the critical-path report must both replay
+        // identically.
         assert_eq!(a, c, "{name}: instrumented runs diverged");
     }
+}
+
+/// Every Figure 7 system attributes a critical path, and the
+/// attribution telescopes: each node's per-class cycles and per-kind
+/// cycles both sum exactly to the attributed span, so the class shares
+/// sum to 1.0. This file runs in debug and — via `scripts/verify.sh`'s
+/// obs smoke (`figure7_ipc --json` + `obs_validate`) — the same
+/// identity is checked on release-built output.
+#[test]
+fn critpath_attribution_telescopes_for_all_figure7_systems() {
+    use datascalar::obs::EdgeClass;
+    let b = Budget::quick();
+    let w = by_name("compress").expect("registered workload");
+    let systems = [
+        ("ds2", run_datascalar(&w, 2, b), 2),
+        ("ds4", run_datascalar(&w, 4, b), 4),
+        ("trad2", run_traditional(&w, 2, b), 1),
+        ("perfect", run_perfect(&w, b), 1),
+    ];
+    for (label, r, nodes) in &systems {
+        let cp = &r.metrics.as_ref().expect("obs metrics").critpath;
+        assert_eq!(cp.nodes.len(), *nodes, "{label}: one critpath report per node");
+        for (i, n) in cp.nodes.iter().enumerate() {
+            assert!(n.attributed_cycles > 0, "{label} node {i}: nothing attributed");
+            let class_sum: u64 = n.class_cycles.iter().sum();
+            let kind_sum: u64 = n.kind_cycles.iter().sum();
+            assert_eq!(class_sum, n.attributed_cycles, "{label} node {i}: class leak");
+            assert_eq!(kind_sum, n.attributed_cycles, "{label} node {i}: kind leak");
+            let share_sum: f64 = EdgeClass::ALL.iter().map(|c| n.class_share(*c)).sum();
+            assert!(
+                (share_sum - 1.0).abs() < 1e-12,
+                "{label} node {i}: shares sum to {share_sum}"
+            );
+        }
+    }
+}
+
+/// The paper's claim, measured: on `compress` the traditional system's
+/// request round-trips sit on its critical path, while the DataScalar
+/// broadcast largely hides under compute — so the traditional
+/// communication share must visibly dominate DataScalar's, bounded
+/// above by the perfect cache at exactly zero.
+#[test]
+fn traditional_communication_share_dominates_datascalar_on_compress() {
+    let b = Budget::quick();
+    let w = by_name("compress").expect("registered workload");
+    let comm = |r: &datascalar::core_model::RunResult| {
+        r.metrics.as_ref().expect("obs metrics").critpath.communication_share()
+    };
+    let ds = comm(&run_datascalar(&w, 2, b));
+    let trad = comm(&run_traditional(&w, 2, b));
+    let perfect = comm(&run_perfect(&w, b));
+    assert_eq!(perfect, 0.0, "a perfect cache has no communication edges");
+    assert!(ds > 0.0, "DataScalar's broadcasts never reached a critical path?");
+    assert!(
+        trad > ds * 2.0,
+        "traditional comm share ({trad:.4}) must dominate DataScalar's ({ds:.4})"
+    );
+    // End-to-end measurement actually saw remote edges on both systems.
+    for (label, r) in [("ds2", run_datascalar(&w, 2, b)), ("trad2", run_traditional(&w, 2, b))] {
+        let cp = &r.metrics.as_ref().unwrap().critpath;
+        let edges: u64 = cp.nodes.iter().map(|n| n.comm_edges).sum();
+        assert!(edges > 0, "{label}: no remote fills retained in the window");
+    }
+}
+
+/// `critpath_folded` renders one `crit;node<i>;...` frame per edge
+/// kind (weights summing to the attributed span) plus top-PC residency
+/// leaves, and folds identically on an identical rerun.
+#[test]
+fn critpath_folded_stacks_sum_to_attributed_cycles() {
+    let b = Budget::quick();
+    let w = by_name("compress").expect("registered workload");
+    let prog = (w.build)(b.scale);
+    let mut sys = DsSystem::new(baseline_config(2, b.max_insts), &prog);
+    let r = sys.run().expect("workload executes");
+    let folded = sys.critpath_folded();
+
+    let cp = &r.metrics.as_ref().unwrap().critpath;
+    let mut kind_sums = [0u64; 2];
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("`stack count` line");
+        let count: u64 = count.parse().expect("count is integer");
+        assert!(count > 0, "zero-weight frames must be omitted: {line}");
+        let mut parts = stack.split(';');
+        assert_eq!(parts.next(), Some("crit"), "crit-rooted stack: {line}");
+        let node: usize = parts
+            .next()
+            .and_then(|s| s.strip_prefix("node"))
+            .and_then(|s| s.parse().ok())
+            .expect("node frame");
+        // Two leaf families: `<class>;<kind>` and `pc;0x<pc>`.
+        if parts.next() != Some("pc") {
+            kind_sums[node] += count;
+        }
+    }
+    for (i, sum) in kind_sums.iter().enumerate() {
+        assert_eq!(
+            *sum, cp.nodes[i].attributed_cycles,
+            "node {i}: folded kind frames must sum to the attributed span"
+        );
+    }
+
+    let mut sys2 = DsSystem::new(baseline_config(2, b.max_insts), &prog);
+    sys2.run().expect("workload executes");
+    assert_eq!(folded, sys2.critpath_folded(), "critpath folding diverged across runs");
 }
 
 #[test]
@@ -223,5 +330,26 @@ fn perfetto_trace_is_valid_json_with_monotonic_tracks() {
             }
             None => last.push(((pid, tid), ts)),
         }
+    }
+
+    // Broadcast flow arrows: a 4-node DataScalar run must link sends to
+    // arrivals and consuming commits, and every step/end must name an
+    // emitted start id (the emitter suppresses orphans).
+    let flow = |ph: &str| -> Vec<f64> {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(Value::as_str) == Some("broadcast-flow")
+                    && e.get("ph").and_then(Value::as_str) == Some(ph)
+            })
+            .map(|e| e.get("id").and_then(Value::as_f64).expect("flow id"))
+            .collect()
+    };
+    let (starts, steps, ends) = (flow("s"), flow("t"), flow("f"));
+    assert!(!starts.is_empty(), "no broadcast-flow starts in a DataScalar trace");
+    assert!(!steps.is_empty(), "no broadcast arrivals linked by flow arrows");
+    assert!(!ends.is_empty(), "no consuming commits linked by flow arrows");
+    for id in steps.iter().chain(&ends) {
+        assert!(starts.contains(id), "dangling flow id {id}");
     }
 }

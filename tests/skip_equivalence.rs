@@ -3,7 +3,12 @@
 //! produce *exactly* the `RunResult` of the naive cycle-by-cycle loop —
 //! cycles, every node counter, bus statistics, trace high-water mark,
 //! and (under `--features obs`) the derived metrics report with its
-//! per-node cycle ledgers.
+//! per-node cycle ledgers and critical-path attribution (`RunResult`
+//! equality covers `CritPathReport` field-by-field: identical edge
+//! timestamps, class/kind cycles, window drop counts and top-PC
+//! residency — skipped quiescent ranges retire nothing, so they add no
+//! graph edges on either engine; window wraparound itself is pinned by
+//! `crates/obs/src/critpath.rs` unit tests).
 //!
 //! The grid covers both tiny workloads across the Figure 7 node counts,
 //! both interconnect topologies, and both accelerated engines (serial
