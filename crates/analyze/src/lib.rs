@@ -285,6 +285,18 @@ pub fn self_check() -> Vec<String> {
         "stamp",
         true,
     );
+    // Pass A again, rooted at the timeline sampler's close path: the
+    // `sample*` prefix joined ROOT_PREFIXES with the interval sampler
+    // and must keep rooting the transitive sweep.
+    expect(
+        "pass A/sample root",
+        "impl Ring { fn sample_close(&mut self, end: u64) { self.flush(end); }\n\
+           fn flush(&mut self, _end: u64) { let s = format!(\"x\"); let _ = s; } }\n",
+        "crates/obs/src/seeded_e.rs",
+        ARule::Ta1,
+        "Ring::flush",
+        true,
+    );
     // Pass C (pa1): worker closure writing shared state.
     expect(
         "pass C/pa1",

@@ -22,12 +22,23 @@ use ds_lint::tokens::{Token, TokenKind};
 /// family ds-lint's intraprocedural a1 polices: the per-cycle stepping
 /// entry points (`step*`/`tick*`), the probe's per-event record path
 /// (`record*`), per-cycle stall accounting (`charge*`), the
-/// event-horizon engine (`next_event*`/`advance_to*`), and the
+/// event-horizon engine (`next_event*`/`advance_to*`), the
 /// critical-path analyzer's per-retirement edge recording (`edge*`;
 /// its report-time walk allocates on purpose and therefore carries a
-/// non-root name, `path_report`).
-pub const ROOT_PREFIXES: [&str; 7] =
-    ["step", "tick", "record", "charge", "next_event", "advance_to", "edge"];
+/// non-root name, `path_report`), and the timeline sampler's
+/// per-boundary snapshot close (`sample*`/`interval*`; its report-time
+/// helpers likewise carry non-root names, `report` and `merged`).
+pub const ROOT_PREFIXES: [&str; 9] = [
+    "step",
+    "tick",
+    "record",
+    "charge",
+    "next_event",
+    "advance_to",
+    "edge",
+    "sample",
+    "interval",
+];
 
 /// Orderings that require a justification under pa2 (`Relaxed` is the
 /// default discipline and needs none).

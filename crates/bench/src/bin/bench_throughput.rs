@@ -52,6 +52,8 @@ struct Row {
     account: Option<ds_obs::CycleAccount>,
     /// Critical-path edge-class attribution (`None` without `obs`).
     critpath: Option<ds_obs::CritPathReport>,
+    /// Interval timeline + phase segmentation (`None` without `obs`).
+    timeline: Option<ds_obs::TimelineReport>,
 }
 
 fn main() {
@@ -96,6 +98,7 @@ fn main() {
             best_secs: best,
             account: warm.stall_totals(),
             critpath: warm.metrics.as_ref().map(|m| m.critpath.clone()),
+            timeline: warm.metrics.as_ref().map(|m| m.timeline.clone()),
         });
         println!(
             "{name:<10} {} insts in {:.3}s  ({:.0} insts/s, {:.0} cycles/s)",
@@ -188,6 +191,43 @@ fn main() {
         json.push_str("  },\n");
     } else {
         json.push_str("  \"critpath\": null,\n");
+    }
+    // Timeline summary per workload: the machine-merged interval count
+    // plus the segmented phases (start, length, IPC, dominant stall and
+    // its share in millis). Additive to the snapshot schema; `null` in
+    // obs-off builds. `ds-report` warns when a phase's dominant bucket
+    // share shifts even if the whole-run shares stay put.
+    if rows.iter().all(|r| r.timeline.is_some()) {
+        json.push_str("  \"timeline\": {\n");
+        for (i, r) in rows.iter().enumerate() {
+            let t = r.timeline.as_ref().expect("checked above");
+            let merged = t.merged();
+            json.push_str(&format!(
+                "    \"{}\": {{\"interval_cycles\": {}, \"intervals\": {}, \"dropped\": {}, \
+                 \"phases\": [",
+                r.name,
+                t.interval_cycles,
+                merged.intervals.len(),
+                merged.dropped
+            ));
+            for (j, p) in merged.phases.iter().enumerate() {
+                let (dom, dom_millis) = p.dominant();
+                json.push_str(&format!(
+                    "{}{{\"start\": {}, \"cycles\": {}, \"ipc_millis\": {}, \
+                     \"dominant\": \"{}\", \"dominant_millis\": {}}}",
+                    if j == 0 { "" } else { ", " },
+                    p.start,
+                    p.cycles,
+                    p.ipc_millis(),
+                    dom.label(),
+                    dom_millis
+                ));
+            }
+            json.push_str(&format!("]}}{}\n", if i + 1 < rows.len() { "," } else { "" }));
+        }
+        json.push_str("  },\n");
+    } else {
+        json.push_str("  \"timeline\": null,\n");
     }
     json.push_str(&format!("  \"combined_insts_per_sec\": {combined:.0},\n"));
     json.push_str(&format!("  \"combined_cycles_per_sec\": {combined_cycles:.0},\n"));
@@ -308,6 +348,9 @@ fn main() {
         for r in &rows {
             if let Some(cp) = &r.critpath {
                 report.critpath(r.name, cp);
+            }
+            if let Some(t) = &r.timeline {
+                report.timeline(r.name, t);
             }
         }
         std::fs::write(&path, report.render())

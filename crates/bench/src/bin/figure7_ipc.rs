@@ -83,9 +83,19 @@ fn append_critpath(report: &mut Report, budget: ds_bench::Budget) {
             ("perfect", run_perfect(&w, budget)),
         ];
         for (sys, r) in &systems {
-            let cp = &r.metrics.as_ref().expect("obs builds carry metrics").critpath;
-            report.critpath(&format!("{name}/{sys}"), cp);
-            report.number(&format!("{name}_{sys}_communication_share"), cp.communication_share());
+            let m = r.metrics.as_ref().expect("obs builds carry metrics");
+            report.critpath(&format!("{name}/{sys}"), &m.critpath);
+            report.number(
+                &format!("{name}_{sys}_communication_share"),
+                m.critpath.communication_share(),
+            );
+            // Full interval timelines ride along for the DataScalar
+            // systems only: they are what ds-dash renders, and the
+            // single-node comparators add bulk without adding phases of
+            // interest.
+            if *sys == "ds2" {
+                report.timeline(&format!("{name}/{sys}"), &m.timeline);
+            }
         }
     }
 }

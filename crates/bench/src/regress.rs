@@ -15,7 +15,11 @@
 //!   somewhere new. The `critpath` edge-class shares gate the same way,
 //!   so a change that silently moves communication onto the critical
 //!   path fails even at equal throughput; its `dropped` counter only
-//!   warns (window wraparound is legitimate on long runs).
+//!   warns (window wraparound is legitimate on long runs). The
+//!   `timeline` phase summaries are compared index-by-index and only
+//!   ever warn: a phase whose dominant stall bucket changes — or whose
+//!   dominant share shifts past the bucket threshold — is reported even
+//!   when the whole-run shares cancel out.
 //!
 //! Pure comparison, no I/O: callers parse with [`ds_obs::json`] and
 //! decide what to do with a failed [`Diff`].
@@ -292,9 +296,9 @@ fn diff_throughput(base: &Value, new: &Value, opts: DiffOptions) -> Diff {
     // Critical-path class shares: the same absolute-shift gate. This is
     // the "did the broadcast land back on the critical path?" check —
     // a run that is as fast as before but whose communication share
-    // grew past the threshold fails. The `dropped` counter (window
-    // wraparound, attribution truncated at the oldest retained node)
-    // only warns: a long run legitimately outgrows the window.
+    // grew past the threshold fails. The `dropped` counter only warns:
+    // segment flushing keeps it at 0 on current producers, but old
+    // pre-segmentation baselines carry real drop counts.
     match (base.get("critpath"), new.get("critpath")) {
         (Some(Value::Obj(bw)), Some(Value::Obj(nw))) => {
             for (wname, bshares) in bw {
@@ -345,6 +349,67 @@ fn diff_throughput(base: &Value, new: &Value, opts: DiffOptions) -> Diff {
             d.lines.push(
                 "critpath: absent or null on one side (obs-off measurement or \
                  pre-critpath baseline), share gate skipped"
+                    .to_string(),
+            );
+        }
+        _ => {}
+    }
+
+    // Timeline phases: warn-only. Whole-run bucket shares can stay flat
+    // while one phase trades committing for stall and another trades
+    // back; comparing phases index-by-index surfaces that. Warnings,
+    // never failures — phase boundaries legitimately move with any
+    // timing change, so a hard gate here would be all noise.
+    match (base.get("timeline"), new.get("timeline")) {
+        (Some(Value::Obj(bw)), Some(Value::Obj(nw))) => {
+            for (wname, bt) in bw {
+                let Some((_, nt)) = nw.iter().find(|(k, _)| k == wname) else {
+                    d.lines.push(format!("timeline {wname}: missing from current document"));
+                    continue;
+                };
+                let phases = |v: &Value| -> Vec<(String, f64)> {
+                    v.get("phases")
+                        .and_then(Value::as_array)
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter_map(|p| {
+                            Some((
+                                p.get("dominant")?.as_str()?.to_string(),
+                                p.get("dominant_millis")?.as_f64()?,
+                            ))
+                        })
+                        .collect()
+                };
+                let (bp, np) = (phases(bt), phases(nt));
+                if bp.len() != np.len() {
+                    d.lines.push(format!(
+                        "warning: {wname} phase count changed: {} -> {}",
+                        bp.len(),
+                        np.len()
+                    ));
+                }
+                for (i, ((bdom, bmil), (ndom, nmil))) in bp.iter().zip(&np).enumerate() {
+                    if bdom != ndom {
+                        d.lines.push(format!(
+                            "warning: {wname} phase {i} dominant bucket changed: \
+                             {bdom} -> {ndom}"
+                        ));
+                    } else if (nmil - bmil).abs() > opts.max_bucket_shift * 1000.0 {
+                        d.lines.push(format!(
+                            "warning: {wname} phase {i} {bdom} share shifted \
+                             {:+.1} points: {:.1}% -> {:.1}%",
+                            (nmil - bmil) / 10.0,
+                            bmil / 10.0,
+                            nmil / 10.0
+                        ));
+                    }
+                }
+            }
+        }
+        (a, b) if a.is_some() || b.is_some() => {
+            d.lines.push(
+                "timeline: absent or null on one side (obs-off measurement or \
+                 pre-timeline baseline), phase warnings skipped"
                     .to_string(),
             );
         }
@@ -471,6 +536,66 @@ mod tests {
         let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
         assert!(d.passed(), "{:?}", d.failures);
         assert!(d.lines.iter().any(|l| l.contains("bucket gate skipped")));
+    }
+
+    fn timeline_doc(phase0_dom: &str, phase0_millis: f64) -> Value {
+        parse(&format!(
+            r#"{{
+              "workloads": [
+                {{"name": "compress", "committed": 1, "insts_per_sec": 1000}}
+              ],
+              "combined_insts_per_sec": 1000,
+              "timeline": {{
+                "compress": {{"interval_cycles": 4096, "intervals": 12, "dropped": 0,
+                  "phases": [
+                    {{"start": 0, "cycles": 32768, "ipc_millis": 900,
+                      "dominant": "{phase0_dom}", "dominant_millis": {phase0_millis}}},
+                    {{"start": 32768, "cycles": 16384, "ipc_millis": 400,
+                      "dominant": "bshr-wait-remote", "dominant_millis": 450}}
+                  ]}}
+              }}
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn timeline_phase_dominant_change_warns_but_passes() {
+        let base = timeline_doc("committing", 700.0);
+        let new = timeline_doc("lsq-full", 600.0);
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(d.passed(), "phase shifts must never fail the gate: {:?}", d.failures);
+        assert!(d
+            .lines
+            .iter()
+            .any(|l| l.contains("warning") && l.contains("dominant bucket changed")));
+    }
+
+    #[test]
+    fn timeline_phase_share_shift_warns_but_passes() {
+        let base = timeline_doc("committing", 700.0);
+        let new = timeline_doc("committing", 450.0);
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(d.passed(), "{:?}", d.failures);
+        assert!(d.lines.iter().any(|l| l.contains("warning") && l.contains("share shifted")));
+    }
+
+    #[test]
+    fn timeline_small_phase_shift_is_silent() {
+        let base = timeline_doc("committing", 700.0);
+        let new = timeline_doc("committing", 650.0);
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(d.passed(), "{:?}", d.failures);
+        assert!(!d.lines.iter().any(|l| l.contains("phase")), "{:?}", d.lines);
+    }
+
+    #[test]
+    fn missing_timeline_baseline_is_skipped_not_failed() {
+        let base = throughput_doc(1000.0, 1000.0, 0.5);
+        let new = timeline_doc("committing", 700.0);
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(d.passed(), "{:?}", d.failures);
+        assert!(d.lines.iter().any(|l| l.contains("phase warnings skipped")));
     }
 
     #[test]

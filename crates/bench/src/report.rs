@@ -12,7 +12,7 @@
 //! edge-class attributions under `critpath`.
 
 use crate::Budget;
-use ds_obs::{CritPathReport, EdgeClass};
+use ds_obs::{CritPathReport, EdgeClass, StallBucket, TimelineReport};
 use ds_stats::Table;
 
 /// The schema identifier emitted in every document.
@@ -40,6 +40,7 @@ pub struct Report {
     numbers: Vec<(String, f64)>,
     notes: Vec<String>,
     critpath: Vec<(String, CritEntry)>,
+    timeline: Vec<(String, TimelineReport)>,
 }
 
 impl Report {
@@ -52,6 +53,7 @@ impl Report {
             numbers: Vec::new(),
             notes: Vec::new(),
             critpath: Vec::new(),
+            timeline: Vec::new(),
         }
     }
 
@@ -103,6 +105,15 @@ impl Report {
                 comm_edge_max,
             },
         ));
+        self
+    }
+
+    /// Adds one labelled interval timeline (e.g. `"compress/ds2"`) to
+    /// the document's `timeline` member. Pass the [`TimelineReport`]
+    /// off `RunResult::metrics`; obs-off builds have no metrics, so the
+    /// member simply stays empty there.
+    pub fn timeline(&mut self, label: &str, t: &TimelineReport) -> &mut Self {
+        self.timeline.push((label.to_string(), t.clone()));
         self
     }
 
@@ -174,6 +185,15 @@ impl Report {
                 e.attributed_cycles, e.dropped, e.comm_edges, e.comm_edge_max
             ));
         }
+        out.push_str("},\"timeline\":{");
+        for (i, (label, t)) in self.timeline.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape(label));
+            out.push(':');
+            push_timeline(&mut out, t);
+        }
         out.push_str("}}");
         out
     }
@@ -204,6 +224,65 @@ pub fn flag_value(flag: &str) -> Option<String> {
         }
     }
     None
+}
+
+/// Renders one [`TimelineReport`] as a JSON object. Interval rows are
+/// compact numeric arrays in the fixed layout
+/// `[start, len, committed, sends, arrives, bshr_occ_hw, skipped,
+/// bucket0..bucket9]` (17 numbers; bucket order is
+/// [`StallBucket::ALL`]) — documented in docs/observability.md and
+/// checked by `obs_validate`.
+fn push_timeline(out: &mut String, t: &TimelineReport) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"interval_cycles\":{},\"nodes\":[", t.interval_cycles);
+    for (i, node) in t.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"dropped\":{},\"intervals\":[", node.dropped);
+        for (j, s) in node.intervals.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "[{},{},{},{},{},{},{}",
+                s.start, s.len, s.committed, s.sends, s.arrives, s.bshr_occ_hw, s.skipped
+            );
+            for b in StallBucket::ALL {
+                let _ = write!(out, ",{}", s.buckets[b as usize]);
+            }
+            out.push(']');
+        }
+        out.push_str("],\"phases\":[");
+        for (j, p) in node.phases.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let (dom, dom_millis) = p.dominant();
+            let _ = write!(
+                out,
+                "{{\"start\":{},\"cycles\":{},\"intervals\":{},\"committed\":{},\
+                 \"ipc_millis\":{},\"dominant\":\"{}\",\"dominant_millis\":{},\"buckets\":[",
+                p.start,
+                p.cycles,
+                p.intervals,
+                p.committed,
+                p.ipc_millis(),
+                dom.label(),
+                dom_millis
+            );
+            for (k, b) in p.buckets.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
 }
 
 /// JSON numbers must be finite; non-finite values (0-cycle IPCs and the
@@ -333,6 +412,50 @@ mod tests {
         assert!(share("communication") > 0.0);
         assert_eq!(entry.get("comm_edges").and_then(|v| v.as_f64()), Some(1.0));
         assert_eq!(entry.get("dropped").and_then(|v| v.as_f64()), Some(0.0));
+    }
+
+    #[test]
+    fn timeline_member_is_empty_without_entries_and_typed_with() {
+        let r = Report::new("unit_test");
+        let doc = ds_obs::json::parse(&r.render()).expect("valid JSON");
+        // Same always-present contract as `critpath`.
+        assert!(matches!(doc.get("timeline"), Some(ds_obs::json::Value::Obj(m)) if m.is_empty()));
+
+        // One full interval: 4096 committing cycles. The row layout is
+        // the fixed 17-number contract obs_validate re-checks.
+        let mut ring = ds_obs::IntervalRing::with_capacity(4);
+        let mut acct = ds_obs::CycleAccount::default();
+        for _ in 0..ds_obs::SAMPLE_INTERVAL {
+            acct.charge(ds_obs::StallBucket::Committing);
+        }
+        ring.note_occ(3);
+        ring.sample_close(ds_obs::SAMPLE_INTERVAL, 2048, 7, 5, &acct);
+        let t = TimelineReport { interval_cycles: ds_obs::SAMPLE_INTERVAL, nodes: vec![ring.report()] };
+        let mut r = Report::new("unit_test");
+        r.timeline("compress/ds2", &t);
+        let doc = ds_obs::json::parse(&r.render()).expect("valid JSON");
+        let entry = doc.get("timeline").unwrap().get("compress/ds2").unwrap();
+        assert_eq!(
+            entry.get("interval_cycles").and_then(|v| v.as_f64()),
+            Some(ds_obs::SAMPLE_INTERVAL as f64)
+        );
+        let nodes = entry.get("nodes").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(nodes.len(), 1);
+        let rows = nodes[0].get("intervals").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = rows[0].as_array().unwrap();
+        assert_eq!(row.len(), 17, "interval rows are 17 numbers");
+        assert_eq!(row[0].as_f64(), Some(0.0)); // start
+        assert_eq!(row[1].as_f64(), Some(ds_obs::SAMPLE_INTERVAL as f64)); // len
+        assert_eq!(row[2].as_f64(), Some(2048.0)); // committed
+        assert_eq!(row[5].as_f64(), Some(3.0)); // bshr_occ_hw
+        // Bucket columns sum to the interval length.
+        let bucket_sum: f64 = row[7..].iter().map(|v| v.as_f64().unwrap()).sum();
+        assert_eq!(bucket_sum, ds_obs::SAMPLE_INTERVAL as f64);
+        let phases = nodes[0].get("phases").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].get("dominant").and_then(|v| v.as_str()), Some("committing"));
+        assert_eq!(phases[0].get("ipc_millis").and_then(|v| v.as_f64()), Some(500.0));
     }
 
     #[test]

@@ -65,6 +65,12 @@ pub struct DsConfig {
     /// so the only correct outcome is the watchdog panic — used to
     /// prove the tripwire works. `None` (the default) injects nothing.
     pub fault_drop_every: Option<u64>,
+    /// Critical-path window capacity per core, in retirements
+    /// (instrumented builds only; ignored without the `obs` feature).
+    /// The default keeps an instrumented run cheap; benches that need
+    /// the attributed span to cover most of the run size it to the
+    /// instruction budget (see `ds_bench::baseline_config`).
+    pub crit_window_capacity: usize,
     /// Disable event-horizon cycle skipping and run the naive
     /// cycle-by-cycle reference loop. The skipping engine is
     /// behavior-invariant (asserted by `tests/skip_equivalence.rs`
@@ -101,6 +107,7 @@ impl Default for DsConfig {
             max_insts: None,
             watchdog_cycles: 2_000_000,
             fault_drop_every: None,
+            crit_window_capacity: ds_obs::critpath::DEFAULT_CRIT_WINDOW_CAPACITY,
             no_skip: false,
             parallel_step: false,
         }
@@ -128,6 +135,10 @@ impl DsConfig {
         assert!(self.page_bytes.is_power_of_two(), "page size must be a power of two");
         assert!(self.dist_block_pages >= 1, "distribution block must be positive");
         assert!(self.bshr_entries >= 1, "need at least one BSHR entry");
+        assert!(
+            self.crit_window_capacity >= 1,
+            "need at least one critical-path window slot"
+        );
     }
 }
 

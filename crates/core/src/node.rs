@@ -365,19 +365,31 @@ pub struct Node {
     /// counter track, taken every [`SAMPLE_INTERVAL`] cycles.
     #[cfg(feature = "obs")]
     samples: Vec<(Cycle, ds_obs::CycleAccount)>,
+    /// Interval time-series telemetry: counter deltas closed at the
+    /// same [`SAMPLE_INTERVAL`] boundaries the Perfetto snapshots use.
+    #[cfg(feature = "obs")]
+    timeline: ds_obs::IntervalRing,
 }
 
-/// Cycles between stall-counter snapshots in the Perfetto export.
+/// Cycles between stall-counter snapshots and timeline interval
+/// boundaries — one shared cadence for both samplers (hoisted to
+/// ds-obs so they can never drift apart).
 #[cfg(feature = "obs")]
-const SAMPLE_INTERVAL: u64 = 4096;
+use ds_obs::SAMPLE_INTERVAL;
 
 impl Node {
     pub(crate) fn new(id: NodeId, pt: Arc<PageTable>, config: &DsConfig) -> Self {
+        #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+        let mut core = OooCore::new(config.core, config.icache.line_bytes);
+        #[cfg(feature = "obs")]
+        core.set_crit_window_capacity(config.crit_window_capacity);
         Node {
-            core: OooCore::new(config.core, config.icache.line_bytes),
+            core,
             ms: MemSide::new(id, pt, config),
             #[cfg(feature = "obs")]
             samples: Vec::with_capacity(256),
+            #[cfg(feature = "obs")]
+            timeline: ds_obs::IntervalRing::default(),
         }
     }
 
@@ -561,9 +573,20 @@ impl Node {
     pub(crate) fn charge_cycle(&mut self, now: Cycle, bus_busy: bool) {
         if now.is_multiple_of(SAMPLE_INTERVAL) {
             // Snapshot *before* charging: the sample at cycle C covers
-            // charges for cycles [0, C).
+            // charges for cycles [0, C). The timeline interval closes
+            // at the same boundary with the same convention (cycle C's
+            // charge and occupancy belong to the new interval; the
+            // cumulative counters are read after this cycle's step).
             self.samples.push((now, *self.ms.probe.account()));
+            self.timeline.sample_close(
+                now,
+                self.core.committed(),
+                self.ms.stats.broadcasts_sent,
+                self.ms.bshr.stats().arrivals,
+                self.ms.probe.account(),
+            );
         }
+        self.timeline.note_occ(self.ms.bshr.occupancy() as u64);
         let (bucket, pc) = self.classify_stall(now, bus_busy);
         if let Some((pc, kind)) = pc {
             self.ms.probe.charge_pc(pc, kind);
@@ -600,17 +623,36 @@ impl Node {
         #[cfg(any(debug_assertions, feature = "audit"))]
         let before = *self.ms.probe.account();
         let (bucket, pc) = self.classify_stall(start, bus_busy);
+        // A skipped range is quiescent: every counter the timeline
+        // samples (commits, sends, arrivals, BSHR occupancy) is frozen
+        // at its value after the last real step, which is exactly what
+        // the naive loop would read at each boundary inside the range.
+        let committed = self.core.committed();
+        let sends = self.ms.stats.broadcasts_sent;
+        let arrives = self.ms.bshr.stats().arrivals;
+        let occ = self.ms.bshr.occupancy() as u64;
         let end = start + count;
         let mut from = start;
         let mut boundary = start.next_multiple_of(SAMPLE_INTERVAL);
         while boundary < end {
             // The naive loop snapshots at each SAMPLE_INTERVAL multiple
             // *before* charging that cycle: charge up to the boundary,
-            // snapshot, continue.
+            // snapshot, continue. The per-cycle loop would also have
+            // noted the (frozen) occupancy once per skipped cycle —
+            // once per sub-interval reaches the same high-water mark.
+            if boundary > from {
+                self.timeline.note_occ(occ);
+                self.timeline.note_skipped(boundary - from);
+            }
             self.charge_block(bucket, pc, boundary - from);
             self.samples.push((boundary, *self.ms.probe.account()));
+            self.timeline.sample_close(boundary, committed, sends, arrives, self.ms.probe.account());
             from = boundary;
             boundary += SAMPLE_INTERVAL;
+        }
+        if end > from {
+            self.timeline.note_occ(occ);
+            self.timeline.note_skipped(end - from);
         }
         self.charge_block(bucket, pc, end - from);
         // Skip/charge parity: a horizon advance of `count` cycles must
@@ -649,6 +691,26 @@ impl Node {
     #[cfg(feature = "obs")]
     pub(crate) fn samples(&self) -> &[(Cycle, ds_obs::CycleAccount)] {
         &self.samples
+    }
+
+    /// Closes the final (possibly partial) timeline interval at the
+    /// run's end cycle. Called once by `DsSystem::finish_run`; a run
+    /// ending exactly on an already-closed boundary is a no-op.
+    #[cfg(feature = "obs")]
+    pub(crate) fn close_timeline(&mut self, end: Cycle) {
+        self.timeline.sample_close(
+            end,
+            self.core.committed(),
+            self.ms.stats.broadcasts_sent,
+            self.ms.bshr.stats().arrivals,
+            self.ms.probe.account(),
+        );
+    }
+
+    /// This node's interval timeline (instrumented builds only).
+    #[cfg(feature = "obs")]
+    pub fn timeline(&self) -> &ds_obs::IntervalRing {
+        &self.timeline
     }
 
     /// Snapshot of this node's statistics.

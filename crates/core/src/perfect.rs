@@ -65,8 +65,12 @@ impl PerfectSystem {
     pub fn new(config: &DsConfig, program: &Program) -> Self {
         let mut mem = MemImage::new();
         program.load(&mut mem);
+        #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+        let mut core = OooCore::new(config.core, config.icache.line_bytes);
+        #[cfg(feature = "obs")]
+        core.set_crit_window_capacity(config.crit_window_capacity);
         PerfectSystem {
-            core: OooCore::new(config.core, config.icache.line_bytes),
+            core,
             ms: PerfectMem {
                 icache: Cache::new(config.icache),
                 mem: MainMemory::new(config.memory),

@@ -466,7 +466,16 @@ impl DsSystem {
     /// Post-loop bookkeeping shared by both engines.
     fn finish_run(&mut self) -> RunResult {
         #[cfg(feature = "obs")]
-        self.close_lead_segment();
+        {
+            self.close_lead_segment();
+            // Close each node's final (partial) timeline interval at
+            // the run's end cycle, so the interval deltas partition the
+            // whole run.
+            let end = self.cycles;
+            for node in &mut self.nodes {
+                node.close_timeline(end);
+            }
+        }
         let result = self.result();
         self.drain_interconnect();
         #[cfg(feature = "audit")]
@@ -612,6 +621,7 @@ impl DsSystem {
         for n in &self.nodes {
             m.critpath.nodes.push(n.crit_window().path_report());
         }
+        m.timeline = self.timeline_report();
         if let Some(ring) = self.bus.events() {
             m.absorb(ring);
         }
@@ -665,6 +675,39 @@ impl DsSystem {
                     _ => {
                         let _ = writeln!(out, "node{i};{} {cycles}", b.label());
                     }
+                }
+            }
+        }
+        out
+    }
+
+    /// Snapshots every node's interval timeline (and segments phases)
+    /// into one [`ds_obs::TimelineReport`]. Also carried on
+    /// `RunResult::metrics`; exposed separately so exporters can reach
+    /// it without absorbing the event rings.
+    pub fn timeline_report(&self) -> ds_obs::TimelineReport {
+        let mut t = ds_obs::TimelineReport::default();
+        for n in &self.nodes {
+            t.nodes.push(n.timeline().report());
+        }
+        t
+    }
+
+    /// Renders the merged system timeline's phases in the flamegraph
+    /// folded-stacks text format, rooted at the phase index
+    /// (`phase0;committing 523` lines, one per phase/bucket). Kept
+    /// separate from [`DsSystem::folded_stacks`]: these weights sum to
+    /// the *retained* node-cycles (intervals a wrapped ring overwrote
+    /// are gone), summed across nodes per phase.
+    pub fn phase_folded(&self) -> String {
+        use std::fmt::Write as _;
+        let merged = self.timeline_report().merged();
+        let mut out = String::new();
+        for (i, p) in merged.phases.iter().enumerate() {
+            for b in ds_obs::StallBucket::ALL {
+                let cycles = p.buckets[b as usize];
+                if cycles > 0 {
+                    let _ = writeln!(out, "phase{i};{} {cycles}", b.label());
                 }
             }
         }

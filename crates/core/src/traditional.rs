@@ -250,8 +250,12 @@ impl TraditionalSystem {
         program.load(&mut mem);
         let mut bus_cfg = base.bus;
         bus_cfg.ports = 2;
+        #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+        let mut core = OooCore::new(base.core, base.icache.line_bytes);
+        #[cfg(feature = "obs")]
+        core.set_crit_window_capacity(base.crit_window_capacity);
         TraditionalSystem {
-            core: OooCore::new(base.core, base.icache.line_bytes),
+            core,
             ms: TradMemSide {
                 pt,
                 canon: Cache::new(base.dcache),

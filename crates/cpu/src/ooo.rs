@@ -462,6 +462,18 @@ impl OooCore {
         self.probe.crit_window()
     }
 
+    /// Resizes the critical-path window (instrumented builds only).
+    /// Construction-time: the simulators call it before the first
+    /// cycle, discarding the empty default window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[cfg(feature = "obs")]
+    pub fn set_crit_window_capacity(&mut self, capacity: usize) {
+        self.probe.set_crit_capacity(capacity);
+    }
+
     /// The core configuration.
     pub fn config(&self) -> &OooConfig {
         &self.config

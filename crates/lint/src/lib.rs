@@ -534,13 +534,15 @@ fn check_p1(cleaned: &str, out: &mut Vec<Candidate>) {
 }
 
 /// a1: allocation inside `step`/`tick`/`record`/`charge`/`next_event`/
-/// `advance_to`/`edge`-named functions (`record*` covers the
-/// observability probe's per-event hot path; `charge*` the per-cycle
-/// stall accounting; `next_event*`/`advance_to*` the event-horizon
-/// engine's per-cycle horizon computation and batch advance; `edge*`
-/// the critical-path analyzer's per-retirement edge recording —
-/// report-time walks allocate freely, but deliberately carry
-/// non-`edge` names like `path_report`).
+/// `advance_to`/`edge`/`sample`/`interval`-named functions (`record*`
+/// covers the observability probe's per-event hot path; `charge*` the
+/// per-cycle stall accounting; `next_event*`/`advance_to*` the
+/// event-horizon engine's per-cycle horizon computation and batch
+/// advance; `edge*` the critical-path analyzer's per-retirement edge
+/// recording; `sample*`/`interval*` the timeline sampler's
+/// once-per-4096-cycles snapshot close — report-time walks allocate
+/// freely, but deliberately carry non-prefixed names like
+/// `path_report` and `report`).
 fn check_a1(cleaned: &str, out: &mut Vec<Candidate>) {
     let bodies = fn_bodies(cleaned, |name| {
         name.starts_with("step")
@@ -550,6 +552,8 @@ fn check_a1(cleaned: &str, out: &mut Vec<Candidate>) {
             || name.starts_with("next_event")
             || name.starts_with("advance_to")
             || name.starts_with("edge")
+            || name.starts_with("sample")
+            || name.starts_with("interval")
     });
     if bodies.is_empty() {
         return;
@@ -728,7 +732,7 @@ fn doc_contains_mnemonic(doc: &str, mnemonic: &str) -> bool {
 pub const SIM_CRATES: [&str; 6] = ["core", "cpu", "mem", "net", "trace", "obs"];
 
 /// The cycle-loop hot modules p1/a1 police (workspace-relative).
-const HOT_MODULES: [&str; 8] = [
+const HOT_MODULES: [&str; 9] = [
     "crates/core/src/system.rs",
     "crates/core/src/node.rs",
     "crates/core/src/pending.rs",
@@ -737,6 +741,7 @@ const HOT_MODULES: [&str; 8] = [
     "crates/obs/src/account.rs",
     "crates/obs/src/critpath.rs",
     "crates/obs/src/ring.rs",
+    "crates/obs/src/timeline.rs",
 ];
 
 /// Lints the whole workspace rooted at `root`. Returns diagnostics
@@ -948,6 +953,21 @@ mod tests {
                    fn edge_note_retire(&mut self) { let s = format!(\"x\"); }\n\
                    fn edgy_but_not_hot(&self) { let v: Vec<u8> = Vec::new(); }\n\
                    fn path_report(&self) -> Vec<u64> { Vec::new() }\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert_eq!(rules(&diags), vec![Rule::A1, Rule::A1], "{diags:?}");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[1].line, 2);
+    }
+
+    #[test]
+    fn a1_flags_allocation_in_sample_fns() {
+        // The timeline sampler's per-boundary close is policed like the
+        // step/charge paths; report-time helpers (`report`, `merged`)
+        // carry non-prefixed names and allocate freely.
+        let src = "fn sample_close(&mut self, end: u64) { let v: Vec<u64> = Vec::new(); }\n\
+                   fn interval_deltas(&self) -> u64 { let s = format!(\"x\"); 0 }\n\
+                   fn resample_offline(&mut self) { let v: Vec<u8> = Vec::new(); }\n\
+                   fn report(&self) -> Vec<u64> { Vec::new() }\n";
         let diags = lint_source("x.rs", src, HOT);
         assert_eq!(rules(&diags), vec![Rule::A1, Rule::A1], "{diags:?}");
         assert_eq!(diags[0].line, 1);

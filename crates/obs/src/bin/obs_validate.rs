@@ -13,8 +13,15 @@
 //!   (every `ph:"t"`/`"f"` flow step must name an emitted `ph:"s"` id).
 //! * `*.jsonl` (e.g. `BENCH_history.jsonl`): every line a `v: 1` row
 //!   with engine, budget, workloads and combined throughput counters.
+//! * `*.html` (a `ds-dash` dashboard): the embedded
+//!   `id="ds-dash-data"` JSON payload must parse, and every embedded
+//!   result document is re-checked as if passed directly — the numbers
+//!   behind the pictures stay auditable.
 //! * Other plain JSON (e.g. `BENCH_throughput.json`): parsing, plus the
-//!   critpath-member check when one is present.
+//!   critpath- and timeline-member checks when present. Timeline
+//!   interval rows must be the 17-number contract with bucket columns
+//!   summing to the interval length, strictly increasing starts, and
+//!   phases that partition the recorded intervals.
 //!
 //! Exit status: 0 when every file parses (and passes its schema
 //! check), 1 otherwise.
@@ -26,15 +33,63 @@ fn check(path: &str) -> Result<(), String> {
     if path.ends_with(".jsonl") {
         return check_history(&text);
     }
-    let v = json::parse(&text).map_err(|e| e.to_string())?;
-    match v.get("schema").and_then(Value::as_str) {
-        Some("ds-bench-result/v1") => check_bench_result(&v),
-        Some(other) => Err(format!("unknown schema `{other}`")),
-        None if v.get("traceEvents").is_some() => check_trace(&v),
-        // Plain JSON (e.g. BENCH_throughput.json): parsing is the bulk
-        // of the check, but a critpath member must still be well-formed.
-        None => check_critpath_member(&v),
+    if path.ends_with(".html") {
+        return check_dash_html(&text);
     }
+    let v = json::parse(&text).map_err(|e| e.to_string())?;
+    check_value(&v)
+}
+
+fn check_value(v: &Value) -> Result<(), String> {
+    match v.get("schema").and_then(Value::as_str) {
+        Some("ds-bench-result/v1") => check_bench_result(v),
+        Some(other) => Err(format!("unknown schema `{other}`")),
+        None if v.get("traceEvents").is_some() => check_trace(v),
+        // Plain JSON (e.g. BENCH_throughput.json): parsing is the bulk
+        // of the check, but critpath/timeline members must still be
+        // well-formed.
+        None => {
+            check_critpath_member(v)?;
+            check_timeline_member(v)
+        }
+    }
+}
+
+/// Validates a `ds-dash` HTML dashboard by extracting and re-checking
+/// the embedded machine-readable payload: the JSON must parse, every
+/// embedded result document passes the same checks as a bare file, and
+/// the interval sums behind the rendered ribbons reconcile.
+fn check_dash_html(text: &str) -> Result<(), String> {
+    const OPEN: &str = "id=\"ds-dash-data\">";
+    let start = text.find(OPEN).ok_or("no embedded ds-dash-data payload")? + OPEN.len();
+    let end = text[start..]
+        .find("</script>")
+        .ok_or("unterminated ds-dash-data payload")?
+        + start;
+    // Undo the `</` -> `<\/` neutralisation the emitter applies.
+    let payload = text[start..end].replace("<\\/", "</");
+    let p = json::parse(&payload).map_err(|e| format!("payload: {e:?}"))?;
+    let results = p
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or("payload lacks `results` array")?;
+    for r in results {
+        let path = r.get("path").and_then(Value::as_str).unwrap_or("?");
+        let doc = r.get("doc").ok_or_else(|| format!("result `{path}` lacks `doc`"))?;
+        check_value(doc).map_err(|e| format!("embedded `{path}`: {e}"))?;
+    }
+    for (i, row) in p
+        .get("history")
+        .and_then(Value::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .enumerate()
+    {
+        if row.get("v").is_none() {
+            return Err(format!("embedded history row {i} lacks `v`"));
+        }
+    }
+    Ok(())
 }
 
 fn check_bench_result(v: &Value) -> Result<(), String> {
@@ -64,7 +119,8 @@ fn check_bench_result(v: &Value) -> Result<(), String> {
             }
         }
     }
-    check_critpath_member(v)
+    check_critpath_member(v)?;
+    check_timeline_member(v)
 }
 
 /// Checks a `critpath` member (shared by `ds-bench-result/v1` and
@@ -106,6 +162,147 @@ fn check_critpath_member(v: &Value) -> Result<(), String> {
             if d < 0.0 {
                 return Err(format!("critpath `{label}` has negative dropped count"));
             }
+            // Coverage warning, non-failing: a starved window (most
+            // retirements dropped, only the tail attributed) makes the
+            // class shares unrepresentative of the run. Segment
+            // flushing keeps current producers at zero drops; this
+            // tripwire stays armed for regressions and for validating
+            // old pre-segmentation baselines, which must keep passing.
+            let coverage = attributed / (attributed + d).max(1.0);
+            if d > 0.0 && coverage < 0.25 {
+                eprintln!(
+                    "warning: critpath `{label}` window attributed only {:.0}% of \
+                     retirements ({attributed:.0} kept, {d:.0} dropped); shares cover \
+                     the tail of the run — raise crit_window_capacity",
+                    coverage * 100.0
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks a `timeline` member. Two shapes are accepted per label:
+///
+/// * the full `ds-bench-result/v1` form (`nodes` present): every
+///   interval row is the 17-number contract `[start, len, committed,
+///   sends, arrives, bshr_occ_hw, skipped, bucket0..bucket9]` with
+///   strictly increasing starts and bucket columns summing exactly to
+///   the interval length, and the phases partition the intervals;
+/// * the `BENCH_throughput.json` summary form (no `nodes`): interval
+///   count, dropped counter and phase list with dominant-stall fields.
+///
+/// Absent or `null` members pass (obs-off builds).
+fn check_timeline_member(v: &Value) -> Result<(), String> {
+    let entries = match v.get("timeline") {
+        Some(Value::Obj(entries)) => entries,
+        Some(Value::Null) | None => return Ok(()),
+        Some(_) => return Err("`timeline` must be an object or null".into()),
+    };
+    for (label, entry) in entries {
+        let interval_cycles = entry
+            .get("interval_cycles")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("timeline `{label}` lacks `interval_cycles`"))?;
+        if interval_cycles <= 0.0 {
+            return Err(format!("timeline `{label}` has non-positive interval_cycles"));
+        }
+        match entry.get("nodes") {
+            Some(nodes) => {
+                let nodes = nodes
+                    .as_array()
+                    .ok_or_else(|| format!("timeline `{label}` `nodes` must be an array"))?;
+                for (ni, node) in nodes.iter().enumerate() {
+                    check_timeline_node(label, ni, node)?;
+                }
+            }
+            None => check_timeline_summary(label, entry)?,
+        }
+    }
+    Ok(())
+}
+
+/// The full per-node form: 17-number interval rows that reconcile.
+fn check_timeline_node(label: &str, ni: usize, node: &Value) -> Result<(), String> {
+    let ctx = |msg: String| format!("timeline `{label}` node {ni}: {msg}");
+    let rows = node
+        .get("intervals")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ctx("lacks `intervals` array".into()))?;
+    let mut prev_start = f64::NEG_INFINITY;
+    let mut interval_cycle_sum = 0.0;
+    for (ri, row) in rows.iter().enumerate() {
+        let row = row.as_array().ok_or_else(|| ctx(format!("row {ri} is not an array")))?;
+        if row.len() != 17 {
+            return Err(ctx(format!("row {ri} has {} numbers, expected 17", row.len())));
+        }
+        let mut nums = [0.0f64; 17];
+        for (i, cell) in row.iter().enumerate() {
+            nums[i] = cell
+                .as_f64()
+                .ok_or_else(|| ctx(format!("row {ri} column {i} is not a number")))?;
+        }
+        let (start, len) = (nums[0], nums[1]);
+        if start <= prev_start {
+            return Err(ctx(format!("row {ri} start {start} not after {prev_start}")));
+        }
+        prev_start = start;
+        interval_cycle_sum += len;
+        let bucket_sum: f64 = nums[7..].iter().sum();
+        if bucket_sum != len {
+            return Err(ctx(format!(
+                "row {ri} bucket columns sum to {bucket_sum}, expected interval \
+                 length {len}"
+            )));
+        }
+    }
+    // Phases partition the recorded intervals: counts and cycles both
+    // reconcile against the rows the phases were segmented from.
+    let phases = node
+        .get("phases")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ctx("lacks `phases` array".into()))?;
+    let mut phase_intervals = 0.0;
+    let mut phase_cycles = 0.0;
+    for p in phases {
+        phase_intervals += p.get("intervals").and_then(Value::as_f64).unwrap_or(0.0);
+        phase_cycles += p.get("cycles").and_then(Value::as_f64).unwrap_or(0.0);
+    }
+    if phase_intervals != rows.len() as f64 {
+        return Err(ctx(format!(
+            "phases cover {phase_intervals} intervals, {} recorded",
+            rows.len()
+        )));
+    }
+    if phase_cycles != interval_cycle_sum {
+        return Err(ctx(format!(
+            "phase cycles sum to {phase_cycles}, intervals to {interval_cycle_sum}"
+        )));
+    }
+    Ok(())
+}
+
+/// The `BENCH_throughput.json` summary form.
+fn check_timeline_summary(label: &str, entry: &Value) -> Result<(), String> {
+    for key in ["intervals", "dropped"] {
+        if entry.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("timeline `{label}` summary lacks number `{key}`"));
+        }
+    }
+    let phases = entry
+        .get("phases")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("timeline `{label}` summary lacks `phases` array"))?;
+    for (i, p) in phases.iter().enumerate() {
+        for key in ["start", "cycles", "ipc_millis", "dominant_millis"] {
+            if p.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!(
+                    "timeline `{label}` phase {i} lacks number `{key}`"
+                ));
+            }
+        }
+        if p.get("dominant").and_then(Value::as_str).is_none() {
+            return Err(format!("timeline `{label}` phase {i} lacks string `dominant`"));
         }
     }
     Ok(())
@@ -269,6 +466,89 @@ mod tests {
         )
         .unwrap();
         assert!(check_critpath_member(&missing_class).unwrap_err().contains("communication"));
+    }
+
+    #[test]
+    fn timeline_member_shapes() {
+        // Full ds-bench-result/v1 form: 17-number rows that reconcile.
+        let good = json::parse(
+            r#"{"timeline": {"compress/ds2": {"interval_cycles": 4096, "nodes": [
+                {"dropped": 0,
+                 "intervals": [[0,4096,100,1,1,2,0,4096,0,0,0,0,0,0,0,0,0],
+                               [4096,4096,50,0,0,1,0,1000,0,0,0,3096,0,0,0,0,0]],
+                 "phases": [{"start": 0, "cycles": 8192, "intervals": 2,
+                             "committed": 150, "ipc_millis": 18,
+                             "dominant": "committing", "dominant_millis": 622,
+                             "buckets": [5096,0,0,0,3096,0,0,0,0,0]}]}]}}}"#,
+        )
+        .unwrap();
+        assert!(check_timeline_member(&good).is_ok());
+        assert!(check_timeline_member(&json::parse(r#"{"timeline": null}"#).unwrap()).is_ok());
+        assert!(check_timeline_member(&json::parse(r#"{"other": 1}"#).unwrap()).is_ok());
+
+        // Bucket columns must sum to the interval length.
+        let bad_sum = json::parse(
+            r#"{"timeline": {"x": {"interval_cycles": 4096, "nodes": [
+                {"dropped": 0,
+                 "intervals": [[0,4096,100,1,1,2,0,4000,0,0,0,0,0,0,0,0,0]],
+                 "phases": [{"intervals": 1, "cycles": 4096}]}]}}}"#,
+        )
+        .unwrap();
+        assert!(check_timeline_member(&bad_sum).unwrap_err().contains("bucket columns"));
+
+        // Wrong row width.
+        let short_row = json::parse(
+            r#"{"timeline": {"x": {"interval_cycles": 4096, "nodes": [
+                {"dropped": 0, "intervals": [[0,4096,100]], "phases": []}]}}}"#,
+        )
+        .unwrap();
+        assert!(check_timeline_member(&short_row).unwrap_err().contains("expected 17"));
+
+        // Phases must partition the intervals.
+        let bad_phases = json::parse(
+            r#"{"timeline": {"x": {"interval_cycles": 4096, "nodes": [
+                {"dropped": 0,
+                 "intervals": [[0,4096,100,1,1,2,0,4096,0,0,0,0,0,0,0,0,0]],
+                 "phases": [{"intervals": 2, "cycles": 8192}]}]}}}"#,
+        )
+        .unwrap();
+        assert!(check_timeline_member(&bad_phases).unwrap_err().contains("phases cover"));
+
+        // Summary form (BENCH_throughput.json).
+        let summary = json::parse(
+            r#"{"timeline": {"compress": {"interval_cycles": 4096, "intervals": 12,
+                "dropped": 0, "phases": [{"start": 0, "cycles": 49152,
+                "ipc_millis": 800, "dominant": "committing",
+                "dominant_millis": 700}]}}}"#,
+        )
+        .unwrap();
+        assert!(check_timeline_member(&summary).is_ok());
+        let summary_bad = json::parse(
+            r#"{"timeline": {"compress": {"interval_cycles": 4096, "intervals": 12,
+                "dropped": 0, "phases": [{"start": 0, "cycles": 49152,
+                "ipc_millis": 800, "dominant_millis": 700}]}}}"#,
+        )
+        .unwrap();
+        assert!(check_timeline_member(&summary_bad).unwrap_err().contains("dominant"));
+    }
+
+    #[test]
+    fn dash_html_payload_is_extracted_and_checked() {
+        let html = r#"<!doctype html><html><body>
+            <script type="application/json" id="ds-dash-data">
+            {"tool":"ds-dash","results":[{"path":"a.json","doc":
+              {"schema":"ds-bench-result/v1","binary":"t","tables":[],
+               "critpath":{},"timeline":{}}}],
+             "history":[{"v": 1}]}
+            </script></body></html>"#;
+        assert!(check_dash_html(html).is_ok());
+
+        let bad_doc = html.replace("\"tables\":[],", "");
+        assert!(check_dash_html(&bad_doc).unwrap_err().contains("embedded `a.json`"));
+
+        assert!(check_dash_html("<html></html>")
+            .unwrap_err()
+            .contains("no embedded ds-dash-data"));
     }
 
     #[test]

@@ -21,18 +21,37 @@
 //! * **frontend** — fetch/dispatch gaps and in-order-commit
 //!   serialization.
 //!
-//! The window is pre-allocated and overwrite-oldest with a dropped
-//! counter (this file is a ds-lint hot module: the `edge*` recording
+//! The window is pre-allocated and segmented: when the buffer fills,
+//! the full segment is walked *then* — allocation-free, into a
+//! pre-allocated accumulator — and cleared, so attribution covers the
+//! whole run with a cache-resident buffer and nothing is ever dropped.
+//! (This file is a ds-lint hot module: the `edge*`/`charge*` recording
 //! path is a1-clean, and ds-analyze roots its transitive passes at
-//! `edge*` functions). The walk itself runs at report time only.
+//! `edge*` functions.) The report-time walk only covers the retained
+//! tail segment and folds it into a copy of the accumulator.
+//!
+//! Segment boundaries cost a little precision: a producer retired in an
+//! already-flushed segment cannot be chased (the walk truncates there),
+//! and adjacent segments' covered spans overlap by up to a pipeline
+//! depth, so `attributed_cycles` can slightly exceed wall-clock cycles.
+//! Both effects are bounded per segment and vanish against full-run
+//! totals.
 
 use crate::Cycle;
-use std::collections::BTreeMap;
 
-/// Default [`CritWindow`] capacity: the walk covers the most recent
-/// ~16 K retirements — the steady-state tail of a full-budget run —
-/// at ~1.25 MiB per instrumented core.
+/// Default [`CritWindow`] capacity — the *segment* size. The walk
+/// flushes each full segment into the accumulator, so any capacity
+/// attributes the whole run; this default keeps the buffer
+/// (~1.25 MiB per instrumented core) cache-resident while giving the
+/// backward walk ~16 K retirements of producer reach.
 pub const DEFAULT_CRIT_WINDOW_CAPACITY: usize = 1 << 14;
+
+/// Slots in the pre-allocated per-PC residency table (power of two).
+const PC_TABLE_SLOTS: usize = 4096;
+
+/// Bounded linear-probe length for [`PcTable::charge_pc`]; cycles that
+/// cannot claim a slot within it land in the overflow counter.
+const PC_PROBE_LIMIT: usize = 32;
 
 /// Sentinel for [`CritNode::sent`]: no cross-node send stamp exists
 /// (the fill was satisfied locally).
@@ -250,206 +269,289 @@ pub struct CritPc {
     pub cycles: u64,
 }
 
-/// The bounded sliding window of retired-instruction graph nodes.
-/// Pre-allocated, overwrite-oldest; recording never fails, blocks or
-/// allocates.
+/// Open-addressed per-PC cycle counters, allocated once at window
+/// construction. Occupied slots have `cycles > 0` (the walk never
+/// charges a zero span into the table), so no tombstones are needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PcTable {
+    /// Fixed slot array; never grows.
+    slots: Vec<CritPc>,
+    /// Cycles that could not claim a slot within the probe limit. The
+    /// kind/class totals stay exact regardless; only the per-PC ranking
+    /// loses these.
+    overflow_cycles: u64,
+}
+
+impl PcTable {
+    fn new() -> Self {
+        PcTable { slots: vec![CritPc { pc: 0, cycles: 0 }; PC_TABLE_SLOTS], overflow_cycles: 0 }
+    }
+
+    /// Adds `cycles` to `pc`'s residency. Runs on the segment-flush
+    /// path under `edge_retire` (rule a1 applies: bounded probing,
+    /// no allocation).
+    fn charge_pc(&mut self, pc: u64, cycles: u64) {
+        let mask = self.slots.len() - 1;
+        let mut at = (pc.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize & mask;
+        for _ in 0..PC_PROBE_LIMIT {
+            let slot = &mut self.slots[at];
+            if slot.cycles == 0 {
+                slot.pc = pc;
+                slot.cycles = cycles;
+                return;
+            }
+            if slot.pc == pc {
+                slot.cycles += cycles;
+                return;
+            }
+            at = (at + 1) & mask;
+        }
+        self.overflow_cycles += cycles;
+    }
+
+    /// Occupied entries ranked hottest-first, ties toward the lower PC
+    /// (report time; allocation is fine here).
+    fn ranked(&self) -> Vec<CritPc> {
+        let mut pcs: Vec<CritPc> =
+            self.slots.iter().copied().filter(|s| s.cycles > 0).collect();
+        pcs.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.pc.cmp(&b.pc)));
+        pcs.truncate(CRIT_PC_TOP);
+        pcs
+    }
+}
+
+/// The running attribution state segments are flushed into: everything
+/// a [`CritPathNodeReport`] needs except the not-yet-flushed tail.
+/// Pre-allocated with the window; folding a segment in never allocates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CritAccum {
+    /// Cycles covered by all flushed segment walks.
+    attributed: u64,
+    /// True once any segment walk broke on a producer retired in an
+    /// earlier (already flushed) segment.
+    truncated: bool,
+    /// Nodes folded in and discarded by segment flushes.
+    flushed: u64,
+    /// Cycles per [`EdgeKind`].
+    kind_cycles: [u64; EDGE_KIND_COUNT],
+    /// Cycles per [`EdgeClass`].
+    class_cycles: [u64; EDGE_CLASS_COUNT],
+    /// Remote fills carrying a cross-node send stamp.
+    comm_edges: u64,
+    /// Sum of their end-to-end cycles.
+    comm_edge_cycles: u64,
+    /// The longest end-to-end communication edge observed.
+    comm_edge_max: u64,
+    /// Per-PC residency.
+    pcs: PcTable,
+}
+
+impl CritAccum {
+    fn new() -> Self {
+        CritAccum {
+            attributed: 0,
+            truncated: false,
+            flushed: 0,
+            kind_cycles: [0; EDGE_KIND_COUNT],
+            class_cycles: [0; EDGE_CLASS_COUNT],
+            comm_edges: 0,
+            comm_edge_cycles: 0,
+            comm_edge_max: 0,
+            pcs: PcTable::new(),
+        }
+    }
+
+    /// Attributes `span` cycles of `kind` at `pc`. Runs on the
+    /// segment-flush path under `edge_retire` (rule a1 applies).
+    fn charge(&mut self, kind: EdgeKind, span: u64, pc: u64) {
+        self.kind_cycles[kind.index()] += span;
+        self.class_cycles[kind.class().index()] += span;
+        if span > 0 {
+            self.pcs.charge_pc(pc, span);
+        }
+    }
+}
+
+/// Walks one contiguous retirement-ordered segment backwards from its
+/// newest commit along the last-arrival chain, attributing every
+/// covered cycle to exactly one edge, and folds the result into `acc`.
+/// Runs on the segment-flush path under `edge_retire` (rule a1's
+/// transitive closure applies: nothing here allocates) and once more at
+/// report time over the retained tail.
+fn walk_nodes(nodes: &[CritNode], acc: &mut CritAccum) {
+    // End-to-end communication edge lengths over every remote fill in
+    // the segment (not only the ones the walk lands on): complete
+    // minus the cross-node send stamp. A negative-overlap case cannot
+    // arise (data cannot complete before it was sent).
+    for n in nodes {
+        if n.fill == FillKind::RemoteFill && n.sent != UNKNOWN_SEND {
+            let e2e = n.complete.saturating_sub(n.sent);
+            acc.comm_edges += 1;
+            acc.comm_edge_cycles += e2e;
+            acc.comm_edge_max = acc.comm_edge_max.max(e2e);
+        }
+    }
+    let Some(last) = nodes.last() else { return };
+
+    enum Entry {
+        /// Walking into the node's commit event.
+        Commit,
+        /// Walking into its complete event (via a data-dep edge).
+        Complete,
+        /// Walking its in-order dispatch chain.
+        Dispatch,
+    }
+
+    let end = last.commit;
+    let mut cur = end;
+    let mut i = nodes.len() - 1;
+    let mut entry = Entry::Commit;
+    // Each span is clamped monotone (`point.min(cur)`), so the
+    // per-edge cycles telescope exactly to `end - cur` at exit —
+    // the invariant behind "shares sum to 1.0".
+    loop {
+        let nd = nodes[i];
+        match entry {
+            Entry::Commit => {
+                let head_blocked = i > 0 && nodes[i - 1].commit >= nd.complete;
+                if head_blocked {
+                    // Done before the predecessor committed: the
+                    // in-order commit edge was the last arrival.
+                    let t = nodes[i - 1].commit.min(cur);
+                    acc.charge(EdgeKind::CommitSerial, cur - t, nd.pc);
+                    cur = t;
+                    i -= 1;
+                } else {
+                    // Commit gated by its own completion; the
+                    // commit-window pop rides on the fill edge.
+                    let t = nd.complete.min(cur);
+                    acc.charge(nd.fill.edge(), cur - t, nd.pc);
+                    cur = t;
+                    entry = Entry::Complete;
+                }
+            }
+            Entry::Complete => {
+                let t_issue = nd.issue.min(cur);
+                acc.charge(nd.fill.edge(), cur - t_issue, nd.pc);
+                cur = t_issue;
+                let t_ready = nd.ready.min(cur);
+                acc.charge(EdgeKind::FuWait, cur - t_ready, nd.pc);
+                cur = t_ready;
+                if nd.producer_back > 0 {
+                    let back = nd.producer_back as usize;
+                    if back > i {
+                        // The producer retired in an earlier segment.
+                        acc.truncated = true;
+                        break;
+                    }
+                    let j = i - back;
+                    let p = &nodes[j];
+                    let t = p.complete.min(cur);
+                    // The hand-off cycle belongs to the producer.
+                    acc.charge(EdgeKind::DataDep, cur - t, p.pc);
+                    cur = t;
+                    i = j;
+                } else {
+                    let t = nd.dispatch.min(cur);
+                    acc.charge(EdgeKind::Fetch, cur - t, nd.pc);
+                    cur = t;
+                    entry = Entry::Dispatch;
+                }
+            }
+            Entry::Dispatch => {
+                if i == 0 {
+                    break;
+                }
+                let prev = &nodes[i - 1];
+                let t = prev.dispatch.min(cur);
+                acc.charge(EdgeKind::Fetch, cur - t, prev.pc);
+                cur = t;
+                i -= 1;
+            }
+        }
+    }
+    acc.attributed += end - cur;
+}
+
+/// The bounded segment buffer of retired-instruction graph nodes plus
+/// the accumulator full segments are flushed into. Pre-allocated;
+/// recording never fails, blocks or allocates, and attribution covers
+/// the whole run regardless of capacity.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CritWindow {
     /// Backing storage, allocated once; `buf.capacity()` never changes.
     buf: Vec<CritNode>,
-    /// Index of the oldest retained node (meaningful once wrapped).
-    head: usize,
-    /// Nodes overwritten after wraparound.
-    dropped: u64,
+    /// Attribution folded in from flushed segments.
+    acc: CritAccum,
 }
 
 impl CritWindow {
-    /// A window retaining at most `capacity` retirements.
+    /// A window walking segments of at most `capacity` retirements.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "a critical-path window needs at least one slot");
-        CritWindow { buf: Vec::with_capacity(capacity), head: 0, dropped: 0 }
+        CritWindow { buf: Vec::with_capacity(capacity), acc: CritAccum::new() }
     }
 
-    /// Appends one retirement, overwriting the oldest when full. This
-    /// is the per-retirement hot path (rule a1 applies).
+    /// Appends one retirement. A full buffer is first walked into the
+    /// accumulator and cleared — amortized O(1). This is the
+    /// per-retirement hot path (rule a1 applies).
     pub fn edge_retire(&mut self, node: CritNode) {
-        if self.buf.len() < self.buf.capacity() {
-            self.buf.push(node);
-        } else {
-            self.buf[self.head] = node;
-            self.head += 1;
-            if self.head == self.buf.len() {
-                self.head = 0;
-            }
-            self.dropped += 1;
+        if self.buf.len() == self.buf.capacity() {
+            walk_nodes(&self.buf, &mut self.acc);
+            self.acc.flushed += self.buf.len() as u64;
+            self.buf.clear();
         }
+        self.buf.push(node);
     }
 
-    /// Retained nodes.
+    /// Retained (not yet flushed) nodes.
     pub fn len(&self) -> usize {
         self.buf.len()
     }
 
     /// True when nothing retired yet.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.buf.is_empty() && self.acc.flushed == 0
     }
 
-    /// Maximum retirements retained.
+    /// Maximum retirements retained before a segment flush.
     pub fn capacity(&self) -> usize {
         self.buf.capacity()
     }
 
-    /// Retirements overwritten after the window wrapped.
-    pub fn dropped(&self) -> u64 {
-        self.dropped
-    }
-
-    /// Retirements recorded in total (retained + dropped).
+    /// Retirements recorded in total (retained + flushed). All of them
+    /// contribute to the attribution; none are dropped.
     pub fn recorded(&self) -> u64 {
-        self.buf.len() as u64 + self.dropped
+        self.buf.len() as u64 + self.acc.flushed
     }
 
     /// Retained nodes, oldest to newest (retirement order).
     pub fn iter(&self) -> impl Iterator<Item = &CritNode> + '_ {
-        let (tail, head) = self.buf.split_at(self.head);
-        head.iter().chain(tail.iter())
+        self.buf.iter()
     }
 
-    /// The node at logical index `i` (0 = oldest retained).
-    fn get(&self, i: usize) -> &CritNode {
-        let at = self.head + i;
-        if at < self.buf.len() {
-            &self.buf[at]
-        } else {
-            &self.buf[at - self.buf.len()]
-        }
-    }
-
-    /// Walks the last-arrival chain backwards from the newest commit
-    /// and attributes every covered cycle to exactly one edge. Runs at
-    /// report time only (allocation here is fine; recording is not).
+    /// Folds the retained tail segment into a copy of the accumulator
+    /// and reports the whole-run attribution. Runs at report time only
+    /// (allocation here is fine; recording is not).
     pub fn path_report(&self) -> CritPathNodeReport {
-        let mut rep = CritPathNodeReport {
+        let mut acc = self.acc.clone();
+        walk_nodes(&self.buf, &mut acc);
+        CritPathNodeReport {
+            attributed_cycles: acc.attributed,
+            truncated: acc.truncated,
             window_recorded: self.recorded(),
-            window_dropped: self.dropped,
-            ..Default::default()
-        };
-        // End-to-end communication edge lengths over every retained
-        // remote fill (not only the ones the walk lands on): complete
-        // minus the cross-node send stamp. A negative-overlap case
-        // cannot arise (data cannot complete before it was sent).
-        for n in self.iter() {
-            if n.fill == FillKind::RemoteFill && n.sent != UNKNOWN_SEND {
-                let e2e = n.complete.saturating_sub(n.sent);
-                rep.comm_edges += 1;
-                rep.comm_edge_cycles += e2e;
-                rep.comm_edge_max = rep.comm_edge_max.max(e2e);
-            }
+            window_dropped: 0,
+            class_cycles: acc.class_cycles,
+            kind_cycles: acc.kind_cycles,
+            comm_edges: acc.comm_edges,
+            comm_edge_cycles: acc.comm_edge_cycles,
+            comm_edge_max: acc.comm_edge_max,
+            crit_pcs: acc.pcs.ranked(),
         }
-        if self.buf.is_empty() {
-            return rep;
-        }
-
-        enum Entry {
-            /// Walking into the node's commit event.
-            Commit,
-            /// Walking into its complete event (via a data-dep edge).
-            Complete,
-            /// Walking its in-order dispatch chain.
-            Dispatch,
-        }
-
-        let mut pc_cycles: BTreeMap<u64, u64> = BTreeMap::new();
-        let end = self.get(self.len() - 1).commit;
-        let mut cur = end;
-        let mut i = self.len() - 1;
-        let mut entry = Entry::Commit;
-        // Each span is clamped monotone (`point.min(cur)`), so the
-        // per-edge cycles telescope exactly to `end - cur` at exit —
-        // the invariant behind "shares sum to 1.0".
-        loop {
-            let nd = *self.get(i);
-            let mut attr = |kind: EdgeKind, span: u64, pc: u64| {
-                rep.kind_cycles[kind.index()] += span;
-                rep.class_cycles[kind.class().index()] += span;
-                if span > 0 {
-                    *pc_cycles.entry(pc).or_insert(0) += span;
-                }
-            };
-            match entry {
-                Entry::Commit => {
-                    let head_blocked = i > 0 && self.get(i - 1).commit >= nd.complete;
-                    if head_blocked {
-                        // Done before the predecessor committed: the
-                        // in-order commit edge was the last arrival.
-                        let t = self.get(i - 1).commit.min(cur);
-                        attr(EdgeKind::CommitSerial, cur - t, nd.pc);
-                        cur = t;
-                        i -= 1;
-                    } else {
-                        // Commit gated by its own completion; the
-                        // commit-window pop rides on the fill edge.
-                        let t = nd.complete.min(cur);
-                        attr(nd.fill.edge(), cur - t, nd.pc);
-                        cur = t;
-                        entry = Entry::Complete;
-                    }
-                }
-                Entry::Complete => {
-                    let t_issue = nd.issue.min(cur);
-                    attr(nd.fill.edge(), cur - t_issue, nd.pc);
-                    cur = t_issue;
-                    let t_ready = nd.ready.min(cur);
-                    attr(EdgeKind::FuWait, cur - t_ready, nd.pc);
-                    cur = t_ready;
-                    if nd.producer_back > 0 {
-                        let back = nd.producer_back as usize;
-                        if back > i {
-                            // The producer fell off the window.
-                            rep.truncated = true;
-                            break;
-                        }
-                        let j = i - back;
-                        let p = self.get(j);
-                        let t = p.complete.min(cur);
-                        // The hand-off cycle belongs to the producer.
-                        attr(EdgeKind::DataDep, cur - t, p.pc);
-                        cur = t;
-                        i = j;
-                    } else {
-                        let t = nd.dispatch.min(cur);
-                        attr(EdgeKind::Fetch, cur - t, nd.pc);
-                        cur = t;
-                        entry = Entry::Dispatch;
-                    }
-                }
-                Entry::Dispatch => {
-                    if i == 0 {
-                        break;
-                    }
-                    let prev = self.get(i - 1);
-                    let t = prev.dispatch.min(cur);
-                    attr(EdgeKind::Fetch, cur - t, prev.pc);
-                    cur = t;
-                    i -= 1;
-                }
-            }
-        }
-        if self.dropped > 0 {
-            rep.truncated = true;
-        }
-        rep.attributed_cycles = end - cur;
-        let mut pcs: Vec<CritPc> =
-            pc_cycles.into_iter().map(|(pc, cycles)| CritPc { pc, cycles }).collect();
-        pcs.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.pc.cmp(&b.pc)));
-        pcs.truncate(CRIT_PC_TOP);
-        rep.crit_pcs = pcs;
-        rep
     }
 }
 
@@ -462,16 +564,22 @@ impl Default for CritWindow {
 /// One node's (core's) critical-path attribution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CritPathNodeReport {
-    /// Cycles the backward walk covered (`newest commit - earliest
-    /// event reached`). Equals the sum of `class_cycles` exactly.
+    /// Cycles the segment walks covered, summed over every flushed
+    /// segment plus the retained tail. Equals the sum of
+    /// `class_cycles` exactly; adjacent segments' spans can overlap by
+    /// up to a pipeline depth, so this may slightly exceed wall-clock
+    /// cycles on long runs.
     pub attributed_cycles: u64,
-    /// True when the walk stopped at the window boundary instead of
-    /// the start of the run (the window wrapped, or a producer was
-    /// overwritten) — the attribution then covers the run's tail.
+    /// True when some segment walk broke on a producer retired in an
+    /// earlier, already-flushed segment (a bounded attribution gap at
+    /// that segment boundary).
     pub truncated: bool,
-    /// Retirements recorded (retained + dropped).
+    /// Retirements recorded (retained + flushed).
     pub window_recorded: u64,
-    /// Retirements overwritten after wraparound.
+    /// Retirements recorded but never attributed. Always 0 since
+    /// segment flushing replaced overwrite-drops; the field (and its
+    /// JSON `dropped` mirror) stays so report consumers can keep
+    /// checking coverage the same way.
     pub window_dropped: u64,
     /// Cycles per [`EdgeClass`] (index via `EdgeClass::ALL`).
     pub class_cycles: [u64; EDGE_CLASS_COUNT],
@@ -555,8 +663,8 @@ impl CritPathReport {
         self.class_share(EdgeClass::Communication)
     }
 
-    /// Window drops summed over nodes (non-zero means tail-only
-    /// attribution).
+    /// Window drops summed over nodes (non-zero would mean tail-only
+    /// attribution; segment flushing keeps this at 0).
     pub fn dropped_total(&self) -> u64 {
         self.nodes.iter().map(|n| n.window_dropped).sum()
     }
@@ -661,24 +769,59 @@ mod tests {
     }
 
     #[test]
-    fn wraparound_overwrites_oldest_counts_drops_and_truncates() {
+    fn full_buffer_flushes_the_segment_and_drops_nothing() {
         let mut w = CritWindow::with_capacity(4);
         for k in 0..10u64 {
             let mut n = node(0x400 + 4 * k, k, k, k + 1, k + 2, k + 3);
-            // Chain every instruction to its predecessor so the walk
-            // must eventually chase a dropped producer.
+            // Chain every instruction to its predecessor so some walk
+            // must chase a producer flushed with an earlier segment.
             n.producer_back = if k > 0 { 1 } else { 0 };
             w.edge_retire(n);
         }
-        assert_eq!(w.len(), 4);
-        assert_eq!(w.dropped(), 6);
+        // Segments of 4 flushed twice (at pushes 5 and 9): two nodes
+        // retained, eight folded into the accumulator, none dropped.
+        assert_eq!(w.len(), 2);
         assert_eq!(w.recorded(), 10);
-        let oldest: Vec<u64> = w.iter().map(|n| n.dispatch).collect();
-        assert_eq!(oldest, vec![6, 7, 8, 9], "oldest nodes were overwritten");
+        let retained: Vec<u64> = w.iter().map(|n| n.dispatch).collect();
+        assert_eq!(retained, vec![8, 9], "flushed segments leave only the tail");
         let r = w.path_report();
-        assert!(r.truncated, "walk cannot reach the run start");
-        assert_eq!(r.window_dropped, 6);
+        assert_eq!(r.window_dropped, 0, "segment flushing never drops");
+        assert!(r.truncated, "cross-segment producers cannot be chased");
+        // Coverage spans the whole run even though the buffer holds a
+        // quarter of it (boundary overlap can push it past end-to-end).
+        assert!(r.attributed_cycles >= 12, "{r:?}");
         assert_eq!(r.class_cycles.iter().sum::<u64>(), r.attributed_cycles);
+        assert!(r.crit_pcs.iter().any(|p| p.pc == 0x400), "first segment's PCs persist");
+    }
+
+    #[test]
+    fn segment_boundary_overlap_is_bounded_by_pipeline_depth() {
+        // Each node's pipeline spans 3 cycles (dispatch 2k .. commit
+        // 2k+3), so adjacent segments' covered spans overlap by at most
+        // that depth per boundary. A 4-entry window over 32 nodes makes
+        // 7 boundaries; the unsegmented walk is the exact reference.
+        let stream: Vec<CritNode> = (0..32u64)
+            .map(|k| node(0x700 + 4 * (k % 5), 2 * k, 2 * k, 2 * k + 1, 2 * k + 2, 2 * k + 3))
+            .collect();
+        let mut small = CritWindow::with_capacity(4);
+        let mut big = CritWindow::with_capacity(64);
+        for n in &stream {
+            small.edge_retire(*n);
+            big.edge_retire(*n);
+        }
+        let (rs, rb) = (small.path_report(), big.path_report());
+        assert_eq!(rs.window_dropped, 0);
+        assert_eq!(rs.window_recorded, rb.window_recorded);
+        assert!(!rs.truncated, "no cross-segment producers on this stream");
+        assert!(
+            rs.attributed_cycles >= rb.attributed_cycles,
+            "segmentation must not lose coverage: {rs:?}\n{rb:?}"
+        );
+        assert!(
+            rs.attributed_cycles - rb.attributed_cycles <= 7 * 3,
+            "boundary overlap exceeded a pipeline depth per segment: {rs:?}\n{rb:?}"
+        );
+        assert_eq!(rs.class_cycles.iter().sum::<u64>(), rs.attributed_cycles);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod critpath;
 pub mod json;
 pub mod perfetto;
 mod ring;
+pub mod timeline;
 
 pub use account::{
     top_hot_pcs, CycleAccount, HotPc, PcProfile, PcStallKind, StallBucket, BUCKET_COUNT,
@@ -40,6 +41,10 @@ pub use critpath::{
     CritNode, CritPathNodeReport, CritPathReport, CritWindow, EdgeClass, EdgeKind, FillKind,
 };
 pub use ring::{EventRing, Recorder};
+pub use timeline::{
+    segment_phases, IntervalRing, IntervalSample, Phase, TimelineNodeReport, TimelineReport,
+    SAMPLE_INTERVAL,
+};
 
 use ds_stats::Histogram;
 
@@ -245,6 +250,9 @@ pub struct MetricsReport {
     pub hot_pcs: Vec<HotPc>,
     /// Last-arrival critical-path attribution, one entry per node.
     pub critpath: CritPathReport,
+    /// Interval time-series telemetry with phase segmentation, one
+    /// timeline per node.
+    pub timeline: TimelineReport,
 }
 
 impl MetricsReport {

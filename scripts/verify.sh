@@ -80,6 +80,19 @@ grep -q '"critpath":{"' "$obs_tmp/fig7.json" || {
     echo "verify: figure7_ipc --json carries no critpath entries" >&2
     exit 1
 }
+# ...and record a timeline (same silent-death guard for the sampler).
+grep -q '"timeline":{"' "$obs_tmp/fig7.json" || {
+    echo "verify: figure7_ipc --json carries no timeline entries" >&2
+    exit 1
+}
+
+echo "== ds-dash smoke: render the dashboard, re-validate its embedded payload"
+cargo build -q --release -p ds-obs --bin ds-dash
+target/release/ds-dash --json "$obs_tmp/fig7.json" \
+    --history BENCH_history.jsonl --out "$obs_tmp/dash.html" 2> /dev/null
+# obs_validate extracts the ds-dash-data payload and re-checks every
+# embedded document (timeline interval sums included).
+cargo run -q --release -p ds-obs --bin obs_validate -- "$obs_tmp/dash.html"
 
 echo "== cargo clippy (deny warnings)"
 cargo clippy --all-targets -- -D warnings
