@@ -25,10 +25,14 @@ use ds_lint::tokens::{Token, TokenKind};
 /// event-horizon engine (`next_event*`/`advance_to*`), the
 /// critical-path analyzer's per-retirement edge recording (`edge*`;
 /// its report-time walk allocates on purpose and therefore carries a
-/// non-root name, `path_report`), and the timeline sampler's
+/// non-root name, `path_report`), the timeline sampler's
 /// per-boundary snapshot close (`sample*`/`interval*`; its report-time
-/// helpers likewise carry non-root names, `report` and `merged`).
-pub const ROOT_PREFIXES: [&str; 9] = [
+/// helpers likewise carry non-root names, `report` and `merged`), and
+/// the ds-chaos per-cycle paths (`inject*`/`fault*`/`watchdog*` — the
+/// fault injector's delivery rewrite and rule matching plus the
+/// forward-progress check; the deadlock-report builder allocates at
+/// abort time and carries the non-root name `build_deadlock_report`).
+pub const ROOT_PREFIXES: [&str; 12] = [
     "step",
     "tick",
     "record",
@@ -38,6 +42,9 @@ pub const ROOT_PREFIXES: [&str; 9] = [
     "edge",
     "sample",
     "interval",
+    "inject",
+    "fault",
+    "watchdog",
 ];
 
 /// Orderings that require a justification under pa2 (`Relaxed` is the

@@ -56,6 +56,27 @@ fn edge_roots_are_policed_by_transitive_passes() {
 }
 
 #[test]
+fn chaos_roots_are_policed_by_transitive_passes() {
+    // The ds-chaos per-cycle paths — the fault injector's delivery
+    // rewrite (`inject*`) and the forward-progress check (`watchdog*`)
+    // — root ta1/tp1 exactly like the step/record/charge families.
+    let findings = findings_of(&fixture("ta1"));
+    let f = findings
+        .iter()
+        .find(|f| f.rule == ARule::Ta1 && f.func == "held_scratch")
+        .expect("allocation below an inject* root detected");
+    assert_eq!(f.chain, vec!["Injector::inject_step", "held_scratch"]);
+
+    let findings = findings_of(&fixture("tp1"));
+    let f = findings
+        .iter()
+        .find(|f| f.rule == ARule::Tp1 && f.func == "stuck_probe")
+        .expect("panic path below a watchdog* root detected");
+    assert_eq!(f.chain, vec!["watchdog_check", "stuck_probe"]);
+    assert!(f.message.contains(".unwrap()"));
+}
+
+#[test]
 fn pass_b_catches_panic_reachability_with_chain() {
     let findings = findings_of(&fixture("tp1"));
     let f = findings

@@ -60,3 +60,26 @@ fn retire_scratch(pc: u64) -> usize {
     let v = vec![pc; 2];
     v.len()
 }
+
+// The ds-chaos family: `inject*`/`fault*`/`watchdog*` names root the
+// transitive passes — the injector's delivery rewrite runs at every
+// fabric delivery of a faulted run.
+pub struct Injector {
+    held: [u64; 4],
+    len: usize,
+}
+
+impl Injector {
+    pub fn inject_step(&mut self, now: u64) {
+        self.held[self.len % 4] = now;
+        self.len += 1;
+        held_scratch(now);
+    }
+}
+
+// SEEDED VIOLATION (ta1): allocates, and is reachable from the
+// `inject*` root Injector::inject_step.
+fn held_scratch(now: u64) -> usize {
+    let v = vec![now; 2];
+    v.len()
+}

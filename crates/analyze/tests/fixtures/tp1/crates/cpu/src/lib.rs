@@ -32,3 +32,15 @@ pub fn edge_note(core: &Core, cycle: u64) -> u8 {
 fn last_arrival(core: &Core, cycle: u64) -> u8 {
     core.slot(cycle).unwrap()
 }
+
+/// The ds-chaos family: `watchdog*` names root the transitive passes —
+/// the forward-progress check runs every cycle of a faulted run.
+pub fn watchdog_check(core: &Core, cycle: u64) -> u8 {
+    stuck_probe(core, cycle)
+}
+
+// SEEDED VIOLATION (tp1): `.unwrap()` reachable from the `watchdog*`
+// root watchdog_check via stuck_probe.
+fn stuck_probe(core: &Core, cycle: u64) -> u8 {
+    core.slot(cycle).unwrap()
+}

@@ -9,7 +9,11 @@
 //! documents (any experiment binary's `--json` output) or two
 //! `BENCH_throughput.json` documents. Prints a per-cell diff and exits
 //! 0 when every gated number is within tolerance, 1 when a regression
-//! threshold is breached, 2 on usage/parse errors.
+//! threshold is breached, 2 on usage/parse errors. Truncated input is
+//! never tolerated: syntactic truncation (unparseable JSON, trailing
+//! garbage) exits 2, and a document that parses but lost an entry the
+//! baseline has — a workload, number, table, or per-workload
+//! accounting block — fails the gate (exit 1) instead of warning.
 
 use ds_bench::regress::{diff_documents, DiffOptions};
 use ds_bench::report::flag_value;

@@ -85,12 +85,22 @@ pub fn crit_window_capacity() -> usize {
     ds_obs::critpath::DEFAULT_CRIT_WINDOW_CAPACITY
 }
 
+/// Unwraps a bench run, turning a watchdog trip into a loud failure
+/// with the full structured report: every published number comes from
+/// a run that actually finished.
+fn expect_no_deadlock(r: RunResult, what: &str) -> RunResult {
+    if let Some(report) = &r.deadlock {
+        panic!("{what} tripped the forward-progress watchdog:\n{report}");
+    }
+    r
+}
+
 /// IPC of the DataScalar system with `nodes` nodes.
 pub fn run_datascalar(w: &Workload, nodes: usize, budget: Budget) -> RunResult {
     let prog = (w.build)(budget.scale);
     let config = baseline_config(nodes, budget.max_insts);
     let mut sys = DsSystem::new(config, &prog);
-    sys.run().expect("workload executes")
+    expect_no_deadlock(sys.run().expect("workload executes"), w.name)
 }
 
 /// IPC of the traditional system with a `1/nodes` on-chip share.
@@ -98,7 +108,7 @@ pub fn run_traditional(w: &Workload, nodes: usize, budget: Budget) -> RunResult 
     let prog = (w.build)(budget.scale);
     let config = TraditionalConfig { base: baseline_config(nodes, budget.max_insts) };
     let mut sys = TraditionalSystem::new(&config, &prog);
-    sys.run().expect("workload executes")
+    expect_no_deadlock(sys.run().expect("workload executes"), w.name)
 }
 
 /// IPC of the perfect-data-cache upper bound.
@@ -106,7 +116,7 @@ pub fn run_perfect(w: &Workload, budget: Budget) -> RunResult {
     let prog = (w.build)(budget.scale);
     let config = baseline_config(1, budget.max_insts);
     let mut sys = PerfectSystem::new(&config, &prog);
-    sys.run().expect("workload executes")
+    expect_no_deadlock(sys.run().expect("workload executes"), w.name)
 }
 
 /// One Figure 7 group: the five bars for one benchmark.

@@ -21,6 +21,15 @@
 //!   dominant share shifts past the bucket threshold — is reported even
 //!   when the whole-run shares cancel out.
 //!
+//! Truncation is a failure, not a warning: a document that parses but
+//! is missing an *entry* the baseline has — a workload, a named
+//! number, a table, a per-workload accounting block — fails the gate,
+//! because a half-written candidate must never pass by looking like a
+//! smaller document. Only *section-level* absence stays a skip
+//! (`cycle_accounting`/`critpath`/`timeline` null or missing on one
+//! side means an obs-off measurement or an older producer, which is a
+//! legitimate shape, not a torn write).
+//!
 //! Pure comparison, no I/O: callers parse with [`ds_obs::json`] and
 //! decide what to do with a failed [`Diff`].
 
@@ -131,7 +140,9 @@ fn diff_reports(base: &Value, new: &Value, opts: DiffOptions) -> Diff {
     let mut cell_diffs = 0usize;
     for (title, base_rows) in &bt {
         let Some((_, new_rows)) = nt.iter().find(|(t, _)| t == title) else {
-            d.lines.push(format!("table \"{title}\": missing from current document"));
+            d.failures.push(format!(
+                "table \"{title}\": missing from current document (truncated output?)"
+            ));
             continue;
         };
         if base_rows.len() != new_rows.len() {
@@ -173,7 +184,9 @@ fn diff_reports(base: &Value, new: &Value, opts: DiffOptions) -> Diff {
     };
     for (name, old) in numbers(base) {
         let Some((_, new_v)) = numbers(new).into_iter().find(|(k, _)| *k == name) else {
-            d.lines.push(format!("number {name}: missing from current document"));
+            d.failures.push(format!(
+                "number {name}: missing from current document (truncated output?)"
+            ));
             continue;
         };
         d.lines.push(format!(
@@ -205,7 +218,9 @@ fn diff_throughput(base: &Value, new: &Value, opts: DiffOptions) -> Diff {
                     ));
                 }
             }
-            _ => d.lines.push(format!("{name}: missing on one side, skipped")),
+            _ => d.failures.push(format!(
+                "{name}: missing on one side (truncated or torn document?)"
+            )),
         }
     };
 
@@ -247,8 +262,9 @@ fn diff_throughput(base: &Value, new: &Value, opts: DiffOptions) -> Diff {
         (Some(Value::Obj(bw)), Some(Value::Obj(nw))) => {
             for (wname, bshares) in bw {
                 let Some((_, nshares)) = nw.iter().find(|(k, _)| k == wname) else {
-                    d.lines.push(format!(
-                        "cycle_accounting {wname}: missing from current document"
+                    d.failures.push(format!(
+                        "cycle_accounting {wname}: missing from current document \
+                         (truncated output?)"
                     ));
                     continue;
                 };
@@ -303,7 +319,9 @@ fn diff_throughput(base: &Value, new: &Value, opts: DiffOptions) -> Diff {
         (Some(Value::Obj(bw)), Some(Value::Obj(nw))) => {
             for (wname, bshares) in bw {
                 let Some((_, nshares)) = nw.iter().find(|(k, _)| k == wname) else {
-                    d.lines.push(format!("critpath {wname}: missing from current document"));
+                    d.failures.push(format!(
+                        "critpath {wname}: missing from current document (truncated output?)"
+                    ));
                     continue;
                 };
                 let (Value::Obj(bs), Value::Obj(ns)) = (bshares, nshares) else {
@@ -355,16 +373,20 @@ fn diff_throughput(base: &Value, new: &Value, opts: DiffOptions) -> Diff {
         _ => {}
     }
 
-    // Timeline phases: warn-only. Whole-run bucket shares can stay flat
-    // while one phase trades committing for stall and another trades
-    // back; comparing phases index-by-index surfaces that. Warnings,
-    // never failures — phase boundaries legitimately move with any
-    // timing change, so a hard gate here would be all noise.
+    // Timeline phases: warn-only on *content*. Whole-run bucket shares
+    // can stay flat while one phase trades committing for stall and
+    // another trades back; comparing phases index-by-index surfaces
+    // that. Phase shifts never fail — boundaries legitimately move with
+    // any timing change, so a hard gate would be all noise — but a
+    // whole workload entry vanishing from a present section is still a
+    // truncation failure like everywhere else.
     match (base.get("timeline"), new.get("timeline")) {
         (Some(Value::Obj(bw)), Some(Value::Obj(nw))) => {
             for (wname, bt) in bw {
                 let Some((_, nt)) = nw.iter().find(|(k, _)| k == wname) else {
-                    d.lines.push(format!("timeline {wname}: missing from current document"));
+                    d.failures.push(format!(
+                        "timeline {wname}: missing from current document (truncated output?)"
+                    ));
                     continue;
                 };
                 let phases = |v: &Value| -> Vec<(String, f64)> {
@@ -615,6 +637,92 @@ mod tests {
         // Lower note_count is not a failure: not higher-is-better.
         let d2 = diff_documents(&doc(2.0), &doc(2.0), DiffOptions::default()).unwrap();
         assert!(d2.passed());
+    }
+
+    #[test]
+    fn truncated_workload_list_fails_not_warns() {
+        // A torn write that drops a workload entry (but still parses)
+        // must fail the gate, not shrink quietly into a smaller doc.
+        let base = throughput_doc(1000.0, 1000.0, 0.5);
+        let new = parse(
+            r#"{"workloads": [], "combined_insts_per_sec": 1000,
+                "cycle_accounting": {"compress": {"committing": 0.5, "idle": 0.5}}}"#,
+        )
+        .unwrap();
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(!d.passed());
+        assert!(
+            d.failures.iter().any(|f| f.contains("compress insts_per_sec")
+                && f.contains("missing on one side")),
+            "{:?}",
+            d.failures
+        );
+    }
+
+    #[test]
+    fn truncated_cycle_accounting_entry_fails_not_warns() {
+        // Section present on both sides, but the candidate lost one
+        // workload's bucket block mid-document.
+        let base = throughput_doc(1000.0, 1000.0, 0.5);
+        let new = parse(
+            r#"{"workloads": [
+                  {"name": "compress", "committed": 1, "insts_per_sec": 1000}],
+                "combined_insts_per_sec": 1000,
+                "cycle_accounting": {}}"#,
+        )
+        .unwrap();
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(!d.passed());
+        assert!(
+            d.failures
+                .iter()
+                .any(|f| f.contains("cycle_accounting compress") && f.contains("truncated")),
+            "{:?}",
+            d.failures
+        );
+    }
+
+    #[test]
+    fn truncated_v1_numbers_fail_not_warn() {
+        let base = parse(
+            r#"{"schema": "ds-bench-result/v1", "tables": [],
+                "numbers": {"mean_ipc": 2.0}, "notes": []}"#,
+        )
+        .unwrap();
+        let new = parse(
+            r#"{"schema": "ds-bench-result/v1", "tables": [],
+                "numbers": {}, "notes": []}"#,
+        )
+        .unwrap();
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(!d.passed());
+        assert!(
+            d.failures.iter().any(|f| f.contains("mean_ipc") && f.contains("truncated")),
+            "{:?}",
+            d.failures
+        );
+    }
+
+    #[test]
+    fn truncated_v1_table_fails_not_warns() {
+        let base = parse(
+            r#"{"schema": "ds-bench-result/v1",
+                "tables": [{"title": "t", "headers": ["a"], "rows": [["1.0"]]}],
+                "numbers": {}, "notes": []}"#,
+        )
+        .unwrap();
+        let new = parse(
+            r#"{"schema": "ds-bench-result/v1", "tables": [],
+                "numbers": {}, "notes": []}"#,
+        )
+        .unwrap();
+        let d = diff_documents(&base, &new, DiffOptions::default()).unwrap();
+        assert!(!d.passed());
+        assert!(
+            d.failures.iter().any(|f| f.contains("table \"t\"") && f.contains("truncated")),
+            "{:?}",
+            d.failures
+        );
     }
 
     #[test]

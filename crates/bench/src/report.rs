@@ -229,7 +229,7 @@ pub fn flag_value(flag: &str) -> Option<String> {
 /// Renders one [`TimelineReport`] as a JSON object. Interval rows are
 /// compact numeric arrays in the fixed layout
 /// `[start, len, committed, sends, arrives, bshr_occ_hw, skipped,
-/// bucket0..bucket9]` (17 numbers; bucket order is
+/// bucket0..bucket10]` (18 numbers; bucket order is
 /// [`StallBucket::ALL`]) — documented in docs/observability.md and
 /// checked by `obs_validate`.
 fn push_timeline(out: &mut String, t: &TimelineReport) {
@@ -422,7 +422,7 @@ mod tests {
         assert!(matches!(doc.get("timeline"), Some(ds_obs::json::Value::Obj(m)) if m.is_empty()));
 
         // One full interval: 4096 committing cycles. The row layout is
-        // the fixed 17-number contract obs_validate re-checks.
+        // the fixed 18-number contract obs_validate re-checks.
         let mut ring = ds_obs::IntervalRing::with_capacity(4);
         let mut acct = ds_obs::CycleAccount::default();
         for _ in 0..ds_obs::SAMPLE_INTERVAL {
@@ -444,7 +444,7 @@ mod tests {
         let rows = nodes[0].get("intervals").and_then(|v| v.as_array()).unwrap();
         assert_eq!(rows.len(), 1);
         let row = rows[0].as_array().unwrap();
-        assert_eq!(row.len(), 17, "interval rows are 17 numbers");
+        assert_eq!(row.len(), 18, "interval rows are 18 numbers");
         assert_eq!(row[0].as_f64(), Some(0.0)); // start
         assert_eq!(row[1].as_f64(), Some(ds_obs::SAMPLE_INTERVAL as f64)); // len
         assert_eq!(row[2].as_f64(), Some(2048.0)); // committed

@@ -12,6 +12,19 @@
 //! * **pending squashes** — posted by the correspondence protocol when
 //!   a commit-time false hit means the owner's reparative broadcast
 //!   must be consumed and dropped.
+//!
+//! # ds-chaos hardening
+//!
+//! The paper's protocol assumes a lossless interconnect: "broadcasts/
+//! waits would not pair up and the machine deadlocks" otherwise (§1).
+//! When BSHR timeouts are enabled (`DsConfig::bshr_timeout_cycles`),
+//! each outstanding wait carries a deadline; an expired wait escalates
+//! to an explicit retransmit request ([`Bshr::take_expired`], answered
+//! by the owner with a reparative re-broadcast), and a line that blows
+//! through its retry budget degrades to the traditional
+//! request–response protocol for the rest of the run — injected loss
+//! costs latency, never correctness. All of it is inert (no deadlines
+//! armed, no scans) when the timeout is `None`, which is the default.
 
 use crate::linemap::LineMap;
 use crate::Cycle;
@@ -55,6 +68,33 @@ pub struct BshrStats {
     pub overflows: u64,
     /// High-water mark of occupied entries.
     pub max_occupancy: usize,
+    /// Wait deadlines that expired (each one escalates to a retransmit
+    /// request or, once degraded, a fresh direct request).
+    pub timeouts: u64,
+    /// Lines that exhausted the retry budget and degraded to the
+    /// request–response protocol.
+    pub lines_degraded: u64,
+}
+
+/// One expired wait, as surfaced by [`Bshr::take_expired`]. The wait
+/// itself stays allocated — only its deadline was consumed and re-armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpiredWait {
+    /// Line whose wait timed out.
+    pub line: u64,
+    /// Timeouts this wait has now suffered (1 = first).
+    pub retries: u32,
+    /// True when the line is (now) degraded to request–response.
+    pub degraded: bool,
+    /// True when *this* expiry crossed the retry budget.
+    pub newly_degraded: bool,
+}
+
+/// Per-wait hardening state (armed only when timeouts are enabled).
+#[derive(Debug, Clone, Copy)]
+struct WaitMeta {
+    deadline: Cycle,
+    retries: u32,
 }
 
 /// One node's broadcast-receiving structure.
@@ -70,6 +110,15 @@ pub struct Bshr {
     pending_squashes: LineMap<u32>,
     buffered_count: usize,
     stats: BshrStats,
+    /// Wait timeout in cycles; `None` disables the hardening entirely.
+    timeout: Option<u64>,
+    /// Timeouts a line may suffer before degrading.
+    retry_budget: u32,
+    /// line -> deadline/retry state, populated only while `timeout` is
+    /// `Some` and a wait is outstanding.
+    meta: LineMap<WaitMeta>,
+    /// Lines degraded to request–response for the rest of the run.
+    degraded: LineMap<()>,
 }
 
 impl Bshr {
@@ -84,7 +133,19 @@ impl Bshr {
             pending_squashes: LineMap::new(),
             buffered_count: 0,
             stats: BshrStats::default(),
+            timeout: None,
+            retry_budget: 0,
+            meta: LineMap::new(),
+            degraded: LineMap::new(),
         }
+    }
+
+    /// Enables (or disables) wait timeouts. With `Some(t)`, every fresh
+    /// wait is armed with a deadline `t` cycles out and may retry up to
+    /// `budget` times before its line degrades to request–response.
+    pub fn configure_timeout(&mut self, timeout: Option<u64>, budget: u32) {
+        self.timeout = timeout;
+        self.retry_budget = budget;
     }
 
     /// Access latency in cycles.
@@ -143,10 +204,16 @@ impl Bshr {
             return Some(now + self.access_cycles);
         }
         let w = self.waits.get_mut_or_default(line);
-        if w.is_empty() {
+        let fresh = w.is_empty();
+        if fresh {
             self.stats.waits_allocated += 1;
         }
         w.push(tag);
+        if fresh {
+            if let Some(t) = self.timeout {
+                self.meta.insert(line, WaitMeta { deadline: now + t, retries: 0 });
+            }
+        }
         self.note_occupancy();
         None
     }
@@ -199,6 +266,7 @@ impl Bshr {
             return Arrival::Squashed;
         }
         if let Some(waiters) = self.waits.remove(line) {
+            self.meta.remove(line);
             let ready = now + self.access_cycles;
             return Arrival::Completed(waiters.into_iter().map(|t| (t, ready)).collect());
         }
@@ -206,6 +274,102 @@ impl Bshr {
         self.buffered_count += 1;
         self.note_occupancy();
         Arrival::Buffered
+    }
+
+    /// A direct (request–response) fill for `line` arrived at `now` —
+    /// the degraded path's answer. Releases and returns the waiters, or
+    /// `None` when no wait is outstanding (a duplicate or stale
+    /// response must not invent completions).
+    pub fn fill_direct(&mut self, line: u64, now: Cycle) -> Option<Vec<(RuuTag, Cycle)>> {
+        let waiters = self.waits.remove(line)?;
+        self.meta.remove(line);
+        let ready = now + self.access_cycles;
+        Some(waiters.into_iter().map(|t| (t, ready)).collect())
+    }
+
+    /// The first wait (lowest line address — deterministic) whose
+    /// deadline expired by `now`, if any. Consuming the expiry re-arms
+    /// the deadline a full timeout out and bumps the retry count;
+    /// crossing the retry budget marks the line degraded. Callers loop
+    /// until `None` each cycle — the loop terminates because every
+    /// re-armed deadline is in the future. Inert (`None` immediately)
+    /// when timeouts are disabled.
+    pub fn take_expired(&mut self, now: Cycle) -> Option<ExpiredWait> {
+        let t = self.timeout?;
+        let budget = self.retry_budget;
+        let mut hit: Option<(u64, u32)> = None;
+        for (line, m) in self.meta.entries_mut() {
+            if m.deadline <= now {
+                m.deadline = now + t;
+                m.retries += 1;
+                hit = Some((*line, m.retries));
+                break;
+            }
+        }
+        let (line, retries) = hit?;
+        self.stats.timeouts += 1;
+        let mut newly_degraded = false;
+        if retries > budget && !self.degraded.contains_key(line) {
+            self.degraded.insert(line, ());
+            self.stats.lines_degraded += 1;
+            newly_degraded = true;
+        }
+        Some(ExpiredWait {
+            line,
+            retries,
+            degraded: self.degraded.contains_key(line),
+            newly_degraded,
+        })
+    }
+
+    /// Earliest armed wait deadline, if any — folded into the node's
+    /// event horizon so cycle skipping never jumps past a timeout.
+    pub fn next_timeout(&self) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        for (_, m) in self.meta.entries() {
+            next = Some(match next {
+                Some(n) if n <= m.deadline => n,
+                _ => m.deadline,
+            });
+        }
+        next
+    }
+
+    /// True when `line` has degraded to the request–response protocol.
+    pub fn is_degraded(&self, line: u64) -> bool {
+        self.degraded.contains_key(line)
+    }
+
+    /// True while any wait has already timed out at least once or sits
+    /// on a degraded line — the machine is paying retry latency, not
+    /// plain broadcast latency (cycle accounting charges `retry-wait`).
+    pub fn has_retrying_waits(&self) -> bool {
+        for (line, m) in self.meta.entries() {
+            if m.retries > 0 || self.degraded.contains_key(*line) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Lines with outstanding waits (deadlock reports; cold path).
+    pub fn wait_lines(&self) -> Vec<u64> {
+        self.waits.entries().iter().map(|&(l, _)| l).collect()
+    }
+
+    /// Lines with buffered, unconsumed arrivals (deadlock reports).
+    pub fn buffered_lines(&self) -> Vec<u64> {
+        self.buffered.entries().iter().map(|&(l, _)| l).collect()
+    }
+
+    /// Lines with pending squashes (deadlock reports).
+    pub fn squash_lines(&self) -> Vec<u64> {
+        self.pending_squashes.entries().iter().map(|&(l, _)| l).collect()
+    }
+
+    /// Lines degraded to request–response (deadlock reports).
+    pub fn degraded_lines(&self) -> Vec<u64> {
+        self.degraded.entries().iter().map(|&(l, _)| l).collect()
     }
 }
 
@@ -291,5 +455,83 @@ mod tests {
     fn join_without_wait_panics() {
         let mut b = Bshr::new(8, 2);
         b.join_wait(0x1, 1);
+    }
+
+    #[test]
+    fn timeouts_disabled_by_default() {
+        let mut b = Bshr::new(8, 2);
+        b.request(0x100, 1, 0);
+        assert_eq!(b.take_expired(u64::MAX), None);
+        assert_eq!(b.next_timeout(), None);
+        assert!(!b.has_retrying_waits());
+    }
+
+    #[test]
+    fn expired_wait_rearms_and_counts() {
+        let mut b = Bshr::new(8, 2);
+        b.configure_timeout(Some(100), 3);
+        b.request(0x100, 1, 10);
+        assert_eq!(b.next_timeout(), Some(110));
+        assert_eq!(b.take_expired(50), None, "not yet due");
+        let e = b.take_expired(110).expect("deadline hit");
+        assert_eq!((e.line, e.retries, e.degraded, e.newly_degraded), (0x100, 1, false, false));
+        assert_eq!(b.take_expired(110), None, "re-armed into the future");
+        assert_eq!(b.next_timeout(), Some(210));
+        assert_eq!(b.stats().timeouts, 1);
+        assert!(b.has_retrying_waits());
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_the_line_once() {
+        let mut b = Bshr::new(8, 2);
+        b.configure_timeout(Some(10), 2);
+        b.request(0x200, 1, 0);
+        let mut now = 10;
+        for expect_retries in 1..=2u32 {
+            let e = b.take_expired(now).unwrap();
+            assert_eq!((e.retries, e.degraded), (expect_retries, false));
+            now += 10;
+        }
+        let e = b.take_expired(now).unwrap();
+        assert!(e.degraded && e.newly_degraded, "3rd timeout crosses budget 2");
+        assert!(b.is_degraded(0x200));
+        assert_eq!(b.stats().lines_degraded, 1);
+        // Further expiries keep retrying but never re-degrade.
+        let e = b.take_expired(now + 10).unwrap();
+        assert!(e.degraded && !e.newly_degraded);
+        assert_eq!(b.stats().lines_degraded, 1);
+    }
+
+    #[test]
+    fn arrival_disarms_the_deadline() {
+        let mut b = Bshr::new(8, 2);
+        b.configure_timeout(Some(100), 3);
+        b.request(0x300, 1, 0);
+        b.on_arrival(0x300, 50);
+        assert_eq!(b.next_timeout(), None);
+        assert_eq!(b.take_expired(u64::MAX), None);
+    }
+
+    #[test]
+    fn fill_direct_releases_waiters_and_ignores_strays() {
+        let mut b = Bshr::new(8, 2);
+        b.configure_timeout(Some(100), 0);
+        b.request(0x400, 7, 0);
+        b.join_wait(0x400, 9);
+        let got = b.fill_direct(0x400, 30).expect("wait outstanding");
+        assert_eq!(got, vec![(7, 32), (9, 32)]);
+        assert_eq!(b.next_timeout(), None);
+        assert_eq!(b.fill_direct(0x400, 40), None, "duplicate response ignored");
+    }
+
+    #[test]
+    fn expiry_order_is_lowest_line_first() {
+        let mut b = Bshr::new(8, 2);
+        b.configure_timeout(Some(10), 9);
+        b.request(0x800, 1, 0);
+        b.request(0x100, 2, 0);
+        assert_eq!(b.take_expired(10).unwrap().line, 0x100);
+        assert_eq!(b.take_expired(10).unwrap().line, 0x800);
+        assert_eq!(b.take_expired(10), None);
     }
 }

@@ -61,10 +61,25 @@ pub struct DsConfig {
     /// Abort if no node commits for this many cycles (deadlock guard).
     pub watchdog_cycles: u64,
     /// Fault injection: silently drop every `n`-th broadcast at
-    /// delivery. The protocol guarantees this deadlocks a waiting node,
-    /// so the only correct outcome is the watchdog panic — used to
-    /// prove the tripwire works. `None` (the default) injects nothing.
+    /// delivery. The protocol guarantees this deadlocks a waiting node
+    /// (absent BSHR timeouts), so the expected outcome is a watchdog
+    /// `DeadlockReport` — used to prove the tripwire works. `None` (the
+    /// default) injects nothing. Predates (and is retained alongside)
+    /// the richer [`DsConfig::fault_plan`].
     pub fault_drop_every: Option<u64>,
+    /// ds-chaos fault schedule: drop/delay/duplicate/reorder rules
+    /// applied at the fabric's delivery boundary plus per-node tick
+    /// stalls. Empty (the default) compiles down to no injector at all,
+    /// keeping goldens byte-identical.
+    pub fault_plan: ds_net::FaultPlan,
+    /// BSHR hardening: a non-owner wait older than this many cycles
+    /// escalates to an explicit retransmit request to the owner. `None`
+    /// (the default) disables the timeout machinery entirely — the
+    /// fault-free protocol never needs it.
+    pub bshr_timeout_cycles: Option<u64>,
+    /// How many timeouts a line may suffer before it degrades to the
+    /// traditional request–response protocol for the rest of the run.
+    pub bshr_retry_budget: u32,
     /// Critical-path window capacity per core, in retirements
     /// (instrumented builds only; ignored without the `obs` feature).
     /// The default keeps an instrumented run cheap; benches that need
@@ -107,6 +122,9 @@ impl Default for DsConfig {
             max_insts: None,
             watchdog_cycles: 2_000_000,
             fault_drop_every: None,
+            fault_plan: ds_net::FaultPlan::default(),
+            bshr_timeout_cycles: None,
+            bshr_retry_budget: 3,
             crit_window_capacity: ds_obs::critpath::DEFAULT_CRIT_WINDOW_CAPACITY,
             no_skip: false,
             parallel_step: false,
@@ -139,6 +157,11 @@ impl DsConfig {
             self.crit_window_capacity >= 1,
             "need at least one critical-path window slot"
         );
+        assert!(
+            self.bshr_timeout_cycles != Some(0),
+            "a zero BSHR timeout would retransmit every cycle"
+        );
+        self.fault_plan.validate();
     }
 }
 

@@ -61,6 +61,7 @@ pub mod perfect;
 mod stats;
 mod system;
 pub mod traditional;
+pub mod watchdog;
 
 pub use config::DsConfig;
 pub use node::Node;
@@ -68,6 +69,7 @@ pub use perfect::PerfectSystem;
 pub use stats::{NodeStats, RunResult};
 pub use system::DsSystem;
 pub use traditional::{TraditionalConfig, TraditionalSystem};
+pub use watchdog::{DeadlockReport, ForwardProgress, NodeDeadlockState};
 
 /// A simulation cycle count.
 pub type Cycle = u64;

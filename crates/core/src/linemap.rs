@@ -92,6 +92,12 @@ impl<V> LineMap<V> {
     pub fn entries(&self) -> &[(u64, V)] {
         &self.entries
     }
+
+    /// Mutable access to the entries, still in ascending line-address
+    /// order. Keys must not be modified (the sort order is the map).
+    pub fn entries_mut(&mut self) -> &mut [(u64, V)] {
+        &mut self.entries
+    }
 }
 
 #[cfg(test)]

@@ -73,6 +73,8 @@ pub(crate) struct MemSide {
 
 impl MemSide {
     fn new(id: NodeId, pt: Arc<PageTable>, config: &DsConfig) -> Self {
+        let mut bshr = Bshr::new(config.bshr_entries, config.bshr_access_cycles);
+        bshr.configure_timeout(config.bshr_timeout_cycles, config.bshr_retry_budget);
         MemSide {
             id,
             pt,
@@ -80,7 +82,7 @@ impl MemSide {
             icache: Cache::new(config.icache),
             mem: MainMemory::new(config.memory),
             dcub: Dcub::new(),
-            bshr: Bshr::new(config.bshr_entries, config.bshr_access_cycles),
+            bshr,
             dtlb: config.tlb.map(Tlb::new),
             tlb_walk_cycles: config.tlb_walk_cycles,
             line_bytes: config.dcache.line_bytes,
@@ -127,6 +129,25 @@ impl MemSide {
         self.stats.broadcasts_sent += 1;
         self.probe.record(ready, EventKind::BroadcastSend { line });
         self.outgoing.push(ready, msg);
+    }
+
+    /// Sends a traditional point-to-point request for `line` to its
+    /// owner — the graceful-degradation fallback once a line exhausts
+    /// its retransmit budget. Address-only (no payload).
+    fn send_direct_request(&mut self, line: u64, owner: NodeId, now: Cycle) {
+        let ready = now + self.queue_penalty;
+        self.outgoing.push(
+            ready,
+            Message {
+                src: self.id,
+                dest: Some(owner),
+                kind: MsgKind::Request,
+                line_addr: line,
+                payload_bytes: 0,
+                seq: 0,
+                enqueued_at: ready,
+            },
+        );
     }
 
     fn handle_victim(&mut self, victim: Option<Victim>, now: Cycle) {
@@ -228,7 +249,7 @@ impl MemSystem for MemSide {
                 self.record_dcub_push(line, now);
                 (LoadResponse::Ready(done), false)
             }
-            PageClass::Owned(_) => {
+            PageClass::Owned(owner) => {
                 self.stats.remote_accesses += 1;
                 match self.bshr.request(line, tag, now) {
                     Some(ready) => {
@@ -248,6 +269,13 @@ impl MemSystem for MemSide {
                             now,
                             EventKind::BshrAllocate { line, occ: self.bshr.occupancy() as u32 },
                         );
+                        // A degraded line no longer trusts the owner's
+                        // broadcast: ask for the data explicitly, as a
+                        // traditional machine would.
+                        if self.bshr.is_degraded(line) {
+                            self.stats.degraded_requests += 1;
+                            self.send_direct_request(line, owner, now);
+                        }
                         self.dcub.insert(line, None, false);
                         self.record_dcub_push(line, now);
                         (LoadResponse::Pending, false)
@@ -361,6 +389,10 @@ impl MemSystem for MemSide {
 pub struct Node {
     pub(crate) core: OooCore,
     pub(crate) ms: MemSide,
+    /// Chaos tick stalls scheduled for this node, as half-open
+    /// `[start, end)` cycle windows sorted by start. Empty (the common
+    /// case) costs one slice-length check per cycle.
+    stalls: Vec<(Cycle, Cycle)>,
     /// Cumulative `CycleAccount` snapshots for the Perfetto stall
     /// counter track, taken every [`SAMPLE_INTERVAL`] cycles.
     #[cfg(feature = "obs")]
@@ -383,9 +415,18 @@ impl Node {
         let mut core = OooCore::new(config.core, config.icache.line_bytes);
         #[cfg(feature = "obs")]
         core.set_crit_window_capacity(config.crit_window_capacity);
+        let mut stalls: Vec<(Cycle, Cycle)> = config
+            .fault_plan
+            .stalls
+            .iter()
+            .filter(|s| s.node == id)
+            .map(|s| (s.at, s.at.saturating_add(s.cycles)))
+            .collect();
+        stalls.sort_unstable();
         Node {
             core,
             ms: MemSide::new(id, pt, config),
+            stalls,
             #[cfg(feature = "obs")]
             samples: Vec::with_capacity(256),
             #[cfg(feature = "obs")]
@@ -393,8 +434,23 @@ impl Node {
         }
     }
 
-    /// Advances the node one cycle.
+    /// `Some(end)` when a chaos stall covers cycle `now` — the node's
+    /// tick is suppressed until `end`. Hot path: the schedule is empty
+    /// in fault-free runs, so this is one length check.
+    #[inline]
+    pub(crate) fn stalled_until(&self, now: Cycle) -> Option<Cycle> {
+        self.stalls
+            .iter()
+            .find(|&&(start, end)| start <= now && now < end)
+            .map(|&(_, end)| end)
+    }
+
+    /// Advances the node one cycle. A chaos-stalled cycle suppresses
+    /// the tick entirely (the cycle is still charged by the caller).
     pub(crate) fn step(&mut self, trace: &mut TraceSource, now: Cycle) -> Result<(), ds_cpu::ExecError> {
+        if !self.stalls.is_empty() && self.stalled_until(now).is_some() {
+            return Ok(());
+        }
         self.core.step(&mut self.ms, trace, now)
     }
 
@@ -405,18 +461,36 @@ impl Node {
         trace: &TraceSource,
         now: Cycle,
     ) -> Result<(), ds_cpu::ExecError> {
+        if !self.stalls.is_empty() && self.stalled_until(now).is_some() {
+            return Ok(());
+        }
         let mut feed = trace.ready_window();
         self.core.step(&mut self.ms, &mut feed, now)
     }
 
     /// Earliest future cycle at which this node's state can change: the
-    /// core's own horizon plus the first cycle a queued broadcast
-    /// becomes bus-ready. Conservative (never later than the true next
-    /// change), so skipping to the system-wide minimum is always safe.
+    /// core's own horizon, the first cycle a queued broadcast becomes
+    /// bus-ready, the nearest BSHR retransmit deadline, and the nearest
+    /// chaos-stall boundary (start or release — an event horizon must
+    /// never skip past either edge). Conservative (never later than the
+    /// true next change), so skipping to the system-wide minimum is
+    /// always safe.
     pub(crate) fn next_event(&self, now: Cycle) -> Cycle {
         let mut horizon = self.core.next_event(now);
         if let Some(ready) = self.ms.outgoing.next_ready() {
             horizon = horizon.min(ready.max(now + 1));
+        }
+        if let Some(deadline) = self.ms.bshr.next_timeout() {
+            horizon = horizon.min(deadline.max(now + 1));
+        }
+        for &(start, end) in &self.stalls {
+            if start > now {
+                horizon = horizon.min(start);
+                break;
+            }
+            if end > now {
+                horizon = horizon.min(end);
+            }
         }
         horizon
     }
@@ -426,7 +500,33 @@ impl Node {
     /// `(now, target)` would have (stall counters; nothing else — the
     /// skipped range is quiescent by construction).
     pub(crate) fn advance_to(&mut self, now: Cycle, target: Cycle) {
-        self.core.advance_to(now, target);
+        if self.stalls.is_empty() {
+            self.core.advance_to(now, target);
+            return;
+        }
+        // The naive loop suppresses the core tick inside chaos-stall
+        // windows (`step` returns before `core.step`), so the batch
+        // bookkeeping must leave those sub-ranges uncharged too.
+        let mut from = now + 1;
+        for &(start, end) in &self.stalls {
+            if end <= from {
+                continue;
+            }
+            if start >= target {
+                break;
+            }
+            let chunk_end = start.min(target).max(from);
+            if chunk_end > from {
+                self.core.advance_to(from - 1, chunk_end);
+            }
+            from = from.max(end);
+            if from >= target {
+                return;
+            }
+        }
+        if target > from {
+            self.core.advance_to(from - 1, target);
+        }
     }
 
     /// Exclusive upper bound on the trace indices the next `step` can
@@ -446,41 +546,162 @@ impl Node {
         self.ms.outgoing.pop_due(now)
     }
 
-    /// A broadcast arrived from the bus.
+    /// A message arrived from the interconnect: an ESP broadcast in the
+    /// fault-free protocol, or one of the ds-chaos hardening kinds
+    /// (retransmit requests, degraded-mode requests and responses).
     pub(crate) fn deliver(&mut self, msg: &Message, now: Cycle) {
-        debug_assert_eq!(msg.kind, MsgKind::Broadcast);
         let line = msg.line_addr;
-        self.ms.probe.record(
-            now,
-            EventKind::BroadcastArrive { line, latency: now.saturating_sub(msg.enqueued_at) },
-        );
-        match self.ms.bshr.on_arrival(line, now) {
-            Arrival::Completed(waiters) => {
+        match msg.kind {
+            MsgKind::Broadcast => {
                 self.ms.probe.record(
                     now,
-                    EventKind::BshrFill {
+                    EventKind::BroadcastArrive {
                         line,
-                        waiters: waiters.len() as u32,
-                        occ: self.ms.bshr.occupancy() as u32,
+                        latency: now.saturating_sub(msg.enqueued_at),
                     },
                 );
-                if let Some(&(_, ready)) = waiters.first() {
-                    self.ms.dcub.mark_ready(line, ready);
-                }
-                for (tag, ready) in waiters {
-                    // `enqueued_at` is the owner's send-queue cycle:
-                    // tagging the fill with it lets the critical-path
-                    // walk measure the broadcast end-to-end.
-                    self.core.complete_load_from(tag, ready, line, msg.enqueued_at);
+                match self.ms.bshr.on_arrival(line, now) {
+                    Arrival::Completed(waiters) => {
+                        self.ms.probe.record(
+                            now,
+                            EventKind::BshrFill {
+                                line,
+                                waiters: waiters.len() as u32,
+                                occ: self.ms.bshr.occupancy() as u32,
+                            },
+                        );
+                        if let Some(&(_, ready)) = waiters.first() {
+                            self.ms.dcub.mark_ready(line, ready);
+                        }
+                        for (tag, ready) in waiters {
+                            // `enqueued_at` is the owner's send-queue
+                            // cycle: tagging the fill with it lets the
+                            // critical-path walk measure the broadcast
+                            // end-to-end.
+                            self.core.complete_load_from(tag, ready, line, msg.enqueued_at);
+                        }
+                    }
+                    Arrival::Squashed => {
+                        self.ms.probe.record(
+                            now,
+                            EventKind::BshrSquash { line, occ: self.ms.bshr.occupancy() as u32 },
+                        );
+                    }
+                    Arrival::Buffered => {}
                 }
             }
-            Arrival::Squashed => {
-                self.ms.probe.record(
-                    now,
-                    EventKind::BshrSquash { line, occ: self.ms.bshr.occupancy() as u32 },
+            MsgKind::RetransmitReq => {
+                // Only the line's owner can repair a lost broadcast;
+                // everyone else hears the request and ignores it (their
+                // own wait, if any, is answered by the re-broadcast).
+                if self.ms.pt.classify(line) == PageClass::Owned(self.ms.id) {
+                    let done = self.ms.mem.access(line, self.ms.line_bytes, now);
+                    self.ms.stats.retransmit_rebroadcasts += 1;
+                    self.ms.probe.record(now, EventKind::RetransmitRebroadcast { line });
+                    self.ms.push_broadcast(line, done + self.ms.queue_penalty);
+                }
+            }
+            MsgKind::Request => {
+                // Degraded-mode direct request: serve it like a
+                // traditional memory, point-to-point.
+                debug_assert_eq!(self.ms.pt.classify(line), PageClass::Owned(self.ms.id));
+                let done = self.ms.mem.access(line, self.ms.line_bytes, now);
+                self.ms.stats.degraded_responses += 1;
+                let ready = done + self.ms.queue_penalty;
+                self.ms.outgoing.push(
+                    ready,
+                    Message {
+                        src: self.ms.id,
+                        dest: Some(msg.src),
+                        kind: MsgKind::Response,
+                        line_addr: line,
+                        payload_bytes: self.ms.line_bytes,
+                        seq: 0,
+                        enqueued_at: ready,
+                    },
                 );
             }
-            Arrival::Buffered => {}
+            MsgKind::Response => {
+                // Degraded-mode fill. A duplicate (the original
+                // broadcast raced the retransmit path) finds no wait
+                // and is dropped.
+                if let Some(waiters) = self.ms.bshr.fill_direct(line, now) {
+                    self.ms.probe.record(
+                        now,
+                        EventKind::BshrFill {
+                            line,
+                            waiters: waiters.len() as u32,
+                            occ: self.ms.bshr.occupancy() as u32,
+                        },
+                    );
+                    if let Some(&(_, ready)) = waiters.first() {
+                        self.ms.dcub.mark_ready(line, ready);
+                    }
+                    for (tag, ready) in waiters {
+                        self.core.complete_load_from(tag, ready, line, msg.enqueued_at);
+                    }
+                }
+            }
+            MsgKind::WriteBack | MsgKind::WriteThrough => {
+                debug_assert!(false, "traditional-only message kind reached a DataScalar node");
+            }
+        }
+    }
+
+    /// Drains expired BSHR waits into the escalation ladder: timeout →
+    /// retransmit request (broadcast), budget exhausted → per-line
+    /// degradation to direct request–response. Called once per cycle by
+    /// the system loop, and only when a timeout is configured — the
+    /// fault-free hot path never enters. The drain order (lowest line
+    /// first) is deterministic.
+    pub(crate) fn poll_faults(&mut self, now: Cycle) {
+        while let Some(e) = self.ms.bshr.take_expired(now) {
+            let PageClass::Owned(owner) = self.ms.pt.classify(e.line) else {
+                debug_assert!(false, "BSHR wait on a non-remote line");
+                continue;
+            };
+            debug_assert_ne!(owner, self.ms.id);
+            if e.newly_degraded {
+                self.ms.probe.record(now, EventKind::LineDegraded { line: e.line });
+            }
+            if e.degraded {
+                self.ms.stats.degraded_requests += 1;
+                self.ms.send_direct_request(e.line, owner, now);
+            } else {
+                self.ms.stats.retransmit_requests += 1;
+                self.ms.probe.record(
+                    now,
+                    EventKind::RetransmitRequest { line: e.line, retry: e.retries },
+                );
+                let ready = now + self.ms.queue_penalty;
+                self.ms.outgoing.push(
+                    ready,
+                    Message {
+                        src: self.ms.id,
+                        dest: None,
+                        kind: MsgKind::RetransmitReq,
+                        line_addr: e.line,
+                        payload_bytes: 0,
+                        seq: 0,
+                        enqueued_at: ready,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Assembles this node's slice of a [`crate::watchdog::DeadlockReport`].
+    /// Cold path — only runs when the watchdog has already tripped.
+    pub(crate) fn deadlock_state(&self, now: Cycle) -> crate::watchdog::NodeDeadlockState {
+        crate::watchdog::NodeDeadlockState {
+            node: self.ms.id,
+            committed: self.core.committed(),
+            oldest: self.core.oldest_entry(),
+            bshr_waits: self.ms.bshr.wait_lines(),
+            bshr_buffered: self.ms.bshr.buffered_lines(),
+            pending_squashes: self.ms.bshr.squash_lines(),
+            degraded_lines: self.ms.bshr.degraded_lines(),
+            stalled_until: self.stalled_until(now),
         }
     }
 
@@ -547,6 +768,11 @@ impl Node {
                 // bucket exactly.
                 if self.ms.bshr.has_pending_squashes() {
                     (StallBucket::CommitRepair, None)
+                } else if self.ms.bshr.has_retrying_waits() {
+                    // A wait past its first timeout: the cycle belongs
+                    // to fault recovery (retransmit or degraded-mode
+                    // request), not the healthy broadcast path.
+                    (StallBucket::RetryWait, None)
                 } else if bus_busy {
                     (StallBucket::BusContentionWait, None)
                 } else {

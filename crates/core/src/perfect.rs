@@ -54,6 +54,12 @@ pub struct PerfectSystem {
     trace: TraceSource,
     cycles: Cycle,
     max_insts: u64,
+    watchdog_cycles: u64,
+    /// `Some` once the forward-progress watchdog has tripped. A perfect
+    /// cache cannot wedge on data, so this is pure parity with the
+    /// other system models (a broken core model would still surface as
+    /// a report rather than a hang).
+    deadlock: Option<Box<crate::watchdog::DeadlockReport>>,
     /// Cycle accounting (observational; instrumented builds only).
     #[cfg(feature = "obs")]
     probe: crate::node::NodeProbe,
@@ -80,6 +86,8 @@ impl PerfectSystem {
             trace: TraceSource::new(FuncCore::with_stack(program.entry, program.stack_top), mem),
             cycles: 0,
             max_insts: config.max_insts.unwrap_or(u64::MAX),
+            watchdog_cycles: config.watchdog_cycles,
+            deadlock: None,
             #[cfg(feature = "obs")]
             probe: Default::default(),
         }
@@ -91,6 +99,7 @@ impl PerfectSystem {
     ///
     /// Propagates functional-execution errors.
     pub fn run(&mut self) -> Result<RunResult, ExecError> {
+        let mut wd = crate::watchdog::ForwardProgress::new(self.watchdog_cycles);
         while !self.core.is_done() && self.core.committed() < self.max_insts {
             self.core.step(&mut self.ms, &mut self.trace, self.cycles)?;
             #[cfg(feature = "obs")]
@@ -98,6 +107,21 @@ impl PerfectSystem {
             self.cycles += 1;
             if self.cycles.is_multiple_of(1024) {
                 self.trace.trim(self.core.fetch_cursor());
+            }
+            if wd.watchdog_check(self.core.committed(), self.cycles) {
+                self.deadlock = Some(Box::new(crate::watchdog::DeadlockReport {
+                    cycle: self.cycles,
+                    committed: self.core.committed(),
+                    nodes: vec![crate::watchdog::NodeDeadlockState {
+                        node: 0,
+                        committed: self.core.committed(),
+                        oldest: self.core.oldest_entry(),
+                        ..Default::default()
+                    }],
+                    in_flight: Vec::new(),
+                    recent_events: Vec::new(),
+                }));
+                break;
             }
         }
         let mut stats = self.ms.stats;
@@ -109,6 +133,7 @@ impl PerfectSystem {
             bus: Default::default(),
             trace_window_high_water: self.trace.max_window_len(),
             metrics: self.metrics(),
+            deadlock: self.deadlock.clone(),
         })
     }
 

@@ -43,6 +43,16 @@ pub struct NodeStats {
     pub core: OooStats,
     /// High-water mark of DCUB occupancy.
     pub dcub_max: usize,
+    /// Retransmit requests this node sent after BSHR timeouts
+    /// (ds-chaos hardening; zero in fault-free runs).
+    pub retransmit_requests: u64,
+    /// Reparative re-broadcasts this node sent as owner in answer to
+    /// retransmit requests.
+    pub retransmit_rebroadcasts: u64,
+    /// Direct owner requests sent for degraded lines.
+    pub degraded_requests: u64,
+    /// Direct responses this node served as owner for degraded lines.
+    pub degraded_responses: u64,
 }
 
 impl NodeStats {
@@ -96,6 +106,10 @@ pub struct RunResult {
     /// Deliberately excluded from the golden fingerprints —
     /// observation must not perturb the pinned counters.
     pub metrics: Option<MetricsReport>,
+    /// `Some` when the forward-progress watchdog aborted the run: the
+    /// structured evidence of where every node was wedged. Boxed — the
+    /// report is large and almost every run carries `None`.
+    pub deadlock: Option<Box<crate::watchdog::DeadlockReport>>,
 }
 
 impl RunResult {

@@ -3,6 +3,7 @@
 use crate::config::DsConfig;
 use crate::node::Node;
 use crate::stats::RunResult;
+use crate::watchdog::{DeadlockReport, ForwardProgress};
 use crate::Cycle;
 use ds_asm::Program;
 use ds_cpu::{ExecError, FuncCore, TraceSource};
@@ -29,6 +30,9 @@ pub struct DsSystem {
     /// Cycles advanced by event-horizon jumps rather than naive
     /// iteration (diagnostic; not part of `RunResult`).
     skipped: u64,
+    /// `Some` once the forward-progress watchdog has tripped: the run
+    /// terminated with this structured evidence instead of hanging.
+    deadlock: Option<Box<DeadlockReport>>,
     /// Cross-node commit-stream auditor (observational only).
     #[cfg(feature = "audit")]
     audit: crate::audit::SystemAudit,
@@ -39,16 +43,6 @@ pub struct DsSystem {
     /// to the lowest id) and the cycle it took the lead.
     #[cfg(feature = "obs")]
     lead: (usize, Cycle),
-}
-
-/// Commit-progress tracking for the deadlock watchdog, threaded through
-/// the cycle tail (and consulted by the horizon jump, which must never
-/// skip past the watchdog's panic iteration).
-struct Watchdog {
-    /// Total committed instructions at the last progress check.
-    last_total: u64,
-    /// Cycle count when `last_total` last moved.
-    last_progress_cycle: Cycle,
 }
 
 impl DsSystem {
@@ -83,13 +77,14 @@ impl DsSystem {
             .map(|i| Node::new(i, Arc::clone(&page_table), &config))
             .collect();
         DsSystem {
-            bus: Fabric::new(config.interconnect, bus_cfg),
+            bus: Fabric::with_chaos(config.interconnect, bus_cfg, &config.fault_plan),
             nodes,
             trace,
             page_table,
             cycles: 0,
             delivered: 0,
             skipped: 0,
+            deadlock: None,
             #[cfg(feature = "audit")]
             audit: crate::audit::SystemAudit::new(config.nodes),
             #[cfg(feature = "obs")]
@@ -127,16 +122,16 @@ impl DsSystem {
     /// Runs until every node commits the whole program (or
     /// `config.max_insts` instructions), returning aggregate results.
     ///
+    /// If no node commits for `config.watchdog_cycles` consecutive
+    /// cycles — a correspondence-protocol deadlock, which the fault-free
+    /// design rules out but ds-chaos injection provokes on purpose —
+    /// the run terminates with a structured [`DeadlockReport`] on
+    /// [`RunResult::deadlock`] instead of hanging or panicking.
+    ///
     /// # Errors
     ///
     /// Propagates functional-execution errors (undecodable
     /// instructions).
-    ///
-    /// # Panics
-    ///
-    /// Panics if no node commits for `config.watchdog_cycles`
-    /// consecutive cycles — a correspondence-protocol deadlock, which
-    /// the design rules out; the panic is the tripwire.
     pub fn run(&mut self) -> Result<RunResult, ExecError> {
         if self.config.parallel_step && self.config.nodes > 1 {
             self.run_parallel()
@@ -157,7 +152,7 @@ impl DsSystem {
             &mut self.trace,
             TraceSource::new(FuncCore::new(0), MemImage::new()),
         );
-        let mut wd = Watchdog { last_total: 0, last_progress_cycle: self.cycles };
+        let mut wd = ForwardProgress::new(self.config.watchdog_cycles);
         // Reused every cycle; the hot loop allocates nothing.
         let mut deliveries = Vec::new();
         let outcome: Result<(), ExecError> = loop {
@@ -207,7 +202,7 @@ impl DsSystem {
         let workers = n.min(worker_count());
         let barrier = CycleBarrier::new();
         let step_err: Mutex<Option<ExecError>> = Mutex::new(None);
-        let mut wd = Watchdog { last_total: 0, last_progress_cycle: self.cycles };
+        let mut wd = ForwardProgress::new(self.config.watchdog_cycles);
         let mut deliveries = Vec::new();
         let outcome: Result<(), ExecError> = std::thread::scope(|scope| {
             // Declared before the guards below: on unwind the node
@@ -301,7 +296,7 @@ impl DsSystem {
         nodes: &mut [N],
         trace: &mut TraceSource,
         now: Cycle,
-        wd: &mut Watchdog,
+        wd: &mut ForwardProgress,
         deliveries: &mut Vec<Delivery>,
     ) -> bool {
         #[cfg(feature = "audit")]
@@ -331,18 +326,29 @@ impl DsSystem {
                 self.bus.enqueue(msg);
             }
         }
-        // 3. The bus advances; completed broadcasts are delivered.
+        // 3. The bus advances; completed messages are delivered.
         self.bus.step_into(now, deliveries);
         for delivery in deliveries.iter() {
-            debug_assert_eq!(delivery.msg.kind, MsgKind::Broadcast);
-            self.delivered += 1;
-            if let Some(n) = self.config.fault_drop_every {
-                if self.delivered.is_multiple_of(n) {
-                    continue; // injected fault: lose the broadcast
+            if delivery.msg.kind == MsgKind::Broadcast {
+                self.delivered += 1;
+                if let Some(n) = self.config.fault_drop_every {
+                    if self.delivered.is_multiple_of(n) {
+                        continue; // injected fault: lose the broadcast
+                    }
                 }
             }
             let dest: &mut Node = nodes[delivery.dest].borrow_mut();
             dest.deliver(&delivery.msg, now);
+        }
+        // 3b. BSHR hardening: expired waits escalate to retransmit
+        //     requests (or degraded direct requests). Polled after this
+        //     cycle's deliveries so an arrival at `now` always beats a
+        //     timeout at `now`. Gated — the fault-free path never scans.
+        if self.config.bshr_timeout_cycles.is_some() {
+            for node in nodes.iter_mut() {
+                let node: &mut Node = node.borrow_mut();
+                node.poll_faults(now);
+            }
         }
         self.cycles += 1;
         // 4. Trim the shared trace behind the slowest node.
@@ -368,24 +374,14 @@ impl DsSystem {
             total += c;
             all_done &= n.is_done() || c >= max_insts;
         }
-        let progressed = total != wd.last_total;
-        if progressed {
-            wd.last_total = total;
-            wd.last_progress_cycle = self.cycles;
-        } else if self.cycles - wd.last_progress_cycle > self.config.watchdog_cycles {
-            // ds-lint: allow(p1) deliberate abort: a stalled machine means the broadcast/BSHR pairing broke and no recovery exists (docs/protocol.md §5)
-            panic!(
-                "DataScalar deadlock: no commit in {} cycles (committed {:?})",
-                self.config.watchdog_cycles,
-                nodes
-                    .iter()
-                    .map(|n| {
-                        let n: &Node = n.borrow();
-                        n.committed()
-                    })
-                    .collect::<Vec<_>>()
-            );
+        if wd.watchdog_check(total, self.cycles) {
+            // A stalled machine means the broadcast/BSHR pairing broke
+            // and (with hardening off or exhausted) no recovery exists:
+            // terminate with evidence instead of spinning or panicking.
+            self.deadlock = Some(Box::new(self.build_deadlock_report(nodes, now, total)));
+            return true;
         }
+        let progressed = wd.watchdog_last_progress() == self.cycles;
         if all_done {
             return true;
         }
@@ -417,15 +413,14 @@ impl DsSystem {
         nodes: &mut [N],
         trace: &mut TraceSource,
         now: Cycle,
-        wd: &Watchdog,
+        wd: &ForwardProgress,
     ) {
         let mut horizon = self.bus.next_event(now);
         for node in nodes.iter() {
             let node: &Node = node.borrow();
             horizon = horizon.min(node.next_event(now));
         }
-        horizon =
-            horizon.min(wd.last_progress_cycle.saturating_add(self.config.watchdog_cycles));
+        horizon = horizon.min(wd.watchdog_deadline());
         if horizon <= now + 1 {
             return;
         }
@@ -463,6 +458,50 @@ impl DsSystem {
         self.cycles = horizon;
     }
 
+    /// Assembles the structured evidence the run terminates with when
+    /// the forward-progress watchdog trips: per-node RUU/BSHR
+    /// snapshots, every message still on (or fault-deferred inside) the
+    /// interconnect, and the tail of the observability event rings.
+    /// Cold path — runs at most once per run.
+    fn build_deadlock_report<N: BorrowMut<Node>>(
+        &self,
+        nodes: &[N],
+        now: Cycle,
+        total: u64,
+    ) -> DeadlockReport {
+        let mut report = DeadlockReport {
+            cycle: self.cycles,
+            committed: total,
+            nodes: nodes
+                .iter()
+                .map(|n| {
+                    let n: &Node = n.borrow();
+                    n.deadlock_state(now)
+                })
+                .collect(),
+            in_flight: Vec::new(),
+            recent_events: Vec::new(),
+        };
+        self.bus.pending_into(&mut report.in_flight);
+        #[cfg(feature = "obs")]
+        {
+            let mut evs: Vec<ds_obs::Event> = Vec::new();
+            for n in nodes.iter() {
+                let n: &Node = n.borrow();
+                evs.extend(n.events().iter().cloned());
+            }
+            // Stable by cycle: ties keep node order, so the tail is
+            // deterministic across engines.
+            evs.sort_by_key(|e| e.cycle);
+            let tail = crate::watchdog::REPORT_EVENT_TAIL;
+            if evs.len() > tail {
+                evs.drain(..evs.len() - tail);
+            }
+            report.recent_events = evs;
+        }
+        report
+    }
+
     /// Post-loop bookkeeping shared by both engines.
     fn finish_run(&mut self) -> RunResult {
         #[cfg(feature = "obs")]
@@ -477,7 +516,11 @@ impl DsSystem {
             }
         }
         let result = self.result();
-        self.drain_interconnect();
+        // A deadlocked interconnect cannot drain (the wedged episode's
+        // traffic never resolves); the report already captured it.
+        if self.deadlock.is_none() {
+            self.drain_interconnect();
+        }
         #[cfg(feature = "audit")]
         self.assert_audit_invariants();
         result
@@ -521,7 +564,14 @@ impl DsSystem {
             bus: *self.bus.stats(),
             trace_window_high_water: self.trace.max_window_len(),
             metrics: self.metrics(),
+            deadlock: self.deadlock.clone(),
         }
+    }
+
+    /// The fabric-level fault-injection counters: `None` when the run's
+    /// `FaultPlan` was empty (no injector was built at all).
+    pub fn fault_stats(&self) -> Option<&ds_net::FaultStats> {
+        self.bus.fault_stats()
     }
 
     /// Derived event-stream metrics: `None` unless built with `obs`.
@@ -797,7 +847,16 @@ impl DsSystem {
     /// episodes legitimately in flight.
     fn assert_audit_invariants(&mut self) {
         self.absorb_audit();
-        if self.config.fault_drop_every.is_some() {
+        // The message ledger below assumes the pristine ESP protocol:
+        // injected faults, retransmit re-broadcasts and degraded-mode
+        // traffic all perturb the per-node arrival counts by design
+        // (architectural state is still asserted equal by the chaos
+        // test grid).
+        if self.config.fault_drop_every.is_some()
+            || !self.config.fault_plan.is_empty()
+            || self.config.bshr_timeout_cycles.is_some()
+            || self.deadlock.is_some()
+        {
             return;
         }
         if !self.nodes.iter().all(|n| n.is_done()) {
@@ -1071,17 +1130,64 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "DataScalar deadlock")]
     fn watchdog_catches_a_lost_broadcast() {
         // Fault injection: dropping a broadcast must wedge the waiting
-        // node, and the watchdog must catch it rather than spinning
-        // forever — validating the deadlock tripwire end to end.
+        // node, and the watchdog must terminate the run with a
+        // structured report rather than spinning forever — validating
+        // the deadlock tripwire end to end.
         let prog = strided_prog();
         let mut config = DsConfig::with_nodes(2);
         config.fault_drop_every = Some(10);
         config.watchdog_cycles = 50_000;
         let mut sys = DsSystem::new(config, &prog);
-        let _ = sys.run();
+        let r = sys.run().unwrap();
+        let report = r.deadlock.expect("a dropped broadcast must trip the watchdog");
+        assert_eq!(report.cycle, r.cycles);
+        assert_eq!(report.nodes.len(), 2);
+        // The wedged node is visibly waiting on something remote.
+        assert!(
+            report.nodes.iter().any(|n| !n.bshr_waits.is_empty()),
+            "some node must hold an unanswered BSHR wait: {report}"
+        );
+        let text = report.to_string();
+        assert!(text.contains("deadlock at cycle"));
+    }
+
+    #[test]
+    fn chaos_drop_with_timeouts_recovers_and_matches_baseline() {
+        // The hardening loop end to end: a plan that drops broadcasts
+        // plus a BSHR timeout must retransmit its way to completion,
+        // with architectural state identical to the fault-free run.
+        let prog = strided_prog();
+        let baseline = {
+            let mut sys = DsSystem::new(DsConfig::with_nodes(2), &prog);
+            let r = sys.run().unwrap();
+            (r.committed, sys.nodes()[0].canonical_cache_lines())
+        };
+        let mut config = DsConfig::with_nodes(2);
+        config.fault_plan.rules.push(ds_net::FaultRule::broadcasts(
+            ds_net::FaultKind::Drop,
+            7,
+            u64::MAX,
+        ));
+        config.bshr_timeout_cycles = Some(2000);
+        config.bshr_retry_budget = 3;
+        config.watchdog_cycles = 200_000;
+        let mut sys = DsSystem::new(config, &prog);
+        let r = sys.run().unwrap();
+        assert!(r.deadlock.is_none(), "hardening must recover: {}", r.deadlock.unwrap());
+        assert_eq!(r.committed, baseline.0, "same committed stream");
+        for node in sys.nodes() {
+            assert_eq!(
+                node.canonical_cache_lines(),
+                baseline.1,
+                "architectural state must match the fault-free run"
+            );
+        }
+        let retransmits: u64 = r.nodes.iter().map(|n| n.retransmit_requests).sum();
+        assert!(retransmits > 0, "drops must surface as retransmit requests");
+        let stats = sys.fault_stats().expect("non-empty plan builds an injector");
+        assert!(stats.dropped > 0, "the injector must actually drop broadcasts");
     }
 
     #[test]

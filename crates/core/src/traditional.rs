@@ -224,6 +224,8 @@ pub struct TraditionalSystem {
     max_insts: u64,
     watchdog_cycles: u64,
     queue_penalty: u64,
+    /// `Some` once the forward-progress watchdog has tripped.
+    deadlock: Option<Box<crate::watchdog::DeadlockReport>>,
     /// Cycle accounting (observational; instrumented builds only).
     #[cfg(feature = "obs")]
     probe: crate::node::NodeProbe,
@@ -280,23 +282,22 @@ impl TraditionalSystem {
             max_insts: base.max_insts.unwrap_or(u64::MAX),
             watchdog_cycles: base.watchdog_cycles,
             queue_penalty: base.queue_penalty,
+            deadlock: None,
             #[cfg(feature = "obs")]
             probe: Default::default(),
         }
     }
 
-    /// Runs to completion (or the instruction cap).
+    /// Runs to completion (or the instruction cap). If no instruction
+    /// commits for the configured watchdog window (a lost response —
+    /// must not happen), the run terminates with a structured
+    /// [`crate::watchdog::DeadlockReport`] on `RunResult::deadlock`.
     ///
     /// # Errors
     ///
     /// Propagates functional-execution errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no instruction commits for the configured watchdog
-    /// window (a lost response — must not happen).
     pub fn run(&mut self) -> Result<RunResult, ExecError> {
-        let mut last_progress = (0u64, 0u64);
+        let mut wd = crate::watchdog::ForwardProgress::new(self.watchdog_cycles);
         // Reused every cycle; the hot loop allocates nothing.
         let mut deliveries = Vec::new();
         while !self.core.is_done() && self.core.committed() < self.max_insts {
@@ -331,16 +332,39 @@ impl TraditionalSystem {
             if now.is_multiple_of(1024) {
                 self.trace.trim(self.core.fetch_cursor());
             }
-            if self.core.committed() != last_progress.0 {
-                last_progress = (self.core.committed(), self.cycles);
-            } else if self.cycles - last_progress.1 > self.watchdog_cycles {
-                panic!(
-                    "traditional system wedged at {} committed instructions",
-                    self.core.committed()
-                );
+            if wd.watchdog_check(self.core.committed(), self.cycles) {
+                self.deadlock = Some(Box::new(self.build_deadlock_report()));
+                break;
             }
         }
         Ok(self.result())
+    }
+
+    /// The structured evidence a wedged run terminates with (one-node
+    /// machine: the CPU side plus both bus directions). Cold path.
+    fn build_deadlock_report(&self) -> crate::watchdog::DeadlockReport {
+        let mut report = crate::watchdog::DeadlockReport {
+            cycle: self.cycles,
+            committed: self.core.committed(),
+            nodes: vec![crate::watchdog::NodeDeadlockState {
+                node: 0,
+                committed: self.core.committed(),
+                oldest: self.core.oldest_entry(),
+                bshr_waits: self.ms.waiting.entries().iter().map(|&(l, _)| l).collect(),
+                ..Default::default()
+            }],
+            in_flight: Vec::new(),
+            recent_events: Vec::new(),
+        };
+        self.bus.pending_into(&mut report.in_flight);
+        #[cfg(feature = "obs")]
+        {
+            let evs: Vec<ds_obs::Event> = self.core.events().iter().cloned().collect();
+            let tail = crate::watchdog::REPORT_EVENT_TAIL;
+            let skip = evs.len().saturating_sub(tail);
+            report.recent_events = evs.into_iter().skip(skip).collect();
+        }
+        report
     }
 
     fn on_delivery(&mut self, msg: Message, now: Cycle) {
@@ -379,7 +403,9 @@ impl TraditionalSystem {
                     }
                 }
             }
-            MsgKind::Broadcast => unreachable!("no broadcasts in the traditional system"),
+            MsgKind::Broadcast | MsgKind::RetransmitReq => {
+                unreachable!("no ESP traffic in the traditional system")
+            }
         }
     }
 
@@ -427,6 +453,7 @@ impl TraditionalSystem {
             bus: *self.bus.stats(),
             trace_window_high_water: self.trace.max_window_len(),
             metrics: self.metrics(),
+            deadlock: self.deadlock.clone(),
         }
     }
 

@@ -28,7 +28,7 @@ mod trace;
 pub use branch::{BranchModel, Predictor};
 pub use exec::{ExecError, ExecRecord, FuncCore};
 pub use ooo::{
-    CoreStall, FuPool, LoadResponse, MemSystem, OooConfig, OooCore, OooStats, RuuTag,
+    CoreStall, FuPool, LoadResponse, MemSystem, OooConfig, OooCore, OooStats, RuuSnapshot, RuuTag,
 };
 pub use trace::{InstFeed, ReadyWindow, TraceSource};
 

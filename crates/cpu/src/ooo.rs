@@ -290,6 +290,28 @@ pub enum CoreStall {
     Idle,
 }
 
+/// A point-in-time view of one RUU entry, taken when a deadlock report
+/// needs to explain what the machine was waiting on. Carries only plain
+/// copies — no references into the window — so reports outlive the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuuSnapshot {
+    /// Static PC of the instruction.
+    pub pc: u64,
+    /// Zero-based index in the committed instruction stream.
+    pub icount: u64,
+    /// True for loads and stores.
+    pub is_mem: bool,
+    /// True for loads.
+    pub is_load: bool,
+    /// True once the load was answered [`LoadResponse::Pending`] — its
+    /// data must arrive from a remote node.
+    pub pending_remote: bool,
+    /// The line a remote fill is expected to ride (0 until issued).
+    pub fill_line: u64,
+    /// Pipeline state label ("waiting" / "ready" / "issued" / "done").
+    pub state: &'static str,
+}
+
 /// The out-of-order core of one node.
 ///
 /// Drive it with one [`OooCore::step`] per cycle; deliver remote load
@@ -521,6 +543,26 @@ impl OooCore {
     /// Tag of the oldest in-flight instruction (== committed count).
     pub fn head_tag(&self) -> RuuTag {
         self.base_tag
+    }
+
+    /// Snapshot of the oldest in-flight instruction — the one the
+    /// commit stage is waiting on — for deadlock reports. `None` when
+    /// the window is empty (fetch-starved or finished).
+    pub fn oldest_entry(&self) -> Option<RuuSnapshot> {
+        self.window.front().map(|e| RuuSnapshot {
+            pc: e.rec.pc,
+            icount: e.rec.icount,
+            is_mem: e.rec.is_load() || e.rec.is_store(),
+            is_load: e.rec.is_load(),
+            pending_remote: e.pending_remote,
+            fill_line: e.fill_line,
+            state: match e.state {
+                EState::Waiting(_) => "waiting",
+                EState::Ready => "ready",
+                EState::Issued => "issued",
+                EState::Done => "done",
+            },
+        })
     }
 
     fn entry_mut(&mut self, tag: RuuTag) -> Option<&mut RuuEntry> {

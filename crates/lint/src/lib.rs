@@ -540,9 +540,12 @@ fn check_p1(cleaned: &str, out: &mut Vec<Candidate>) {
 /// event-horizon engine's per-cycle horizon computation and batch
 /// advance; `edge*` the critical-path analyzer's per-retirement edge
 /// recording; `sample*`/`interval*` the timeline sampler's
-/// once-per-4096-cycles snapshot close — report-time walks allocate
-/// freely, but deliberately carry non-prefixed names like
-/// `path_report` and `report`).
+/// once-per-4096-cycles snapshot close; `inject*`/`fault*`/`watchdog*`
+/// the ds-chaos per-cycle paths — the fault injector's delivery
+/// rewrite, rule matching, and the forward-progress check all run
+/// every cycle of a faulted run. Report-time walks allocate freely,
+/// but deliberately carry non-prefixed names like `path_report`,
+/// `report`, and `build_deadlock_report`).
 fn check_a1(cleaned: &str, out: &mut Vec<Candidate>) {
     let bodies = fn_bodies(cleaned, |name| {
         name.starts_with("step")
@@ -554,6 +557,9 @@ fn check_a1(cleaned: &str, out: &mut Vec<Candidate>) {
             || name.starts_with("edge")
             || name.starts_with("sample")
             || name.starts_with("interval")
+            || name.starts_with("inject")
+            || name.starts_with("fault")
+            || name.starts_with("watchdog")
     });
     if bodies.is_empty() {
         return;
@@ -732,12 +738,17 @@ fn doc_contains_mnemonic(doc: &str, mnemonic: &str) -> bool {
 pub const SIM_CRATES: [&str; 6] = ["core", "cpu", "mem", "net", "trace", "obs"];
 
 /// The cycle-loop hot modules p1/a1 police (workspace-relative).
-const HOT_MODULES: [&str; 9] = [
+/// chaos.rs and watchdog.rs are hot because the fault injector runs at
+/// every fabric delivery and the forward-progress check at every
+/// cycle of a faulted run.
+const HOT_MODULES: [&str; 11] = [
     "crates/core/src/system.rs",
     "crates/core/src/node.rs",
     "crates/core/src/pending.rs",
+    "crates/core/src/watchdog.rs",
     "crates/cpu/src/ooo.rs",
     "crates/net/src/fabric.rs",
+    "crates/net/src/chaos.rs",
     "crates/obs/src/account.rs",
     "crates/obs/src/critpath.rs",
     "crates/obs/src/ring.rs",
@@ -972,6 +983,24 @@ mod tests {
         assert_eq!(rules(&diags), vec![Rule::A1, Rule::A1], "{diags:?}");
         assert_eq!(diags[0].line, 1);
         assert_eq!(diags[1].line, 2);
+    }
+
+    #[test]
+    fn a1_flags_allocation_in_chaos_fns() {
+        // The fault injector's per-delivery rewrite and the watchdog's
+        // per-cycle progress check are policed like the step/charge
+        // paths; report-time builders (`build_deadlock_report`) carry
+        // non-prefixed names and allocate freely.
+        let src = "fn inject_step(&mut self, now: u64) { let v: Vec<u64> = Vec::new(); }\n\
+                   fn fault_matches(&self, now: u64) -> bool { let s = format!(\"x\"); true }\n\
+                   fn watchdog_check(&mut self, now: u64) { let b = Box::new(0u8); }\n\
+                   fn uninjected(&self) { let v: Vec<u8> = Vec::new(); }\n\
+                   fn build_deadlock_report(&self) -> Vec<u64> { Vec::new() }\n";
+        let diags = lint_source("x.rs", src, HOT);
+        assert_eq!(rules(&diags), vec![Rule::A1, Rule::A1, Rule::A1], "{diags:?}");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[1].line, 2);
+        assert_eq!(diags[2].line, 3);
     }
 
     #[test]

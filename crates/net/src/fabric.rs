@@ -1,12 +1,17 @@
-//! Interconnect abstraction: bus or ring.
+//! Interconnect abstraction: bus or ring, plus optional fault injection.
 //!
 //! §4.4 surveys three technologies for the DataScalar interconnect:
 //! buses (broadcasts implicit, but not scalable), rings (SCI-style,
 //! pipelined, broadcasts observed in different orders), and free-space
 //! optics (broadcasts essentially free — expressible here as a very
 //! wide, core-clocked bus). [`Fabric`] lets the system models swap
-//! among them without caring which is underneath.
+//! among them without caring which is underneath. When a non-empty
+//! [`FaultPlan`] is supplied, a [`FaultInjector`] sits between the
+//! interconnect model and its deliveries; with an empty plan no
+//! injector exists and the fabric behaves byte-identically to the
+//! un-hardened build.
 
+use crate::chaos::{FaultInjector, FaultPlan, FaultStats};
 use crate::ring::{Ring, RingConfig};
 use crate::{Bus, BusConfig, BusStats, Cycle, Delivery, Message};
 
@@ -21,7 +26,7 @@ pub enum FabricKind {
     Ring,
 }
 
-/// A bus or ring behind one interface.
+/// The underlying interconnect model.
 //
 // The instrumented bus carries its probe's recorder inline (event ring +
 // critical-path window headers), so the variants differ in size; one
@@ -30,78 +35,133 @@ pub enum FabricKind {
 // `step` path.
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
-pub enum Fabric {
+pub enum FabricInner {
     /// Shared-bus fabric.
     Bus(Bus),
     /// Slotted-ring fabric.
     Ring(Ring),
 }
 
+/// A bus or ring behind one interface, optionally faulted by ds-chaos.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    inner: FabricInner,
+    /// Present only under a non-empty fault plan; boxed because the
+    /// fault path is rare and the common case should not pay its
+    /// footprint.
+    chaos: Option<Box<FaultInjector>>,
+}
+
 impl Fabric {
-    /// Builds the fabric of `kind` from shared geometry. Rings need at
-    /// least two ports; degenerate single-node systems fall back to a
-    /// bus (which never carries traffic there anyway).
+    /// Builds a fault-free fabric of `kind` from shared geometry. Rings
+    /// need at least two ports; degenerate single-node systems fall
+    /// back to a bus (which never carries traffic there anyway).
     pub fn new(kind: FabricKind, config: BusConfig) -> Self {
-        match kind {
-            FabricKind::Ring if config.ports >= 2 => Fabric::Ring(Ring::new(RingConfig {
+        let inner = match kind {
+            FabricKind::Ring if config.ports >= 2 => FabricInner::Ring(Ring::new(RingConfig {
                 ports: config.ports,
                 width_bytes: config.width_bytes,
                 clock_divisor: config.clock_divisor,
                 header_bytes: config.header_bytes,
             })),
-            _ => Fabric::Bus(Bus::new(config)),
+            _ => FabricInner::Bus(Bus::new(config)),
+        };
+        Fabric { inner, chaos: None }
+    }
+
+    /// Builds a fabric with `plan`'s message faults injected at the
+    /// delivery boundary. An empty plan constructs no injector at all.
+    pub fn with_chaos(kind: FabricKind, config: BusConfig, plan: &FaultPlan) -> Self {
+        let mut f = Fabric::new(kind, config);
+        if !plan.is_empty() {
+            f.chaos = Some(Box::new(FaultInjector::new(plan)));
         }
+        f
+    }
+
+    /// The underlying interconnect model.
+    pub fn inner(&self) -> &FabricInner {
+        &self.inner
+    }
+
+    /// Fault-injection statistics (`None` without an active plan).
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.chaos.as_deref().map(FaultInjector::stats)
     }
 
     /// Queues a message at its source port.
     pub fn enqueue(&mut self, msg: Message) {
-        match self {
-            Fabric::Bus(b) => b.enqueue(msg),
-            Fabric::Ring(r) => r.enqueue(msg),
+        match &mut self.inner {
+            FabricInner::Bus(b) => b.enqueue(msg),
+            FabricInner::Ring(r) => r.enqueue(msg),
         }
     }
 
-    /// Advances one core cycle.
+    /// Advances one core cycle. Test-only convenience — the cycle loop
+    /// calls `step_into` with a reused buffer.
     pub fn step(&mut self, now: Cycle) -> Vec<Delivery> {
-        match self {
-            Fabric::Bus(b) => b.step(now),
-            Fabric::Ring(r) => r.step(now),
-        }
+        // ds-lint: allow(a1) returning convenience wrapper; sim uses step_into
+        let mut out = Vec::new();
+        self.step_into(now, &mut out);
+        out
     }
 
     /// Advances one core cycle, filling `out` with the deliveries
     /// completing now (cleared first; allocation-free once grown).
+    /// Under an active fault plan the injector rewrites the batch —
+    /// dropping, deferring, duplicating or reordering deliveries.
     pub fn step_into(&mut self, now: Cycle, out: &mut Vec<Delivery>) {
-        match self {
-            Fabric::Bus(b) => b.step_into(now, out),
-            Fabric::Ring(r) => r.step_into(now, out),
+        match &mut self.inner {
+            FabricInner::Bus(b) => b.step_into(now, out),
+            FabricInner::Ring(r) => r.step_into(now, out),
+        }
+        if let Some(ch) = &mut self.chaos {
+            ch.inject_step(now, out);
         }
     }
 
     /// Earliest future cycle at which stepping the fabric can change
     /// its state or deliver anything, absent new enqueues —
     /// `Cycle::MAX` when idle. The fabric's contribution to the
-    /// system-wide event horizon.
+    /// system-wide event horizon; includes the injector's deferred
+    /// releases so cycle skipping never jumps over a fault.
     pub fn next_event(&self, now: Cycle) -> Cycle {
-        match self {
-            Fabric::Bus(b) => b.next_event(now),
-            Fabric::Ring(r) => r.next_event(now),
+        let mut horizon = match &self.inner {
+            FabricInner::Bus(b) => b.next_event(now),
+            FabricInner::Ring(r) => r.next_event(now),
+        };
+        if let Some(ch) = &self.chaos {
+            horizon = horizon.min(ch.next_event(now));
         }
+        horizon
     }
 
-    /// True when nothing is queued or in flight.
+    /// True when nothing is queued, in flight, or deferred by a fault.
     pub fn is_idle(&self) -> bool {
-        match self {
-            Fabric::Bus(b) => b.is_idle(),
-            Fabric::Ring(r) => r.is_idle(),
-        }
+        let inner_idle = match &self.inner {
+            FabricInner::Bus(b) => b.is_idle(),
+            FabricInner::Ring(r) => r.is_idle(),
+        };
+        inner_idle && self.chaos.as_ref().is_none_or(|ch| ch.is_idle())
     }
 
     /// Accumulated statistics.
     pub fn stats(&self) -> &BusStats {
-        match self {
-            Fabric::Bus(b) => b.stats(),
-            Fabric::Ring(r) => r.stats(),
+        match &self.inner {
+            FabricInner::Bus(b) => b.stats(),
+            FabricInner::Ring(r) => r.stats(),
+        }
+    }
+
+    /// Appends every queued, in-flight, or fault-deferred message to
+    /// `out` (deadlock-report introspection; cold path).
+    pub fn pending_into(&self, out: &mut Vec<Message>) {
+        match &self.inner {
+            FabricInner::Bus(b) => b.pending_into(out),
+            FabricInner::Ring(r) => r.pending_into(out),
+        }
+        if let Some(ch) = &self.chaos {
+            ch.pending_into(out);
         }
     }
 
@@ -109,9 +169,9 @@ impl Fabric {
     /// fabric is not yet instrumented and reports no events).
     #[cfg(feature = "obs")]
     pub fn events(&self) -> Option<&ds_obs::EventRing> {
-        match self {
-            Fabric::Bus(b) => Some(b.events()),
-            Fabric::Ring(_) => None,
+        match &self.inner {
+            FabricInner::Bus(b) => Some(b.events()),
+            FabricInner::Ring(_) => None,
         }
     }
 }
@@ -119,6 +179,7 @@ impl Fabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::{FaultKind, FaultRule};
     use crate::MsgKind;
 
     fn bmsg(src: usize) -> Message {
@@ -154,7 +215,7 @@ mod tests {
     #[test]
     fn single_port_ring_falls_back_to_bus() {
         let f = Fabric::new(FabricKind::Ring, BusConfig { ports: 1, ..Default::default() });
-        assert!(matches!(f, Fabric::Bus(_)));
+        assert!(matches!(f.inner(), FabricInner::Bus(_)));
     }
 
     #[test]
@@ -172,5 +233,83 @@ mod tests {
         let bus = first_arrival(Fabric::new(FabricKind::Bus, config));
         let ring = first_arrival(Fabric::new(FabricKind::Ring, config));
         assert!(ring <= bus, "nearest ring neighbour ({ring}) vs bus ({bus})");
+    }
+
+    #[test]
+    fn empty_plan_builds_no_injector() {
+        let f = Fabric::with_chaos(FabricKind::Bus, BusConfig::default(), &FaultPlan::default());
+        assert!(f.fault_stats().is_none());
+    }
+
+    #[test]
+    fn chaos_drops_broadcasts_on_both_fabrics() {
+        let plan = FaultPlan {
+            rules: vec![FaultRule::broadcasts(FaultKind::Drop, 1, u64::MAX)],
+            stalls: Vec::new(),
+        };
+        for kind in [FabricKind::Bus, FabricKind::Ring] {
+            let mut f = Fabric::with_chaos(
+                kind,
+                BusConfig { ports: 3, width_bytes: 8, clock_divisor: 1, header_bytes: 8 },
+                &plan,
+            );
+            f.enqueue(bmsg(0));
+            let mut got = 0;
+            for now in 0..100 {
+                got += f.step(now).len();
+            }
+            assert_eq!(got, 0, "{kind:?}: every delivery dropped");
+            assert!(f.is_idle());
+            assert_eq!(f.fault_stats().unwrap().dropped, 2, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn chaos_delay_holds_fabric_busy_until_release() {
+        let plan = FaultPlan {
+            rules: vec![FaultRule::broadcasts(FaultKind::Delay(40), 1, u64::MAX)],
+            stalls: Vec::new(),
+        };
+        let mut f = Fabric::with_chaos(
+            FabricKind::Bus,
+            BusConfig { ports: 2, width_bytes: 8, clock_divisor: 1, header_bytes: 8 },
+            &plan,
+        );
+        f.enqueue(bmsg(0));
+        let mut arrivals = Vec::new();
+        let mut now = 0;
+        while now < 200 {
+            arrivals.extend(f.step(now).iter().map(|d| d.at));
+            if f.is_idle() {
+                break;
+            }
+            let horizon = f.next_event(now);
+            assert!(horizon > now, "horizon advances");
+            now = horizon.min(now + 1).max(now + 1);
+        }
+        assert_eq!(arrivals.len(), 1);
+        assert!(arrivals[0] >= 45, "base transfer (5) plus injected delay (40)");
+        assert!(f.is_idle());
+    }
+
+    #[test]
+    fn pending_into_reports_deferred_messages() {
+        let plan = FaultPlan {
+            rules: vec![FaultRule::broadcasts(FaultKind::Delay(1000), 1, u64::MAX)],
+            stalls: Vec::new(),
+        };
+        let mut f = Fabric::with_chaos(
+            FabricKind::Bus,
+            BusConfig { ports: 2, width_bytes: 8, clock_divisor: 1, header_bytes: 8 },
+            &plan,
+        );
+        f.enqueue(bmsg(0));
+        for now in 0..20 {
+            f.step(now);
+        }
+        let mut pending = Vec::new();
+        f.pending_into(&mut pending);
+        assert_eq!(pending.len(), 1, "the deferred broadcast is visible");
+        assert_eq!(pending[0].kind, MsgKind::Broadcast);
     }
 }

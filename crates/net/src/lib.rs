@@ -23,10 +23,12 @@
 //! one of these, so the bus statistics are the paper's off-chip traffic
 //! numbers.
 
+pub mod chaos;
 mod fabric;
 mod ring;
 
-pub use fabric::{Fabric, FabricKind};
+pub use chaos::{FaultInjector, FaultKind, FaultPlan, FaultRule, FaultStats, StallRule};
+pub use fabric::{Fabric, FabricInner, FabricKind};
 pub use ring::{Ring, RingConfig};
 
 use ds_obs::Probe as _;
@@ -61,11 +63,19 @@ pub enum MsgKind {
     /// A traditional-system write-through of a store that missed
     /// (write-no-allocate sends the store data off-chip).
     WriteThrough,
+    /// A hardened-ESP retransmit request (address only, broadcast): a
+    /// non-owner's BSHR wait timed out and asks the owner to re-issue
+    /// its broadcast. The owner answers with a reparative re-broadcast.
+    /// Never appears in a fault-free run.
+    RetransmitReq,
 }
 
 impl MsgKind {
     /// True for message kinds that exist only in the traditional
     /// (request/response) protocol. ESP eliminates all of them (§3.1).
+    /// `RetransmitReq` is part of hardened ESP itself, and under
+    /// degradation a DataScalar node falls back to request/response, so
+    /// neither counts as eliminated here.
     pub fn eliminated_by_esp(self) -> bool {
         matches!(self, MsgKind::Request | MsgKind::WriteBack | MsgKind::WriteThrough)
     }
@@ -147,6 +157,9 @@ pub struct BusStats {
     pub responses: u64,
     /// Write-back + write-through transactions.
     pub writes: u64,
+    /// Retransmit-request transactions (hardened ESP; zero in a
+    /// fault-free run).
+    pub retransmits: u64,
 }
 
 impl BusStats {
@@ -360,6 +373,20 @@ impl Bus {
             MsgKind::Request => s.requests += 1,
             MsgKind::Response => s.responses += 1,
             MsgKind::WriteBack | MsgKind::WriteThrough => s.writes += 1,
+            MsgKind::RetransmitReq => s.retransmits += 1,
+        }
+    }
+
+    /// Appends every queued or in-flight message to `out`
+    /// (deadlock-report introspection; cold path).
+    pub fn pending_into(&self, out: &mut Vec<Message>) {
+        if let Some(fl) = &self.in_flight {
+            out.push(fl.msg);
+        }
+        for q in &self.queues {
+            for m in q {
+                out.push(*m);
+            }
         }
     }
 }

@@ -242,6 +242,20 @@ impl Ring {
             MsgKind::Request => s.requests += 1,
             MsgKind::Response => s.responses += 1,
             MsgKind::WriteBack | MsgKind::WriteThrough => s.writes += 1,
+            MsgKind::RetransmitReq => s.retransmits += 1,
+        }
+    }
+
+    /// Appends every queued or circulating message to `out`
+    /// (deadlock-report introspection; cold path).
+    pub fn pending_into(&self, out: &mut Vec<Message>) {
+        for flit in &self.in_flight {
+            out.push(flit.msg);
+        }
+        for q in &self.queues {
+            for m in q {
+                out.push(*m);
+            }
         }
     }
 }

@@ -12,7 +12,7 @@
 //! simulated cycles exactly.
 
 /// Number of stall buckets — the length of every [`CycleAccount`].
-pub const BUCKET_COUNT: usize = 10;
+pub const BUCKET_COUNT: usize = 11;
 
 /// The closed set of per-cycle charges. Exactly one per node per cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -42,6 +42,11 @@ pub enum StallBucket {
     /// The window is draining or refilling after a branch mispredict
     /// whose redirect has not yet resolved.
     SquashReplay,
+    /// Head is waiting on remote data whose broadcast timed out — the
+    /// BSHR is retrying (retransmit request outstanding) or the line
+    /// has degraded to request–response. Only ds-chaos runs with BSHR
+    /// timeouts enabled ever charge this bucket.
+    RetryWait,
     /// Nothing retired and nothing is identifiably blocked: dependence
     /// chains in flight, startup, or the run already finished.
     Idle,
@@ -59,6 +64,7 @@ impl StallBucket {
         StallBucket::BusContentionWait,
         StallBucket::CommitRepair,
         StallBucket::SquashReplay,
+        StallBucket::RetryWait,
         StallBucket::Idle,
     ];
 
@@ -75,6 +81,7 @@ impl StallBucket {
             StallBucket::BusContentionWait => "bus-contention-wait",
             StallBucket::CommitRepair => "commit-repair",
             StallBucket::SquashReplay => "squash-replay",
+            StallBucket::RetryWait => "retry-wait",
             StallBucket::Idle => "idle",
         }
     }

@@ -33,7 +33,7 @@ struct ResultDoc {
 
 /// Fill colours for the stacked stall ribbon, indexed like
 /// [`StallBucket::ALL`]. Committing is green; waits are warm colours.
-const BUCKET_COLORS: [&str; 10] = [
+const BUCKET_COLORS: [&str; 11] = [
     "#4caf50", // committing
     "#90a4ae", // fetch-stall
     "#7e57c2", // ruu-full
@@ -43,6 +43,7 @@ const BUCKET_COLORS: [&str; 10] = [
     "#ffb300", // bus-contention-wait
     "#8d6e63", // commit-repair
     "#ec407a", // squash-replay
+    "#ab47bc", // retry-wait
     "#cfd8dc", // idle
 ];
 
@@ -189,24 +190,24 @@ fn push_legend(out: &mut String) {
     out.push_str("</p>\n");
 }
 
-/// One decoded interval row (the compact 17-number array of the
+/// One decoded interval row (the compact 18-number array of the
 /// `ds-bench-result/v1` timeline member).
 struct Row {
     start: f64,
     len: f64,
     committed: f64,
-    buckets: [f64; 10],
+    buckets: [f64; 11],
 }
 
 fn decode_rows(node: &Value) -> Vec<Row> {
     let mut rows = Vec::new();
     for r in node.get("intervals").and_then(Value::as_array).unwrap_or(&[]) {
         let Some(nums) = r.as_array() else { continue };
-        if nums.len() != 17 {
+        if nums.len() != 18 {
             continue;
         }
         let n = |i: usize| nums[i].as_f64().unwrap_or(0.0);
-        let mut buckets = [0.0; 10];
+        let mut buckets = [0.0; 11];
         for (bi, b) in buckets.iter_mut().enumerate() {
             *b = n(7 + bi);
         }
@@ -449,11 +450,11 @@ mod tests {
             "tables":[],"numbers":{},"notes":[],"critpath":{},
             "timeline":{"compress/ds2":{"interval_cycles":4096,"nodes":[
               {"dropped":0,
-               "intervals":[[0,4096,2000,3,2,1,0,4096,0,0,0,0,0,0,0,0,0],
-                            [4096,4096,500,1,1,2,0,1000,0,0,0,3096,0,0,0,0,0]],
+               "intervals":[[0,4096,2000,3,2,1,0,4096,0,0,0,0,0,0,0,0,0,0],
+                            [4096,4096,500,1,1,2,0,1000,0,0,0,3096,0,0,0,0,0,0]],
                "phases":[{"start":0,"cycles":8192,"intervals":2,"committed":2500,
                           "ipc_millis":305,"dominant":"committing",
-                          "dominant_millis":622,"buckets":[5096,0,0,0,3096,0,0,0,0,0]}]}
+                          "dominant_millis":622,"buckets":[5096,0,0,0,3096,0,0,0,0,0,0]}]}
             ]}}}"#
             .to_string();
         let doc = json::parse(&text).unwrap();

@@ -17,9 +17,13 @@
 //!   `id="ds-dash-data"` JSON payload must parse, and every embedded
 //!   result document is re-checked as if passed directly — the numbers
 //!   behind the pictures stay auditable.
+//! * `ds-chaos-result/v1`: fault-matrix reports — every run must carry
+//!   its plan label, fault counters, and the two verdicts
+//!   (`matches_baseline`, `watchdog_fired`); a run that diverged from
+//!   the fault-free baseline or tripped the watchdog fails validation.
 //! * Other plain JSON (e.g. `BENCH_throughput.json`): parsing, plus the
 //!   critpath- and timeline-member checks when present. Timeline
-//!   interval rows must be the 17-number contract with bucket columns
+//!   interval rows must be the 18-number contract with bucket columns
 //!   summing to the interval length, strictly increasing starts, and
 //!   phases that partition the recorded intervals.
 //!
@@ -43,6 +47,7 @@ fn check(path: &str) -> Result<(), String> {
 fn check_value(v: &Value) -> Result<(), String> {
     match v.get("schema").and_then(Value::as_str) {
         Some("ds-bench-result/v1") => check_bench_result(v),
+        Some("ds-chaos-result/v1") => check_chaos_result(v),
         Some(other) => Err(format!("unknown schema `{other}`")),
         None if v.get("traceEvents").is_some() => check_trace(v),
         // Plain JSON (e.g. BENCH_throughput.json): parsing is the bulk
@@ -123,6 +128,66 @@ fn check_bench_result(v: &Value) -> Result<(), String> {
     check_timeline_member(v)
 }
 
+/// Validates a `ds-chaos-result/v1` fault-matrix report. Beyond shape,
+/// the verdicts themselves are load-bearing: a run whose architectural
+/// state diverged from the fault-free baseline, or whose watchdog
+/// fired, is a failed experiment and fails the gate here too (defense
+/// in depth — the `ds-chaos` binary already exits non-zero).
+fn check_chaos_result(v: &Value) -> Result<(), String> {
+    let baseline = v.get("baseline").ok_or("ds-chaos-result/v1 document lacks `baseline`")?;
+    for key in ["cycles", "committed"] {
+        if baseline.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("`baseline` lacks number `{key}`"));
+        }
+    }
+    if v.get("workload").and_then(Value::as_str).is_none() {
+        return Err("ds-chaos-result/v1 document lacks string `workload`".into());
+    }
+    let runs = v
+        .get("runs")
+        .and_then(Value::as_array)
+        .ok_or("ds-chaos-result/v1 document lacks `runs` array")?;
+    if runs.is_empty() {
+        return Err("`runs` is empty — the fault matrix did not run".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        let plan = run
+            .get("plan")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("run {i} lacks string `plan`"))?;
+        for key in ["cycles", "committed"] {
+            if run.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("run `{plan}` lacks number `{key}`"));
+            }
+        }
+        let faults = run
+            .get("faults")
+            .ok_or_else(|| format!("run `{plan}` lacks `faults`"))?;
+        for key in ["dropped", "delayed", "duplicated", "reordered"] {
+            if faults.get(key).and_then(Value::as_f64).is_none() {
+                return Err(format!("run `{plan}` faults lack number `{key}`"));
+            }
+        }
+        match run.get("matches_baseline") {
+            Some(Value::Bool(true)) => {}
+            Some(Value::Bool(false)) => {
+                return Err(format!(
+                    "run `{plan}` diverged from the fault-free baseline"
+                ))
+            }
+            _ => return Err(format!("run `{plan}` lacks bool `matches_baseline`")),
+        }
+        match run.get("watchdog_fired") {
+            Some(Value::Bool(false)) => {}
+            Some(Value::Bool(true)) => {
+                return Err(format!("run `{plan}` tripped the forward-progress watchdog"))
+            }
+            _ => return Err(format!("run `{plan}` lacks bool `watchdog_fired`")),
+        }
+    }
+    Ok(())
+}
+
 /// Checks a `critpath` member (shared by `ds-bench-result/v1` and
 /// `BENCH_throughput.json`): each labelled entry carries the four
 /// edge-class shares, each in `[0, 1]`, summing to ~1 whenever any
@@ -185,8 +250,8 @@ fn check_critpath_member(v: &Value) -> Result<(), String> {
 /// Checks a `timeline` member. Two shapes are accepted per label:
 ///
 /// * the full `ds-bench-result/v1` form (`nodes` present): every
-///   interval row is the 17-number contract `[start, len, committed,
-///   sends, arrives, bshr_occ_hw, skipped, bucket0..bucket9]` with
+///   interval row is the 18-number contract `[start, len, committed,
+///   sends, arrives, bshr_occ_hw, skipped, bucket0..bucket10]` with
 ///   strictly increasing starts and bucket columns summing exactly to
 ///   the interval length, and the phases partition the intervals;
 /// * the `BENCH_throughput.json` summary form (no `nodes`): interval
@@ -222,7 +287,7 @@ fn check_timeline_member(v: &Value) -> Result<(), String> {
     Ok(())
 }
 
-/// The full per-node form: 17-number interval rows that reconcile.
+/// The full per-node form: 18-number interval rows that reconcile.
 fn check_timeline_node(label: &str, ni: usize, node: &Value) -> Result<(), String> {
     let ctx = |msg: String| format!("timeline `{label}` node {ni}: {msg}");
     let rows = node
@@ -233,10 +298,10 @@ fn check_timeline_node(label: &str, ni: usize, node: &Value) -> Result<(), Strin
     let mut interval_cycle_sum = 0.0;
     for (ri, row) in rows.iter().enumerate() {
         let row = row.as_array().ok_or_else(|| ctx(format!("row {ri} is not an array")))?;
-        if row.len() != 17 {
-            return Err(ctx(format!("row {ri} has {} numbers, expected 17", row.len())));
+        if row.len() != 18 {
+            return Err(ctx(format!("row {ri} has {} numbers, expected 18", row.len())));
         }
-        let mut nums = [0.0f64; 17];
+        let mut nums = [0.0f64; 18];
         for (i, cell) in row.iter().enumerate() {
             nums[i] = cell
                 .as_f64()
@@ -470,12 +535,12 @@ mod tests {
 
     #[test]
     fn timeline_member_shapes() {
-        // Full ds-bench-result/v1 form: 17-number rows that reconcile.
+        // Full ds-bench-result/v1 form: 18-number rows that reconcile.
         let good = json::parse(
             r#"{"timeline": {"compress/ds2": {"interval_cycles": 4096, "nodes": [
                 {"dropped": 0,
-                 "intervals": [[0,4096,100,1,1,2,0,4096,0,0,0,0,0,0,0,0,0],
-                               [4096,4096,50,0,0,1,0,1000,0,0,0,3096,0,0,0,0,0]],
+                 "intervals": [[0,4096,100,1,1,2,0,4096,0,0,0,0,0,0,0,0,0,0],
+                               [4096,4096,50,0,0,1,0,1000,0,0,0,3096,0,0,0,0,0,0]],
                  "phases": [{"start": 0, "cycles": 8192, "intervals": 2,
                              "committed": 150, "ipc_millis": 18,
                              "dominant": "committing", "dominant_millis": 622,
@@ -490,7 +555,7 @@ mod tests {
         let bad_sum = json::parse(
             r#"{"timeline": {"x": {"interval_cycles": 4096, "nodes": [
                 {"dropped": 0,
-                 "intervals": [[0,4096,100,1,1,2,0,4000,0,0,0,0,0,0,0,0,0]],
+                 "intervals": [[0,4096,100,1,1,2,0,4000,0,0,0,0,0,0,0,0,0,0]],
                  "phases": [{"intervals": 1, "cycles": 4096}]}]}}}"#,
         )
         .unwrap();
@@ -502,13 +567,13 @@ mod tests {
                 {"dropped": 0, "intervals": [[0,4096,100]], "phases": []}]}}}"#,
         )
         .unwrap();
-        assert!(check_timeline_member(&short_row).unwrap_err().contains("expected 17"));
+        assert!(check_timeline_member(&short_row).unwrap_err().contains("expected 18"));
 
         // Phases must partition the intervals.
         let bad_phases = json::parse(
             r#"{"timeline": {"x": {"interval_cycles": 4096, "nodes": [
                 {"dropped": 0,
-                 "intervals": [[0,4096,100,1,1,2,0,4096,0,0,0,0,0,0,0,0,0]],
+                 "intervals": [[0,4096,100,1,1,2,0,4096,0,0,0,0,0,0,0,0,0,0]],
                  "phases": [{"intervals": 2, "cycles": 8192}]}]}}}"#,
         )
         .unwrap();
@@ -530,6 +595,53 @@ mod tests {
         )
         .unwrap();
         assert!(check_timeline_member(&summary_bad).unwrap_err().contains("dominant"));
+    }
+
+    #[test]
+    fn chaos_result_shapes_and_verdicts() {
+        let good = json::parse(
+            r#"{"schema": "ds-chaos-result/v1", "workload": "compress",
+                "baseline": {"cycles": 1000, "committed": 500},
+                "runs": [{"plan": "drop-every-3/bus", "cycles": 1200,
+                          "committed": 500,
+                          "faults": {"dropped": 4, "delayed": 0,
+                                     "duplicated": 0, "reordered": 0},
+                          "matches_baseline": true,
+                          "watchdog_fired": false}]}"#,
+        )
+        .unwrap();
+        assert!(check_value(&good).is_ok());
+
+        let diverged = json::parse(
+            r#"{"schema": "ds-chaos-result/v1", "workload": "compress",
+                "baseline": {"cycles": 1000, "committed": 500},
+                "runs": [{"plan": "p", "cycles": 1, "committed": 1,
+                          "faults": {"dropped": 0, "delayed": 0,
+                                     "duplicated": 0, "reordered": 0},
+                          "matches_baseline": false,
+                          "watchdog_fired": false}]}"#,
+        )
+        .unwrap();
+        assert!(check_value(&diverged).unwrap_err().contains("diverged"));
+
+        let fired = json::parse(
+            r#"{"schema": "ds-chaos-result/v1", "workload": "compress",
+                "baseline": {"cycles": 1000, "committed": 500},
+                "runs": [{"plan": "p", "cycles": 1, "committed": 1,
+                          "faults": {"dropped": 0, "delayed": 0,
+                                     "duplicated": 0, "reordered": 0},
+                          "matches_baseline": true,
+                          "watchdog_fired": true}]}"#,
+        )
+        .unwrap();
+        assert!(check_value(&fired).unwrap_err().contains("watchdog"));
+
+        let empty = json::parse(
+            r#"{"schema": "ds-chaos-result/v1", "workload": "w",
+                "baseline": {"cycles": 1, "committed": 1}, "runs": []}"#,
+        )
+        .unwrap();
+        assert!(check_value(&empty).unwrap_err().contains("empty"));
     }
 
     #[test]

@@ -158,6 +158,27 @@ pub enum EventKind {
         /// Cycle the data entered the sender's output queue.
         sent: u64,
     },
+    /// A BSHR wait outlived its timeout: the node asked the owner to
+    /// re-broadcast the line (ds-chaos hardening; never recorded in a
+    /// fault-free run).
+    RetransmitRequest {
+        /// Line whose broadcast went missing.
+        line: u64,
+        /// How many timeouts this wait has now suffered (1 = first).
+        retry: u32,
+    },
+    /// The owner answered a retransmit request with a reparative
+    /// re-broadcast of the line.
+    RetransmitRebroadcast {
+        /// Line re-broadcast.
+        line: u64,
+    },
+    /// A line exhausted its retry budget and degraded to the
+    /// traditional request–response protocol for the rest of the run.
+    LineDegraded {
+        /// Line degraded.
+        line: u64,
+    },
 }
 
 /// One cycle-stamped event.
@@ -284,7 +305,10 @@ impl MetricsReport {
                 EventKind::BroadcastSend { .. }
                 | EventKind::FalseHitRepair { .. }
                 | EventKind::BusGrant { .. }
-                | EventKind::RemoteFillCommit { .. } => {}
+                | EventKind::RemoteFillCommit { .. }
+                | EventKind::RetransmitRequest { .. }
+                | EventKind::RetransmitRebroadcast { .. }
+                | EventKind::LineDegraded { .. } => {}
             }
         }
     }

@@ -223,7 +223,10 @@ fn tid_of(kind: &EventKind) -> u32 {
     match kind {
         EventKind::BroadcastSend { .. }
         | EventKind::BroadcastArrive { .. }
-        | EventKind::FalseHitRepair { .. } => TID_BROADCAST,
+        | EventKind::FalseHitRepair { .. }
+        | EventKind::RetransmitRequest { .. }
+        | EventKind::RetransmitRebroadcast { .. }
+        | EventKind::LineDegraded { .. } => TID_BROADCAST,
         EventKind::BshrAllocate { .. }
         | EventKind::BshrFill { .. }
         | EventKind::BshrSquash { .. }
@@ -324,6 +327,15 @@ fn emit_event(out: &mut String, pid: u32, ts: u64, kind: &EventKind) {
         }
         EventKind::RemoteFillCommit { line, sent } => {
             instant(out, "remote-fill-commit", format_args!("\"line\":{line},\"sent\":{sent}"));
+        }
+        EventKind::RetransmitRequest { line, retry } => {
+            instant(out, "retransmit-req", format_args!("\"line\":{line},\"retry\":{retry}"));
+        }
+        EventKind::RetransmitRebroadcast { line } => {
+            instant(out, "retransmit-rebroadcast", format_args!("\"line\":{line}"));
+        }
+        EventKind::LineDegraded { line } => {
+            instant(out, "line-degraded", format_args!("\"line\":{line}"));
         }
     }
 }

@@ -94,6 +94,15 @@ target/release/ds-dash --json "$obs_tmp/fig7.json" \
 # embedded document (timeline interval sums included).
 cargo run -q --release -p ds-obs --bin obs_validate -- "$obs_tmp/dash.html"
 
+echo "== chaos gate: ds_chaos fault matrix, validated by obs_validate"
+# The quick grid: every fault plan must recover to the fault-free
+# architectural state with the watchdog silent. The binary exits
+# non-zero on any diverged/deadlocked run; obs_validate re-checks the
+# emitted ds-chaos-result/v1 document independently.
+cargo build -q --release -p ds-bench --bin ds_chaos
+target/release/ds_chaos --quick --parallel --json "$obs_tmp/chaos.json" > /dev/null
+cargo run -q --release -p ds-obs --bin obs_validate -- "$obs_tmp/chaos.json"
+
 echo "== cargo clippy (deny warnings)"
 cargo clippy --all-targets -- -D warnings
 
